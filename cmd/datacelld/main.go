@@ -1,0 +1,67 @@
+// Command datacelld runs the DataCell as a network stream engine: TCP
+// receptors accept flat-text tuples into streams, TCP emitters deliver
+// continuous-query results to subscribers, and a control port accepts SQL
+// (§2.1's adapter periphery).
+//
+// The engine is configured by a small script of statements executed at
+// startup (-init), e.g.:
+//
+//	CREATE BASKET sensors (id INT, temp DOUBLE);
+//	CONTINUOUS overheat SELECT * FROM [SELECT * FROM sensors] AS s WHERE s.temp > 30.0;
+//
+// Ports:
+//
+//	-ingest  : one connection per stream; the first line names the stream,
+//	           subsequent lines are comma-separated tuples.
+//	-results : the first line names a continuous query; result tuples follow.
+//	-sql     : one-time SQL per line; results return as text.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	datacell "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	ingestAddr := flag.String("ingest", "127.0.0.1:7711", "stream ingestion listener")
+	resultAddr := flag.String("results", "127.0.0.1:7712", "result subscription listener")
+	sqlAddr := flag.String("sql", "127.0.0.1:7713", "one-time SQL listener")
+	initFile := flag.String("init", "", "statement script executed at startup")
+	workers := flag.Int("workers", 4, "scheduler workers")
+	flag.Parse()
+
+	eng := datacell.New(datacell.Config{Workers: *workers})
+	srv := server.New(eng)
+	srv.Logf = log.Printf
+
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			log.Fatalf("init script: %v", err)
+		}
+		if err := srv.RunScript(string(script)); err != nil {
+			log.Fatalf("init script: %v", err)
+		}
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	in, err := srv.ListenIngest(*ingestAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := srv.ListenResults(*resultAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := srv.ListenSQL(*sqlAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("datacelld: ingest=%s results=%s sql=%s", in, res, ctl)
+	select {} // serve forever
+}

@@ -1,0 +1,83 @@
+// Command lroad drives the scaled Linear Road benchmark (experiment E5):
+// it generates deterministic expressway traffic, plays it through the
+// DataCell pipeline, validates every notification against the oracle, and
+// reports throughput and the response-time distribution against the
+// benchmark's 5-second bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/linearroad"
+)
+
+func main() {
+	xways := flag.Int("xways", 1, "expressways (the benchmark's L factor)")
+	vehicles := flag.Int("vehicles", 200, "vehicles per expressway")
+	duration := flag.Int("duration", 600, "simulated seconds")
+	seed := flag.Int64("seed", 42, "generator seed")
+	accidents := flag.Int("accident-every", 120, "seconds between injected accidents (0 = none)")
+	flag.Parse()
+
+	cfg := linearroad.GenConfig{
+		XWays:            *xways,
+		VehiclesPerXWay:  *vehicles,
+		DurationSec:      *duration,
+		Seed:             *seed,
+		AccidentEverySec: *accidents,
+	}
+	records := linearroad.Generate(cfg)
+	fmt.Printf("Linear Road: L=%d vehicles/xway=%d duration=%ds → %d position reports\n",
+		cfg.XWays, cfg.VehiclesPerXWay, cfg.DurationSec, len(records))
+
+	want := linearroad.Reference(records)
+	sys, err := linearroad.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := sys.Run(records); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	got := sys.Notifications()
+
+	ok := len(got) == len(want)
+	var tolls, alerts, revenue int64
+	if ok {
+		for i := range want {
+			if got[i] != want[i] {
+				ok = false
+				break
+			}
+			if got[i].Accident {
+				alerts++
+			} else if got[i].Toll > 0 {
+				tolls++
+				revenue += got[i].Toll
+			}
+		}
+	}
+	fmt.Printf("throughput: %.0f reports/s (%v total)\n",
+		float64(len(records))/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	fmt.Printf("notifications: %d | tolls: %d | accident alerts: %d | revenue: %d\n",
+		len(got), tolls, alerts, revenue)
+	fmt.Printf("response time: %s\n", sys.Latency.Summary())
+	maxResp := time.Duration(sys.Latency.Max())
+	fmt.Printf("5s response bound: %s (max %v)\n", passFail(maxResp < 5*time.Second), maxResp)
+	fmt.Printf("oracle validation: %s\n", passFail(ok))
+	if !ok || maxResp >= 5*time.Second {
+		os.Exit(1)
+	}
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

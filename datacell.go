@@ -1,0 +1,189 @@
+// Package datacell is a stream engine built on top of a relational
+// column-store kernel, reproducing "DataCell: Building a Data Stream
+// Engine on top of a Relational Database Kernel" (Liarou & Kersten,
+// VLDB 2009).
+//
+// Instead of a from-scratch dataflow system, the DataCell stores arriving
+// tuples in baskets (timestamped, main-memory column tables) and
+// repeatedly throws standing SQL queries at them with the full machinery
+// of a relational kernel: vectorized selections, hash joins, grouped
+// aggregation, a rule-based optimizer. Continuous queries are ordinary
+// SELECT statements whose FROM clause contains a basket expression — a
+// bracketed sub-query whose referenced tuples are consumed from the
+// underlying basket:
+//
+//	SELECT * FROM [SELECT * FROM trades] AS t WHERE t.price > 100
+//
+// A Petri-net scheduler fires factories (compiled continuous queries)
+// whenever their input baskets hold tuples, and emitters deliver results
+// to subscribers.
+//
+// # Quick start
+//
+//	eng := datacell.New(datacell.Config{})
+//	datacell.MustExec(eng, "CREATE BASKET trades (sym VARCHAR, price DOUBLE)")
+//	q, _ := eng.RegisterContinuous("spikes",
+//	    "SELECT * FROM [SELECT * FROM trades] AS t WHERE t.price > 100")
+//	eng.Start()
+//	defer eng.Stop()
+//	eng.Ingest("trades", [][]datacell.Value{{datacell.Str("ACME"), datacell.Float(101.5)}})
+//	batch := <-q.Results()
+//
+// Three processing strategies from the paper are available per query:
+// separate baskets (private input replica), shared baskets (watermarked
+// single copy), and the cascade of disjoint range predicates. Sliding
+// windows (count- or time-based) are expressed with the WINDOW clause and
+// evaluated either by re-evaluation or incrementally via per-pane
+// summaries.
+package datacell
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	idc "repro/internal/datacell"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/vector"
+	"repro/internal/window"
+)
+
+// Engine is a DataCell instance: a catalog of streams and tables, the
+// scheduler, and the registered continuous queries.
+type Engine = idc.Engine
+
+// Config parameterizes New.
+type Config = idc.Config
+
+// Query is a registered continuous query.
+type Query = idc.Query
+
+// QueryOption configures RegisterContinuous.
+type QueryOption = idc.QueryOption
+
+// Strategy selects a continuous query's input arrangement (§2.5 of the
+// paper).
+type Strategy = idc.Strategy
+
+// Processing strategies.
+const (
+	// SeparateBaskets gives each query a private input basket (maximum
+	// independence, replicated input).
+	SeparateBaskets = idc.SeparateBaskets
+	// SharedBaskets shares one basket among all queries; tuples are
+	// retained until every query has seen them.
+	SharedBaskets = idc.SharedBaskets
+)
+
+// CascadePredicate is one disjoint-range stage of a cascade.
+type CascadePredicate = idc.CascadePredicate
+
+// Cascade is a registered chain of disjoint-range stages.
+type Cascade = idc.Cascade
+
+// GroupMember is one query of a shared-factory filter group.
+type GroupMember = idc.GroupMember
+
+// FilterGroup is a registered shared-factory group (§3.2: one common
+// factory feeds several residual factories).
+type FilterGroup = idc.FilterGroup
+
+// WindowMode selects the windowed evaluation strategy (§3.1).
+type WindowMode = window.Mode
+
+// Window evaluation strategies.
+const (
+	// ReEvaluate computes each window from scratch.
+	ReEvaluate = window.ReEvaluate
+	// Incremental merges per-pane summaries (the basic-window model).
+	Incremental = window.Incremental
+)
+
+// Value is one scalar in the engine's type system.
+type Value = vector.Value
+
+// Relation is a materialized result set.
+type Relation = storage.Relation
+
+// Column defines one stream or table attribute.
+type Column = catalog.Column
+
+// Schema is an ordered column list.
+type Schema = catalog.Schema
+
+// Clock abstracts time for deterministic runs.
+type Clock = metrics.Clock
+
+// ManualClock is an explicitly advanced clock.
+type ManualClock = metrics.ManualClock
+
+// Type enumerates column types.
+type Type = vector.Type
+
+// Column types.
+const (
+	Int64     = vector.Int64
+	Float64   = vector.Float64
+	Bool      = vector.Bool
+	String    = vector.String
+	Timestamp = vector.Timestamp
+)
+
+// New creates an engine.
+func New(cfg Config) *Engine { return idc.New(cfg) }
+
+// NewManualClock returns a manually advanced clock starting at ns.
+func NewManualClock(ns int64) *ManualClock { return metrics.NewManualClock(ns) }
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return catalog.NewSchema(cols...) }
+
+// Col is shorthand for a Column definition.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// Int wraps an int64.
+func Int(v int64) Value { return vector.NewInt(v) }
+
+// Float wraps a float64.
+func Float(v float64) Value { return vector.NewFloat(v) }
+
+// Str wraps a string.
+func Str(v string) Value { return vector.NewString(v) }
+
+// BoolVal wraps a bool.
+func BoolVal(v bool) Value { return vector.NewBool(v) }
+
+// TS wraps a timestamp (nanoseconds since the epoch).
+func TS(ns int64) Value { return vector.NewTimestamp(ns) }
+
+// Null returns the NULL of type t.
+func Null(t Type) Value { return vector.NullValue(t) }
+
+// Query options re-exported from the engine.
+var (
+	// WithStrategy selects the basket arrangement.
+	WithStrategy = idc.WithStrategy
+	// WithMinTuples sets the factory firing threshold.
+	WithMinTuples = idc.WithMinTuples
+	// WithWindowMode pins the window evaluation strategy.
+	WithWindowMode = idc.WithWindowMode
+	// WithSubscriptionDepth sizes the result channel.
+	WithSubscriptionDepth = idc.WithSubscriptionDepth
+	// WithSQLPolling disables the subscription emitter; poll <name>_out.
+	WithSQLPolling = idc.WithSQLPolling
+	// WithPriority schedules the query's factory ahead of lower priorities.
+	WithPriority = idc.WithPriority
+	// WithLoadShedding bounds the query's private input basket, evicting
+	// the oldest tuples under overload.
+	WithLoadShedding = idc.WithLoadShedding
+)
+
+// MustExec runs a statement and panics on error — for examples and setup
+// code where failure is a programming bug.
+func MustExec(e *Engine, stmt string) *Relation {
+	rel, err := e.Exec(stmt)
+	if err != nil {
+		panic(fmt.Sprintf("datacell: MustExec(%q): %v", stmt, err))
+	}
+	return rel
+}

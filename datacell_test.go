@@ -1,0 +1,120 @@
+package datacell_test
+
+import (
+	"testing"
+
+	datacell "repro"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	clk := datacell.NewManualClock(0)
+	eng := datacell.New(datacell.Config{Clock: clk})
+	datacell.MustExec(eng, "CREATE BASKET trades (sym VARCHAR, price DOUBLE)")
+
+	q, err := eng.RegisterContinuous("spikes",
+		"SELECT * FROM [SELECT * FROM trades] AS t WHERE t.price > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest("trades", [][]datacell.Value{
+		{datacell.Str("ACME"), datacell.Float(99.5)},
+		{datacell.Str("ACME"), datacell.Float(101.5)},
+		{datacell.Str("WID"), datacell.Float(250)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	select {
+	case rel := <-q.Results():
+		if rel.NumRows() != 2 {
+			t.Errorf("rows = %d", rel.NumRows())
+		}
+	default:
+		t.Fatal("no results")
+	}
+}
+
+func TestPublicAPIValueHelpers(t *testing.T) {
+	if datacell.Int(5).I != 5 || datacell.Float(2.5).F != 2.5 ||
+		datacell.Str("x").S != "x" || !datacell.BoolVal(true).B ||
+		datacell.TS(9).I != 9 || !datacell.Null(datacell.Int64).Null {
+		t.Error("value helpers broken")
+	}
+}
+
+func TestPublicAPISchemaHelpers(t *testing.T) {
+	eng := datacell.New(datacell.Config{})
+	s := datacell.NewSchema(
+		datacell.Col("a", datacell.Int64),
+		datacell.Col("b", datacell.String),
+	)
+	if err := eng.CreateStream("s", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest("s", [][]datacell.Value{{datacell.Int(1), datacell.Str("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	rel := datacell.MustExec(eng, "SELECT COUNT(*) FROM s")
+	if rel.Cols[0].Get(0).I != 1 {
+		t.Errorf("count = %v", rel.Row(0))
+	}
+}
+
+func TestPublicAPIWindowModes(t *testing.T) {
+	eng := datacell.New(datacell.Config{Clock: datacell.NewManualClock(0)})
+	datacell.MustExec(eng, "CREATE BASKET m (v INT)")
+	for _, tc := range []struct {
+		name string
+		mode datacell.WindowMode
+	}{{"re", datacell.ReEvaluate}, {"inc", datacell.Incremental}} {
+		q, err := eng.RegisterContinuous(tc.name,
+			"SELECT SUM(S.v) AS total FROM [SELECT * FROM m] AS S WINDOW ROWS 2 SLIDE 2",
+			datacell.WithWindowMode(tc.mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = q
+	}
+	_ = eng.Ingest("m", [][]datacell.Value{{datacell.Int(3)}, {datacell.Int(4)}})
+	eng.Drain()
+	for _, name := range []string{"re", "inc"} {
+		q, _ := eng.Query(name)
+		select {
+		case rel := <-q.Results():
+			if rel.Cols[0].Get(0).I != 7 {
+				t.Errorf("%s: sum = %v", name, rel.Row(0))
+			}
+		default:
+			t.Errorf("%s: no window result", name)
+		}
+	}
+}
+
+func TestPublicAPICascade(t *testing.T) {
+	eng := datacell.New(datacell.Config{Clock: datacell.NewManualClock(0)})
+	datacell.MustExec(eng, "CREATE BASKET s (v INT)")
+	c, err := eng.RegisterCascade("c", "s", []datacell.CascadePredicate{
+		{Attr: "v", Lo: datacell.Int(0), Hi: datacell.Int(10)},
+		{Attr: "v", Lo: datacell.Int(10), Hi: datacell.Int(20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = eng.Ingest("s", [][]datacell.Value{
+		{datacell.Int(5)}, {datacell.Int(15)}, {datacell.Int(25)},
+	})
+	eng.Drain()
+	if c.Processed(0) != 3 || c.Processed(1) != 2 {
+		t.Errorf("processed = %d, %d", c.Processed(0), c.Processed(1))
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExec should panic on bad SQL")
+		}
+	}()
+	eng := datacell.New(datacell.Config{})
+	datacell.MustExec(eng, "NOT SQL AT ALL")
+}

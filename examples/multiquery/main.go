@@ -1,0 +1,109 @@
+// Command multiquery demonstrates the paper's §2.5 processing strategies
+// on one stream: N standing range queries run once under separate baskets
+// (input replicated per query), once under shared baskets (one copy,
+// watermarked), and once as a cascade of disjoint ranges (each stage sees
+// only what earlier stages rejected). It prints the per-strategy
+// throughput so the trade-offs are visible.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	datacell "repro"
+)
+
+const (
+	nQueries = 8
+	nTuples  = 200_000
+	domain   = 80 // values 0..79, ranges of width 10 per query
+)
+
+func makeRows() [][]datacell.Value {
+	rows := make([][]datacell.Value, nTuples)
+	for i := range rows {
+		rows[i] = []datacell.Value{datacell.Int(int64(i*2654435761) % domain)}
+	}
+	return rows
+}
+
+func runStrategy(strategy datacell.Strategy) (time.Duration, int64) {
+	eng := datacell.New(datacell.Config{})
+	datacell.MustExec(eng, "CREATE BASKET s (v INT)")
+	for i := 0; i < nQueries; i++ {
+		lo, hi := i*10, (i+1)*10
+		_, err := eng.RegisterContinuous(fmt.Sprintf("q%d", i),
+			fmt.Sprintf("SELECT * FROM [SELECT * FROM s] AS x WHERE x.v >= %d AND x.v < %d", lo, hi),
+			datacell.WithStrategy(strategy), datacell.WithSQLPolling())
+		if err != nil {
+			panic(err)
+		}
+	}
+	rows := makeRows()
+	start := time.Now()
+	if err := eng.Ingest("s", rows); err != nil {
+		panic(err)
+	}
+	eng.Drain()
+	elapsed := time.Since(start)
+
+	var matched int64
+	for i := 0; i < nQueries; i++ {
+		q, _ := eng.Query(fmt.Sprintf("q%d", i))
+		matched += q.Stats().TuplesOut
+	}
+	return elapsed, matched
+}
+
+func runCascade() (time.Duration, int64) {
+	eng := datacell.New(datacell.Config{})
+	datacell.MustExec(eng, "CREATE BASKET s (v INT)")
+	preds := make([]datacell.CascadePredicate, nQueries)
+	for i := range preds {
+		preds[i] = datacell.CascadePredicate{
+			Attr: "v",
+			Lo:   datacell.Int(int64(i * 10)),
+			Hi:   datacell.Int(int64((i + 1) * 10)),
+		}
+	}
+	c, err := eng.RegisterCascade("casc", "s", preds)
+	if err != nil {
+		panic(err)
+	}
+	rows := makeRows()
+	start := time.Now()
+	if err := eng.Ingest("s", rows); err != nil {
+		panic(err)
+	}
+	eng.Drain()
+	elapsed := time.Since(start)
+
+	var matched int64
+	for i := 0; i < c.Stages(); i++ {
+		for {
+			select {
+			case rel := <-c.Results(i):
+				matched += int64(rel.NumRows())
+				continue
+			default:
+			}
+			break
+		}
+	}
+	return elapsed, matched
+}
+
+func main() {
+	fmt.Printf("%d disjoint range queries over %d tuples\n\n", nQueries, nTuples)
+	fmt.Printf("%-18s %12s %14s %12s\n", "strategy", "elapsed", "tuples/s", "matched")
+	for _, s := range []datacell.Strategy{datacell.SeparateBaskets, datacell.SharedBaskets} {
+		elapsed, matched := runStrategy(s)
+		fmt.Printf("%-18s %12v %14.0f %12d\n",
+			s, elapsed.Round(time.Millisecond), float64(nTuples)/elapsed.Seconds(), matched)
+	}
+	elapsed, matched := runCascade()
+	fmt.Printf("%-18s %12v %14.0f %12d\n",
+		"cascade", elapsed.Round(time.Millisecond), float64(nTuples)/elapsed.Seconds(), matched)
+	fmt.Println("\nshared avoids the per-query input copy; the cascade also shrinks")
+	fmt.Println("the input for every later stage (disjoint predicates, §2.5).")
+}

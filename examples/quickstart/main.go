@@ -1,0 +1,63 @@
+// Command quickstart is the Figure-1 pipeline of the paper in miniature:
+// a receptor feeds sensor readings into a basket, one continuous query
+// (a factory) filters them, and an emitter delivers the qualifying tuples
+// — all through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	datacell "repro"
+)
+
+func main() {
+	eng := datacell.New(datacell.Config{Workers: 2})
+	datacell.MustExec(eng, "CREATE BASKET sensors (id INT, temp DOUBLE)")
+
+	// The continuous query: the bracketed basket expression consumes the
+	// stream; the outer WHERE is the standing filter.
+	alerts, err := eng.RegisterContinuous("overheat",
+		"SELECT * FROM [SELECT * FROM sensors] AS s WHERE s.temp > 30.0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng.Start()
+	defer eng.Stop()
+
+	// A receptor thread: ten readings, two of them hot.
+	go func() {
+		temps := []float64{21.5, 22.0, 31.2, 23.9, 19.4, 25.0, 35.8, 24.1, 22.2, 20.0}
+		for i, temp := range temps {
+			err := eng.Ingest("sensors", [][]datacell.Value{
+				{datacell.Int(int64(i)), datacell.Float(temp)},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// The emitter side: collect until both alerts arrived.
+	hot := 0
+	timeout := time.After(5 * time.Second)
+	for hot < 2 {
+		select {
+		case batch := <-alerts.Results():
+			for i := 0; i < batch.NumRows(); i++ {
+				row := batch.Row(i)
+				fmt.Printf("ALERT sensor=%d temp=%.1f°C\n", row[0].I, row[1].F)
+				hot++
+			}
+		case <-timeout:
+			log.Fatal("timed out waiting for alerts")
+		}
+	}
+
+	st := alerts.Stats()
+	fmt.Printf("processed %d tuples in %d firings, emitted %d alerts\n",
+		st.TuplesIn, st.Firings, st.TuplesOut)
+}

@@ -1,0 +1,267 @@
+// Package adapters provides the periphery of the stream engine (§2.1):
+// receptors pick up incoming events from a communication channel, validate
+// their structure, and forward them into baskets; emitters pick up result
+// tuples and deliver them to subscribed clients. The interchange format is
+// the paper's deliberately simple one — flat relational tuples as text
+// (comma-separated fields, one tuple per line).
+package adapters
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/basket"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// ParseTuple decodes one comma-separated line against a schema (which must
+// NOT include the implicit ts column — receptors never trust sender
+// timestamps).
+func ParseTuple(schema *catalog.Schema, line string) ([]vector.Value, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != schema.Len() {
+		return nil, fmt.Errorf("adapters: tuple has %d fields, schema %s needs %d",
+			len(fields), schema, schema.Len())
+	}
+	out := make([]vector.Value, len(fields))
+	for i, f := range fields {
+		v, err := vector.Parse(schema.Columns[i].Type, f)
+		if err != nil {
+			return nil, fmt.Errorf("adapters: field %d (%s): %w", i, schema.Columns[i].Name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// FormatTuple encodes one row in the flat-text interchange format.
+func FormatTuple(row []vector.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Receptor is a separate thread that continuously picks up incoming events
+// from a channel, validates their structure, and appends them to one or
+// more baskets (several, under the separate-baskets strategy).
+type Receptor struct {
+	name    string
+	schema  *catalog.Schema // user schema (no ts)
+	targets []*basket.Basket
+	batch   int
+
+	mu       sync.Mutex
+	received int64
+	rejected int64
+}
+
+// NewReceptor builds a receptor delivering into the given baskets. batch
+// controls how many tuples are accumulated before an append (1 = per-tuple
+// delivery; larger batches exercise the engine's bulk advantage).
+func NewReceptor(name string, schema *catalog.Schema, targets []*basket.Basket, batch int) *Receptor {
+	if batch < 1 {
+		batch = 1
+	}
+	return &Receptor{name: name, schema: schema, targets: targets, batch: batch}
+}
+
+// Name returns the receptor name.
+func (r *Receptor) Name() string { return r.name }
+
+// Received returns the number of accepted tuples.
+func (r *Receptor) Received() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received
+}
+
+// Rejected returns the number of malformed tuples dropped.
+func (r *Receptor) Rejected() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rejected
+}
+
+// AddTarget registers another basket to replicate into (separate-baskets
+// strategy: each new query brings its private input basket).
+func (r *Receptor) AddTarget(b *basket.Basket) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.targets = append(r.targets, b)
+}
+
+// Deliver validates and appends a batch of already-parsed rows to every
+// target basket.
+func (r *Receptor) Deliver(rows [][]vector.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	targets := append([]*basket.Basket(nil), r.targets...)
+	r.received += int64(len(rows))
+	r.mu.Unlock()
+	for _, b := range targets {
+		if err := b.AppendRows(rows); err != nil {
+			return fmt.Errorf("receptor %s: %w", r.name, err)
+		}
+	}
+	return nil
+}
+
+// Consume reads newline-delimited tuples from rd until EOF, delivering
+// them in batches. Malformed lines are counted and skipped — a receptor
+// must not die because one sensor hiccuped. It is meant to run on its own
+// goroutine (the paper's receptor thread).
+func (r *Receptor) Consume(rd io.Reader) error {
+	scanner := bufio.NewScanner(rd)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	pending := make([][]vector.Value, 0, r.batch)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := r.Deliver(pending)
+		pending = pending[:0]
+		return err
+	}
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		row, err := ParseTuple(r.schema, line)
+		if err != nil {
+			r.mu.Lock()
+			r.rejected++
+			r.mu.Unlock()
+			continue
+		}
+		pending = append(pending, row)
+		if len(pending) >= r.batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return scanner.Err()
+}
+
+// Emitter is a transition that picks up result tuples from an output
+// basket and delivers them to the interested client as text. It implements
+// scheduler.Transition.
+type Emitter struct {
+	name   string
+	source *basket.Basket
+	out    io.Writer
+
+	mu        sync.Mutex
+	delivered int64
+}
+
+// NewEmitter builds an emitter draining source into w.
+func NewEmitter(name string, source *basket.Basket, w io.Writer) *Emitter {
+	return &Emitter{name: name, source: source, out: w}
+}
+
+// Name implements scheduler.Transition.
+func (e *Emitter) Name() string { return e.name }
+
+// Ready implements scheduler.Transition: fire when results wait.
+func (e *Emitter) Ready() bool { return e.source.Len() > 0 }
+
+// Delivered returns the number of tuples written so far.
+func (e *Emitter) Delivered() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.delivered
+}
+
+// Fire implements scheduler.Transition: drain the basket and write every
+// tuple (without the implicit ts column) to the client.
+func (e *Emitter) Fire() error {
+	e.source.Lock()
+	cols, n := e.source.LockedSnapshot()
+	e.source.LockedDropPrefix(n)
+	e.source.Unlock()
+	if n == 0 {
+		return nil
+	}
+	userW := e.source.UserWidth()
+	var b strings.Builder
+	row := make([]vector.Value, userW)
+	for i := 0; i < n; i++ {
+		for c := 0; c < userW; c++ {
+			row[c] = cols[c].Get(i)
+		}
+		b.WriteString(FormatTuple(row))
+		b.WriteByte('\n')
+	}
+	e.mu.Lock()
+	e.delivered += int64(n)
+	e.mu.Unlock()
+	if _, err := io.WriteString(e.out, b.String()); err != nil {
+		return fmt.Errorf("emitter %s: %w", e.name, err)
+	}
+	return nil
+}
+
+// ChannelEmitter delivers result batches to a Go channel instead of a
+// writer — the embedding API's subscription mechanism. It implements
+// scheduler.Transition.
+type ChannelEmitter struct {
+	name   string
+	source *basket.Basket
+	ch     chan *storage.Relation
+}
+
+// NewChannelEmitter builds a channel emitter with the given buffer depth.
+func NewChannelEmitter(name string, source *basket.Basket, depth int) *ChannelEmitter {
+	if depth < 1 {
+		depth = 1
+	}
+	return &ChannelEmitter{name: name, source: source, ch: make(chan *storage.Relation, depth)}
+}
+
+// Name implements scheduler.Transition.
+func (e *ChannelEmitter) Name() string { return e.name }
+
+// Ready implements scheduler.Transition. The emitter stays not-ready while
+// the subscriber's channel is full, exerting back-pressure instead of
+// dropping results.
+func (e *ChannelEmitter) Ready() bool {
+	return e.source.Len() > 0 && len(e.ch) < cap(e.ch)
+}
+
+// C returns the subscription channel.
+func (e *ChannelEmitter) C() <-chan *storage.Relation { return e.ch }
+
+// Fire implements scheduler.Transition.
+func (e *ChannelEmitter) Fire() error {
+	e.source.Lock()
+	cols, n := e.source.LockedSnapshot()
+	e.source.LockedDropPrefix(n)
+	e.source.Unlock()
+	if n == 0 {
+		return nil
+	}
+	rel := &storage.Relation{Schema: e.source.Schema(), Cols: cols}
+	select {
+	case e.ch <- rel:
+		return nil
+	default:
+		// Ready() said there was room, but a concurrent firing may have
+		// filled it; requeue by re-appending would reorder, so block.
+		e.ch <- rel
+		return nil
+	}
+}

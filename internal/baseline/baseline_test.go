@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func tup(vals ...int64) Tuple {
+	out := make(Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = vector.NewInt(v)
+	}
+	return out
+}
+
+func TestFilterChain(t *testing.T) {
+	e := New()
+	var got []Tuple
+	q := &Query{
+		Name: "q",
+		Ops: []Operator{
+			&Filter{Pred: func(t Tuple) bool { return t[0].I > 10 }},
+			&Map{Fn: func(t Tuple) Tuple { return Tuple{vector.NewInt(t[0].I * 2)} }},
+		},
+		Sink: func(t Tuple) { got = append(got, t) },
+	}
+	if err := e.Subscribe("s", q); err != nil {
+		t.Fatal(err)
+	}
+	e.PushBatch("s", []Tuple{tup(5), tup(15), tup(25)})
+	if len(got) != 2 || got[0][0].I != 30 || got[1][0].I != 50 {
+		t.Errorf("got = %v", got)
+	}
+	if q.Emitted() != 2 || e.Pushed() != 3 {
+		t.Errorf("counters: emitted=%d pushed=%d", q.Emitted(), e.Pushed())
+	}
+}
+
+func TestRangeFilter(t *testing.T) {
+	rf := &RangeFilter{Attr: 0, Lo: vector.NewInt(10), Hi: vector.NewInt(20)}
+	cases := []struct {
+		v    int64
+		want bool
+	}{{5, false}, {10, true}, {15, true}, {20, false}, {25, false}}
+	for _, c := range cases {
+		if _, ok := rf.Process(tup(c.v)); ok != c.want {
+			t.Errorf("RangeFilter(%d) = %v, want %v", c.v, ok, c.want)
+		}
+	}
+	// NULL never qualifies.
+	if _, ok := rf.Process(Tuple{vector.NullValue(vector.Int64)}); ok {
+		t.Error("NULL should not qualify")
+	}
+	// Unbounded sides.
+	open := &RangeFilter{Attr: 0, Lo: vector.NullValue(vector.Int64), Hi: vector.NewInt(20)}
+	if _, ok := open.Process(tup(-100)); !ok {
+		t.Error("unbounded low should accept")
+	}
+}
+
+func TestTumblingAggregate(t *testing.T) {
+	e := New()
+	var got []Tuple
+	q := &Query{
+		Name: "w",
+		Ops:  []Operator{&TumblingAggregate{Attr: 0, Size: 3}},
+		Sink: func(t Tuple) { got = append(got, t) },
+	}
+	_ = e.Subscribe("s", q)
+	e.PushBatch("s", []Tuple{tup(1), tup(2), tup(3), tup(4), tup(5)})
+	if len(got) != 1 {
+		t.Fatalf("windows = %d", len(got))
+	}
+	w := got[0]
+	if w[0].I != 3 || w[1].F != 6 || w[2].F != 1 || w[3].F != 3 {
+		t.Errorf("window = %v", w)
+	}
+	// Flush emits the partial window.
+	e.Flush("s")
+	if len(got) != 2 {
+		t.Fatalf("after flush: %d", len(got))
+	}
+	if got[1][0].I != 2 || got[1][1].F != 9 {
+		t.Errorf("partial = %v", got[1])
+	}
+}
+
+func TestMultipleQueriesPerStream(t *testing.T) {
+	e := New()
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		_ = e.Subscribe("s", &Query{
+			Name: "q",
+			Ops:  []Operator{&Filter{Pred: func(t Tuple) bool { return t[0].I%int64(i+1) == 0 }}},
+			Sink: func(Tuple) { counts[i]++ },
+		})
+	}
+	for v := int64(1); v <= 12; v++ {
+		e.Push("s", tup(v))
+	}
+	if counts[0] != 12 || counts[1] != 6 || counts[2] != 4 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	e := New()
+	if err := e.Subscribe("s", nil); err == nil {
+		t.Error("nil query should fail")
+	}
+	if err := e.Subscribe("s", &Query{}); err == nil {
+		t.Error("unnamed query should fail")
+	}
+}
+
+func TestIsolatedStreams(t *testing.T) {
+	e := New()
+	var a, b int
+	_ = e.Subscribe("s1", &Query{Name: "a", Sink: func(Tuple) { a++ }})
+	_ = e.Subscribe("s2", &Query{Name: "b", Sink: func(Tuple) { b++ }})
+	e.Push("s1", tup(1))
+	if a != 1 || b != 0 {
+		t.Errorf("a=%d b=%d", a, b)
+	}
+}

@@ -1,0 +1,333 @@
+// Package basket implements the DataCell's central data structure (§2.2):
+// a stream-holding, main-memory column table. Tuples are appended on
+// arrival (with an implicit timestamp column), wait to be processed, and
+// are removed once every relevant continuous query has consumed them.
+//
+// A basket supports both consumption disciplines of the paper:
+//
+//   - Owned (separate-baskets strategy): a single factory owns the basket
+//     and removes tuples directly (DropPrefix / Remove for predicate
+//     windows).
+//   - Shared (shared-baskets strategy): multiple factories register as
+//     readers; each advances a private watermark after processing, and the
+//     basket compacts the prefix all readers have seen.
+package basket
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Basket is a concurrency-safe stream buffer. It implements
+// catalog.Source so plans can scan it like any table.
+type Basket struct {
+	name   string
+	schema *catalog.Schema // user schema + implicit ts column
+	clock  metrics.Clock
+
+	mu      sync.Mutex
+	table   *storage.Table
+	readers map[string]bat.OID // shared-mode watermarks: next unseen OID
+	// onAppend, when set, is invoked (outside the lock) after every append
+	// — the scheduler uses it to re-evaluate firing conditions.
+	onAppend func()
+	// capacity, when positive, bounds the basket: appends beyond it shed
+	// the oldest tuples (the paper's load-shedding requirement). shed
+	// counts the victims.
+	capacity int
+	shed     int64
+}
+
+// New creates an empty basket. The given schema must NOT include the
+// timestamp column; it is appended automatically, per the paper.
+func New(name string, schema *catalog.Schema, clock metrics.Clock) *Basket {
+	if clock == nil {
+		clock = metrics.WallClock{}
+	}
+	full := schema.WithTimestamp()
+	return &Basket{
+		name:    name,
+		schema:  full,
+		clock:   clock,
+		table:   storage.NewTable(name, full),
+		readers: map[string]bat.OID{},
+	}
+}
+
+// Name returns the basket name.
+func (b *Basket) Name() string { return b.name }
+
+// Schema implements catalog.Source. It includes the implicit ts column.
+func (b *Basket) Schema() *catalog.Schema { return b.schema }
+
+// UserWidth returns the number of user columns (excluding ts).
+func (b *Basket) UserWidth() int { return b.schema.Len() - 1 }
+
+// OnAppend registers the scheduler wake-up hook.
+func (b *Basket) OnAppend(fn func()) {
+	b.mu.Lock()
+	b.onAppend = fn
+	b.mu.Unlock()
+}
+
+// Len returns the number of buffered tuples.
+func (b *Basket) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.table.NumRows()
+}
+
+// Hseq returns the OID of the oldest buffered tuple.
+func (b *Basket) Hseq() bat.OID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.table.Hseq()
+}
+
+// Bounds returns the oldest OID and the tuple count in one consistent
+// view; hseq+n is the OID the next arrival will get. Removing tuples
+// never decreases hseq+n, so it serves as a monotonic arrival watermark.
+func (b *Basket) Bounds() (hseq bat.OID, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.table.Hseq(), b.table.NumRows()
+}
+
+// Append adds a batch of user columns, stamping every tuple with the
+// current clock time. It wakes the scheduler hook.
+func (b *Basket) Append(cols []*vector.Vector) error {
+	if len(cols) != b.UserWidth() {
+		return fmt.Errorf("basket %s: expected %d columns, got %d", b.name, b.UserWidth(), len(cols))
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	ts := vector.NewWithCap(vector.Timestamp, n)
+	now := b.clock.Now()
+	for i := 0; i < n; i++ {
+		ts.AppendInt(now)
+	}
+	full := append(append([]*vector.Vector(nil), cols...), ts)
+	b.mu.Lock()
+	err := b.table.AppendBatch(full)
+	if err == nil && b.capacity > 0 {
+		if over := b.table.NumRows() - b.capacity; over > 0 {
+			// Shed the oldest tuples and release any shared readers still
+			// pointing at them.
+			b.table.DropPrefix(over)
+			b.shed += int64(over)
+			hseq := b.table.Hseq()
+			for id, mark := range b.readers {
+				if mark < hseq {
+					b.readers[id] = hseq
+				}
+			}
+		}
+	}
+	hook := b.onAppend
+	b.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if hook != nil {
+		hook()
+	}
+	return nil
+}
+
+// SetCapacity bounds the basket to n tuples (0 disables shedding).
+func (b *Basket) SetCapacity(n int) {
+	b.mu.Lock()
+	b.capacity = n
+	b.mu.Unlock()
+}
+
+// Shed returns the number of tuples dropped by load shedding.
+func (b *Basket) Shed() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shed
+}
+
+// AppendRows adds user-column rows one batch at a time.
+func (b *Basket) AppendRows(rows [][]vector.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := make([]*vector.Vector, b.UserWidth())
+	for i := 0; i < b.UserWidth(); i++ {
+		cols[i] = vector.NewWithCap(b.schema.Columns[i].Type, len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != b.UserWidth() {
+			return fmt.Errorf("basket %s: row has %d values, want %d", b.name, len(row), b.UserWidth())
+		}
+		for i, v := range row {
+			cols[i].AppendValue(v)
+		}
+	}
+	return b.Append(cols)
+}
+
+// AppendRelation appends the user columns of a relation whose schema
+// matches the basket's user schema (a trailing ts column, if present, is
+// replaced with fresh timestamps).
+func (b *Basket) AppendRelation(r *storage.Relation) error {
+	cols := r.Cols
+	if len(cols) == b.schema.Len() {
+		cols = cols[:b.UserWidth()]
+	}
+	return b.Append(cols)
+}
+
+// Snapshot implements catalog.Source.
+func (b *Basket) Snapshot() []*vector.Vector {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.table.Snapshot()
+}
+
+// SnapshotAt returns the columns, the head OID, and the length of the
+// current content in one consistent view.
+func (b *Basket) SnapshotAt() (cols []*vector.Vector, hseq bat.OID, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.table.Snapshot(), b.table.Hseq(), b.table.NumRows()
+}
+
+// Lock acquires the basket exclusively — the paper's basket.lock() used by
+// factories around their processing step.
+func (b *Basket) Lock() { b.mu.Lock() }
+
+// Unlock releases the basket.
+func (b *Basket) Unlock() { b.mu.Unlock() }
+
+// LockedSnapshot returns the current columns and length; the caller must
+// hold Lock.
+func (b *Basket) LockedSnapshot() (cols []*vector.Vector, n int) {
+	return b.table.Snapshot(), b.table.NumRows()
+}
+
+// LockedHseq returns the OID of the oldest buffered tuple; the caller must
+// hold Lock.
+func (b *Basket) LockedHseq() bat.OID { return b.table.Hseq() }
+
+// LockedRemove removes the tuples at the given sorted snapshot positions;
+// the caller must hold Lock. This is the basket-expression side effect in
+// owned mode.
+func (b *Basket) LockedRemove(pos []int) { b.table.Remove(pos) }
+
+// LockedDropPrefix removes the first n tuples; the caller must hold Lock.
+func (b *Basket) LockedDropPrefix(n int) { b.table.DropPrefix(n) }
+
+// LockedAppendRelation appends result tuples while the caller holds Lock
+// (used by factories writing their output baskets). Fresh timestamps are
+// assigned; the scheduler hook fires when the caller unlocks via
+// NotifyAppend.
+func (b *Basket) LockedAppendRelation(r *storage.Relation) error {
+	cols := r.Cols
+	if len(cols) == b.schema.Len() {
+		cols = cols[:b.UserWidth()]
+	}
+	if len(cols) != b.UserWidth() {
+		return fmt.Errorf("basket %s: relation has %d columns, want %d", b.name, len(cols), b.UserWidth())
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	ts := vector.NewWithCap(vector.Timestamp, n)
+	now := b.clock.Now()
+	for i := 0; i < n; i++ {
+		ts.AppendInt(now)
+	}
+	full := append(append([]*vector.Vector(nil), cols...), ts)
+	return b.table.AppendBatch(full)
+}
+
+// NotifyAppend invokes the scheduler hook; factories call it after
+// unlocking an output basket they appended to.
+func (b *Basket) NotifyAppend() {
+	b.mu.Lock()
+	hook := b.onAppend
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// --- shared-baskets mode -------------------------------------------------
+
+// RegisterReader adds a shared-mode reader starting at the current oldest
+// tuple. Tuples are retained until every registered reader has marked them
+// seen.
+func (b *Basket) RegisterReader(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.readers[id]; !dup {
+		b.readers[id] = b.table.Hseq()
+	}
+}
+
+// UnregisterReader removes a reader; retained tuples it was blocking are
+// freed on the next mark.
+func (b *Basket) UnregisterReader(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.readers, id)
+	b.compactLocked()
+}
+
+// UnseenLocked returns the snapshot offset of the first tuple reader id
+// has not seen, plus the current length; the caller must hold Lock.
+func (b *Basket) UnseenLocked(id string) (offset, n int) {
+	mark, ok := b.readers[id]
+	hseq := b.table.Hseq()
+	n = b.table.NumRows()
+	if !ok || mark < hseq {
+		mark = hseq
+	}
+	offset = int(mark - hseq)
+	if offset > n {
+		offset = n
+	}
+	return offset, n
+}
+
+// LockedSetMark records that reader id has seen everything below oid and
+// compacts the prefix all readers have seen; the caller must hold Lock.
+func (b *Basket) LockedSetMark(id string, oid bat.OID) {
+	b.readers[id] = oid
+	b.compactLocked()
+}
+
+// compactLocked drops the prefix every reader has seen.
+func (b *Basket) compactLocked() {
+	if len(b.readers) == 0 {
+		return
+	}
+	hseq := b.table.Hseq()
+	min := hseq + bat.OID(b.table.NumRows())
+	for _, m := range b.readers {
+		if m < min {
+			min = m
+		}
+	}
+	if d := int(min - hseq); d > 0 {
+		b.table.DropPrefix(d)
+	}
+}
+
+// Readers returns the number of registered shared-mode readers.
+func (b *Basket) Readers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.readers)
+}

@@ -1,0 +1,175 @@
+// Package catalog holds the schema metadata of the engine: column
+// definitions for tables and baskets, and the registry that resolves names
+// during planning.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/vector"
+)
+
+// TimestampColumn is the name of the implicit arrival-time column every
+// basket carries (paper §2.2: "for each relational table there exists an
+// extra column, the timestamp column").
+const TimestampColumn = "ts"
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Type vector.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from name/type pairs.
+func NewSchema(cols ...Column) *Schema { return &Schema{Columns: cols} }
+
+// Index returns the position of the named column (case-insensitive), or -1.
+func (s *Schema) Index(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone deep-copies the schema.
+func (s *Schema) Clone() *Schema {
+	return &Schema{Columns: append([]Column(nil), s.Columns...)}
+}
+
+// WithTimestamp returns a copy of the schema with the implicit basket
+// timestamp column appended (if not already present).
+func (s *Schema) WithTimestamp() *Schema {
+	if s.Index(TimestampColumn) >= 0 {
+		return s.Clone()
+	}
+	out := s.Clone()
+	out.Columns = append(out.Columns, Column{Name: TimestampColumn, Type: vector.Timestamp})
+	return out
+}
+
+// String renders the schema as "(a BIGINT, b DOUBLE)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// SourceKind distinguishes the two relation kinds of the DataCell.
+type SourceKind uint8
+
+// Relation kinds.
+const (
+	KindTable SourceKind = iota
+	KindBasket
+)
+
+// String returns "TABLE" or "BASKET".
+func (k SourceKind) String() string {
+	if k == KindBasket {
+		return "BASKET"
+	}
+	return "TABLE"
+}
+
+// Source is anything the planner can scan: a static table or a basket.
+// Snapshot must return stable, read-only column views aligned with the
+// source's schema.
+type Source interface {
+	Schema() *Schema
+	Snapshot() []*vector.Vector
+}
+
+// Entry is one catalog registration.
+type Entry struct {
+	Name   string
+	Kind   SourceKind
+	Source Source
+}
+
+// Catalog is a concurrency-safe name → source registry.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{entries: make(map[string]*Entry)}
+}
+
+// Register adds a source under the given name. Names are case-insensitive
+// and must be unique across tables and baskets.
+func (c *Catalog) Register(name string, kind SourceKind, src Source) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return fmt.Errorf("catalog: %q already exists", name)
+	}
+	c.entries[key] = &Entry{Name: name, Kind: kind, Source: src}
+	return nil
+}
+
+// Drop removes a registration.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		return fmt.Errorf("catalog: %q does not exist", name)
+	}
+	delete(c.entries, key)
+	return nil
+}
+
+// Lookup resolves a name.
+func (c *Catalog) Lookup(name string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table or basket %q", name)
+	}
+	return e, nil
+}
+
+// Names lists all registered names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,127 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/vector"
+)
+
+type fakeSource struct{ s *Schema }
+
+func (f *fakeSource) Schema() *Schema            { return f.s }
+func (f *fakeSource) Snapshot() []*vector.Vector { return nil }
+
+func twoCol() *Schema {
+	return NewSchema(
+		Column{Name: "a", Type: vector.Int64},
+		Column{Name: "b", Type: vector.Float64},
+	)
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := twoCol()
+	if s.Index("a") != 0 || s.Index("B") != 1 {
+		t.Errorf("Index: a=%d B=%d", s.Index("a"), s.Index("B"))
+	}
+	if s.Index("zzz") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestSchemaNamesAndString(t *testing.T) {
+	s := twoCol()
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	if s.String() != "(a BIGINT, b DOUBLE)" {
+		t.Errorf("String = %s", s)
+	}
+}
+
+func TestSchemaWithTimestamp(t *testing.T) {
+	s := twoCol()
+	ts := s.WithTimestamp()
+	if ts.Len() != 3 || ts.Index(TimestampColumn) != 2 {
+		t.Errorf("WithTimestamp = %v", ts)
+	}
+	if ts.Columns[2].Type != vector.Timestamp {
+		t.Error("ts column should be TIMESTAMP")
+	}
+	// Idempotent.
+	if ts.WithTimestamp().Len() != 3 {
+		t.Error("WithTimestamp not idempotent")
+	}
+	// Source schema untouched.
+	if s.Len() != 2 {
+		t.Error("WithTimestamp mutated source")
+	}
+}
+
+func TestSchemaCloneIndependence(t *testing.T) {
+	s := twoCol()
+	c := s.Clone()
+	c.Columns[0].Name = "zzz"
+	if s.Columns[0].Name != "a" {
+		t.Error("Clone shares columns")
+	}
+}
+
+func TestCatalogRegisterLookup(t *testing.T) {
+	c := New()
+	src := &fakeSource{s: twoCol()}
+	if err := c.Register("Sensors", KindBasket, src); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Lookup("sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindBasket || e.Name != "Sensors" {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("lookup of missing name should fail")
+	}
+}
+
+func TestCatalogDuplicate(t *testing.T) {
+	c := New()
+	src := &fakeSource{s: twoCol()}
+	_ = c.Register("t", KindTable, src)
+	if err := c.Register("T", KindBasket, src); err == nil {
+		t.Error("duplicate registration (case-insensitive) should fail")
+	}
+}
+
+func TestCatalogDrop(t *testing.T) {
+	c := New()
+	src := &fakeSource{s: twoCol()}
+	_ = c.Register("t", KindTable, src)
+	if err := c.Drop("T"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("t"); err == nil {
+		t.Error("dropped name should not resolve")
+	}
+	if err := c.Drop("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestCatalogNamesSorted(t *testing.T) {
+	c := New()
+	src := &fakeSource{s: twoCol()}
+	_ = c.Register("zeta", KindTable, src)
+	_ = c.Register("alpha", KindBasket, src)
+	names := c.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSourceKindString(t *testing.T) {
+	if KindTable.String() != "TABLE" || KindBasket.String() != "BASKET" {
+		t.Error("SourceKind strings wrong")
+	}
+}

@@ -1,0 +1,190 @@
+package datacell
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adapters"
+	"repro/internal/algebra"
+	"repro/internal/basket"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// CascadePredicate is one stage of the cascade strategy (§2.5, third
+// strategy): a range predicate lo <= attr < hi over one stream attribute.
+// Stages must be pairwise disjoint for the cascade to be equivalent to
+// independent queries — stage i removes its qualifying tuples, so stage
+// i+1 only processes what earlier stages rejected.
+type CascadePredicate struct {
+	Attr   string
+	Lo, Hi vector.Value // half-open [Lo, Hi); NULL bound = unbounded
+}
+
+// String renders the predicate.
+func (p CascadePredicate) String() string {
+	return fmt.Sprintf("%s in [%s, %s)", p.Attr, p.Lo, p.Hi)
+}
+
+// Cascade is a registered chain of disjoint-range stages over one stream.
+type Cascade struct {
+	Name   string
+	stages []*cascadeStage
+}
+
+// Stage returns the i-th stage's output basket (its matched tuples).
+func (c *Cascade) Stage(i int) *basket.Basket { return c.stages[i].out }
+
+// Results returns the i-th stage's subscription channel.
+func (c *Cascade) Results(i int) <-chan *storage.Relation { return c.stages[i].emitter.C() }
+
+// Stages returns the number of stages.
+func (c *Cascade) Stages() int { return len(c.stages) }
+
+// Processed returns the number of tuples stage i examined — the quantity
+// the cascade strategy reduces for later stages.
+func (c *Cascade) Processed(i int) int64 { return c.stages[i].processed.Value() }
+
+// cascadeStage is a custom transition: it selects its range from its input
+// basket, forwards the rest to the next stage's basket, and consumes
+// everything — q2 never sees what qualified for q1.
+type cascadeStage struct {
+	name    string
+	pred    CascadePredicate
+	attrIdx int
+	in      *basket.Basket
+	next    *basket.Basket // nil for the last stage
+	out     *basket.Basket
+	emitter *adapters.ChannelEmitter
+
+	processed counter
+}
+
+// counter is a tiny atomic-free counter guarded by the stage's single-fire
+// discipline (the scheduler never fires one transition concurrently with
+// itself); Value is approximate under concurrent readers, which is fine
+// for statistics.
+type counter struct{ n int64 }
+
+func (c *counter) Add(d int64)  { c.n += d }
+func (c *counter) Value() int64 { return c.n }
+
+// Name implements scheduler.Transition.
+func (s *cascadeStage) Name() string { return s.name }
+
+// Ready implements scheduler.Transition.
+func (s *cascadeStage) Ready() bool { return s.in.Len() > 0 }
+
+// Fire implements scheduler.Transition: one bulk select-and-split step.
+func (s *cascadeStage) Fire() error {
+	s.in.Lock()
+	cols, n := s.in.LockedSnapshot()
+	s.in.LockedDropPrefix(n)
+	s.in.Unlock()
+	if n == 0 {
+		return nil
+	}
+	s.processed.Add(int64(n))
+
+	matched := algebra.RangeSelect(cols[s.attrIdx], nil, s.pred.Lo, s.pred.Hi, true, false)
+	rest := bat.Difference(bat.All(n), matched)
+
+	userW := s.in.UserWidth()
+	if len(matched) > 0 {
+		rel := &storage.Relation{Cols: make([]*vector.Vector, userW)}
+		for c := 0; c < userW; c++ {
+			rel.Cols[c] = cols[c].Take(matched)
+		}
+		if err := s.out.AppendRelation(rel); err != nil {
+			return fmt.Errorf("cascade %s: %w", s.name, err)
+		}
+	}
+	if s.next != nil && len(rest) > 0 {
+		rel := &storage.Relation{Cols: make([]*vector.Vector, userW)}
+		for c := 0; c < userW; c++ {
+			rel.Cols[c] = cols[c].Take(rest)
+		}
+		if err := s.next.AppendRelation(rel); err != nil {
+			return fmt.Errorf("cascade %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// RegisterCascade installs the cascade strategy for k disjoint range
+// queries over one stream: stage i receives what stages 0..i-1 rejected.
+// Each stage's matches land in basket <name>_s<i>_out with a subscription
+// channel.
+func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredicate) (*Cascade, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("datacell: cascade needs at least one predicate")
+	}
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	if _, dup := e.cascades[key]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("datacell: cascade %q already registered", name)
+	}
+	s, ok := e.streams[strings.ToLower(streamName)]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("datacell: unknown stream %q", streamName)
+	}
+
+	c := &Cascade{Name: name}
+	// Stage 0 reads a private replica of the stream; the paper's "extra
+	// basket between q1 and q2" connects consecutive stages.
+	head := basket.New(name+"_s0_in", s.schema, e.clock)
+	head.OnAppend(e.sched.Notify)
+	chain := head
+	for i, p := range preds {
+		attrIdx := s.schema.Index(p.Attr)
+		if attrIdx < 0 {
+			return nil, fmt.Errorf("datacell: cascade attribute %q not in stream %s", p.Attr, streamName)
+		}
+		var next *basket.Basket
+		if i+1 < len(preds) {
+			next = basket.New(fmt.Sprintf("%s_s%d_in", name, i+1), s.schema, e.clock)
+			next.OnAppend(e.sched.Notify)
+		}
+		out := basket.New(fmt.Sprintf("%s_s%d_out", name, i), s.schema, e.clock)
+		out.OnAppend(e.sched.Notify)
+		if err := e.cat.Register(out.Name(), catalog.KindBasket, out); err != nil {
+			return nil, err
+		}
+		stage := &cascadeStage{
+			name:    fmt.Sprintf("%s_s%d", name, i),
+			pred:    p,
+			attrIdx: attrIdx,
+			in:      chain,
+			next:    next,
+			out:     out,
+			emitter: adapters.NewChannelEmitter(fmt.Sprintf("%s_s%d_emit", name, i), out, 64),
+		}
+		c.stages = append(c.stages, stage)
+		chain = next
+	}
+
+	e.mu.Lock()
+	s.replicas = append(s.replicas, head)
+	e.cascades[key] = c
+	e.mu.Unlock()
+	for _, st := range c.stages {
+		e.sched.Add(st)
+		e.sched.Add(st.emitter)
+	}
+	return c, nil
+}
+
+// Cascade returns a registered cascade by name.
+func (e *Engine) CascadeByName(name string) (*Cascade, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.cascades[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("datacell: unknown cascade %q", name)
+	}
+	return c, nil
+}

@@ -1,0 +1,442 @@
+// Package datacell wires the kernel and the stream layer into the
+// DataCell engine: a catalog of tables and baskets, a Petri-net scheduler,
+// receptor-style ingestion, factories for continuous queries, and emitters
+// for result delivery. It implements the paper's processing strategies —
+// separate baskets, shared baskets, and the cascade of disjoint predicates
+// (§2.5) — as per-query options on one shared substrate.
+package datacell
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/basket"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/scheduler"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Strategy selects how a continuous query's input is arranged (§2.5).
+type Strategy uint8
+
+// Processing strategies.
+const (
+	// SeparateBaskets gives the query a private input basket; every
+	// incoming tuple is copied into it. Maximum independence, at the cost
+	// of replicating the stream.
+	SeparateBaskets Strategy = iota
+	// SharedBaskets lets all queries read one basket; a tuple is removed
+	// once every registered query has seen it. No replication.
+	SharedBaskets
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == SharedBaskets {
+		return "shared"
+	}
+	return "separate"
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Clock drives basket timestamps and latency accounting; nil means the
+	// wall clock.
+	Clock metrics.Clock
+	// Workers sizes the concurrent scheduler pool for Start (default 2).
+	Workers int
+}
+
+// Engine is the DataCell instance.
+type Engine struct {
+	clock metrics.Clock
+	cat   *catalog.Catalog
+	sched *scheduler.Scheduler
+
+	mu        sync.Mutex
+	streams   map[string]*stream
+	tables    map[string]*storage.Table
+	queries   map[string]*Query
+	cascades  map[string]*Cascade
+	workers   int
+	started   bool
+	flushStop chan struct{}
+}
+
+// stream is one ingestion point: the primary (shared) basket plus the
+// private replicas created by separate-strategy queries.
+type stream struct {
+	name     string
+	schema   *catalog.Schema // user schema, no ts
+	primary  *basket.Basket
+	replicas []*basket.Basket
+	ingested int64
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = metrics.WallClock{}
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 2
+	}
+	return &Engine{
+		clock:    clock,
+		cat:      catalog.New(),
+		sched:    scheduler.New(),
+		streams:  map[string]*stream{},
+		tables:   map[string]*storage.Table{},
+		queries:  map[string]*Query{},
+		cascades: map[string]*Cascade{},
+		workers:  workers,
+	}
+}
+
+// Catalog exposes the engine's catalog (diagnostics and tests).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Scheduler exposes the engine's scheduler (deterministic driving).
+func (e *Engine) Scheduler() *scheduler.Scheduler { return e.sched }
+
+// Clock returns the engine clock.
+func (e *Engine) Clock() metrics.Clock { return e.clock }
+
+// Start launches the concurrent scheduler pool, plus a background ticker
+// that advances time-based windows so they close even when their stream
+// pauses.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	w := e.workers
+	stop := make(chan struct{})
+	e.flushStop = stop
+	e.mu.Unlock()
+	e.sched.Start(w)
+	go func() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				_ = e.FlushWindows()
+			}
+		}
+	}()
+}
+
+// Stop terminates the scheduler pool and the window ticker.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.flushStop != nil {
+		close(e.flushStop)
+		e.flushStop = nil
+	}
+	e.started = false
+	e.mu.Unlock()
+	e.sched.Stop()
+}
+
+// Step runs one deterministic scheduler pass (test/bench mode).
+func (e *Engine) Step() int { return e.sched.Step() }
+
+// Drain runs scheduler passes until the Petri net is quiescent.
+func (e *Engine) Drain() int { return e.sched.Drain(1_000_000) }
+
+// CreateStream declares a stream: a named basket fed by Ingest. The schema
+// must not include the implicit ts column.
+func (e *Engine) CreateStream(name string, schema *catalog.Schema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := e.streams[key]; dup {
+		return fmt.Errorf("datacell: stream %q already exists", name)
+	}
+	b := basket.New(name, schema, e.clock)
+	b.OnAppend(e.sched.Notify)
+	if err := e.cat.Register(name, catalog.KindBasket, b); err != nil {
+		return err
+	}
+	e.streams[key] = &stream{name: name, schema: schema, primary: b}
+	return nil
+}
+
+// CreateTable declares a static relational table.
+func (e *Engine) CreateTable(name string, schema *catalog.Schema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := storage.NewTable(name, schema)
+	if err := e.cat.Register(name, catalog.KindTable, t); err != nil {
+		return err
+	}
+	e.tables[strings.ToLower(name)] = t
+	return nil
+}
+
+// Stream returns the primary basket of a stream.
+func (e *Engine) Stream(name string) (*basket.Basket, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.streams[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("datacell: unknown stream %q", name)
+	}
+	return s.primary, nil
+}
+
+// Ingest routes rows into a stream: to the primary basket when shared
+// consumers (or no queries at all) read it, and to every private replica
+// created by separate-strategy queries — the receptor's replication step.
+func (e *Engine) Ingest(streamName string, rows [][]vector.Value) error {
+	e.mu.Lock()
+	s, ok := e.streams[strings.ToLower(streamName)]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("datacell: unknown stream %q", streamName)
+	}
+	s.ingested += int64(len(rows))
+	primary := s.primary
+	replicas := append([]*basket.Basket(nil), s.replicas...)
+	e.mu.Unlock()
+
+	if primary.Readers() > 0 || len(replicas) == 0 {
+		if err := primary.AppendRows(rows); err != nil {
+			return err
+		}
+	}
+	for _, r := range replicas {
+		if err := r.AppendRows(rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngestColumns is the bulk variant of Ingest.
+func (e *Engine) IngestColumns(streamName string, cols []*vector.Vector) error {
+	e.mu.Lock()
+	s, ok := e.streams[strings.ToLower(streamName)]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("datacell: unknown stream %q", streamName)
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	s.ingested += int64(n)
+	primary := s.primary
+	replicas := append([]*basket.Basket(nil), s.replicas...)
+	e.mu.Unlock()
+
+	if primary.Readers() > 0 || len(replicas) == 0 {
+		if err := primary.Append(cols); err != nil {
+			return err
+		}
+	}
+	for _, r := range replicas {
+		if err := r.Append(cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ingested returns the number of tuples routed into the stream so far.
+func (e *Engine) Ingested(streamName string) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.streams[strings.ToLower(streamName)]; ok {
+		return s.ingested
+	}
+	return 0
+}
+
+// Exec runs one SQL statement: DDL, INSERT, or a one-time SELECT.
+// Continuous queries (those containing a basket expression) must be
+// registered with RegisterContinuous instead.
+func (e *Engine) Exec(text string) (*storage.Relation, error) {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	switch x := st.(type) {
+	case *sql.CreateStmt:
+		schema := &catalog.Schema{}
+		for _, c := range x.Cols {
+			schema.Columns = append(schema.Columns, catalog.Column{Name: c.Name, Type: c.Type})
+		}
+		if x.Basket {
+			return nil, e.CreateStream(x.Name, schema)
+		}
+		return nil, e.CreateTable(x.Name, schema)
+	case *sql.DropStmt:
+		return nil, e.drop(x.Name)
+	case *sql.InsertStmt:
+		return nil, e.insert(x)
+	case *sql.SelectStmt:
+		if x.IsContinuous() {
+			return nil, fmt.Errorf("datacell: continuous query; use RegisterContinuous")
+		}
+		p, err := plan.Build(x, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Run(p, exec.NewContext(e.cat))
+	default:
+		return nil, fmt.Errorf("datacell: unsupported statement")
+	}
+}
+
+func (e *Engine) drop(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.streams[key]; ok {
+		delete(e.streams, key)
+		return e.cat.Drop(name)
+	}
+	if _, ok := e.tables[key]; ok {
+		delete(e.tables, key)
+		return e.cat.Drop(name)
+	}
+	return fmt.Errorf("datacell: unknown table or stream %q", name)
+}
+
+func (e *Engine) insert(ins *sql.InsertStmt) error {
+	entry, err := e.cat.Lookup(ins.Table)
+	if err != nil {
+		return err
+	}
+	userW := entry.Source.Schema().Len()
+	if entry.Kind == catalog.KindBasket {
+		userW-- // implicit ts is never inserted
+	}
+	rows := make([][]vector.Value, 0, len(ins.Rows))
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != userW {
+			return fmt.Errorf("datacell: INSERT into %s needs %d values, got %d",
+				ins.Table, userW, len(exprRow))
+		}
+		row := make([]vector.Value, len(exprRow))
+		for i, ex := range exprRow {
+			v, err := literalValue(ex, entry.Source.Schema().Columns[i].Type)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if entry.Kind == catalog.KindBasket {
+		return e.Ingest(ins.Table, rows)
+	}
+	e.mu.Lock()
+	tbl := e.tables[strings.ToLower(ins.Table)]
+	e.mu.Unlock()
+	if tbl == nil {
+		return fmt.Errorf("datacell: %q is not writable", ins.Table)
+	}
+	for _, row := range rows {
+		if err := tbl.AppendRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// literalValue reduces an INSERT expression (literal, possibly negated) to
+// a value of the target column type.
+func literalValue(ex sql.Expr, want vector.Type) (vector.Value, error) {
+	switch x := ex.(type) {
+	case *sql.Lit:
+		return coerce(x.Val, want)
+	case *sql.UnaryExpr:
+		if x.Op != "-" {
+			return vector.Value{}, fmt.Errorf("datacell: INSERT values must be literals")
+		}
+		inner, err := literalValue(x.E, want)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		switch inner.Typ {
+		case vector.Int64, vector.Timestamp:
+			inner.I = -inner.I
+		case vector.Float64:
+			inner.F = -inner.F
+		default:
+			return vector.Value{}, fmt.Errorf("datacell: cannot negate %s", inner.Typ)
+		}
+		return inner, nil
+	default:
+		return vector.Value{}, fmt.Errorf("datacell: INSERT values must be literals")
+	}
+}
+
+func coerce(v vector.Value, want vector.Type) (vector.Value, error) {
+	if v.Null {
+		return vector.NullValue(want), nil
+	}
+	if v.Typ == want {
+		return v, nil
+	}
+	switch {
+	case want == vector.Float64 && v.Typ == vector.Int64:
+		return vector.NewFloat(float64(v.I)), nil
+	case want == vector.Timestamp && v.Typ == vector.Int64:
+		return vector.NewTimestamp(v.I), nil
+	case want == vector.Int64 && v.Typ == vector.Float64 && v.F == float64(int64(v.F)):
+		return vector.NewInt(int64(v.F)), nil
+	default:
+		return vector.Value{}, fmt.Errorf("datacell: cannot store %s into %s column", v.Typ, want)
+	}
+}
+
+// Queries lists the registered continuous queries.
+func (e *Engine) Queries() []*Query {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		out = append(out, q)
+	}
+	return out
+}
+
+// Query returns a registered continuous query by name.
+func (e *Engine) Query(name string) (*Query, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("datacell: unknown continuous query %q", name)
+	}
+	return q, nil
+}
+
+// FlushWindows advances every windowed query to the current clock,
+// emitting time-based windows that closed without new arrivals.
+func (e *Engine) FlushWindows() error {
+	for _, q := range e.Queries() {
+		if err := q.fact.FlushWindows(); err != nil {
+			return err
+		}
+	}
+	e.sched.Notify()
+	return nil
+}

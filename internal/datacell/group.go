@@ -1,0 +1,65 @@
+package datacell
+
+import (
+	"fmt"
+)
+
+// GroupMember is one query of a shared-factory filter group: its residual
+// predicate runs over the tuples the group's common filter admitted.
+type GroupMember struct {
+	Name string
+	// Residual is a boolean SQL expression over the group's intermediate
+	// tuples, referencing columns as x.<col> (e.g. "x.v < 10"). Empty
+	// means "everything the common filter admits".
+	Residual string
+}
+
+// FilterGroup is a registered shared-factory group (§3.2: "queries
+// requiring similar ranges in selection operators can be supported by
+// shared factories that give output to more than one query's factories").
+type FilterGroup struct {
+	Name    string
+	Common  *Query
+	Members []*Query
+}
+
+// RegisterFilterGroup splits N similar queries into a shared common
+// factory plus per-query residual factories: the common predicate is
+// evaluated once per tuple, its qualifying tuples land in an intermediate
+// basket, and every member reads that basket under the shared-baskets
+// discipline. This is the paper's query-plan-splitting direction — an
+// auxiliary factory covering the overlapping requirement.
+func (e *Engine) RegisterFilterGroup(name, streamName, common string, members []GroupMember) (*FilterGroup, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("datacell: filter group needs members")
+	}
+	if common == "" {
+		return nil, fmt.Errorf("datacell: filter group needs a common predicate")
+	}
+	commonName := name + "_common"
+	commonQuery := fmt.Sprintf(
+		"SELECT * FROM [SELECT * FROM %s] AS x WHERE %s", streamName, common)
+	cq, err := e.RegisterContinuous(commonName, commonQuery,
+		WithStrategy(SharedBaskets), WithSQLPolling())
+	if err != nil {
+		return nil, err
+	}
+	g := &FilterGroup{Name: name, Common: cq}
+	for _, m := range members {
+		memberQuery := fmt.Sprintf("SELECT * FROM [SELECT * FROM %s_out] AS x", commonName)
+		if m.Residual != "" {
+			memberQuery += " WHERE " + m.Residual
+		}
+		q, err := e.RegisterContinuous(m.Name, memberQuery, WithStrategy(SharedBaskets))
+		if err != nil {
+			// Roll back what we registered so far.
+			for _, reg := range g.Members {
+				_ = e.UnregisterContinuous(reg.Name)
+			}
+			_ = e.UnregisterContinuous(commonName)
+			return nil, err
+		}
+		g.Members = append(g.Members, q)
+	}
+	return g, nil
+}

@@ -1,0 +1,126 @@
+package datacell
+
+import (
+	"testing"
+)
+
+func TestQueryNetworkChaining(t *testing.T) {
+	e, _ := newEngine(t)
+	// q1 filters the stream; q2 consumes q1's output basket.
+	_, err := e.RegisterContinuous("stage1",
+		"SELECT S.a AS a, S.b AS b FROM [SELECT * FROM R] AS S WHERE S.a > 10",
+		WithSQLPolling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.RegisterContinuous("stage2",
+		"SELECT * FROM [SELECT * FROM stage1_out] AS x WHERE x.b < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestPairs(t, e, "R", [][2]int64{
+		{5, 50},   // dropped by stage1
+		{20, 50},  // survives both
+		{30, 500}, // dropped by stage2
+	})
+	e.Drain()
+	rels := collect(q2)
+	if countRows(rels) != 1 {
+		t.Fatalf("chained rows = %d, want 1", countRows(rels))
+	}
+	if rels[0].Cols[0].Get(0).I != 20 {
+		t.Errorf("row = %v", rels[0].Row(0))
+	}
+	// Second batch flows through the chain incrementally.
+	ingestPairs(t, e, "R", [][2]int64{{40, 60}})
+	e.Drain()
+	if got := countRows(collect(q2)); got != 1 {
+		t.Errorf("second batch rows = %d", got)
+	}
+}
+
+func TestChainedUnknownUpstreamFails(t *testing.T) {
+	e, _ := newEngine(t)
+	if _, err := e.RegisterContinuous("bad",
+		"SELECT * FROM [SELECT * FROM nosuch_out] AS x"); err == nil {
+		t.Error("unknown upstream should fail")
+	}
+}
+
+func TestFilterGroupSharedFactory(t *testing.T) {
+	e, _ := newEngine(t)
+	g, err := e.RegisterFilterGroup("grp", "R", "x.a >= 10 AND x.a < 40", []GroupMember{
+		{Name: "m0", Residual: "x.a < 20"},
+		{Name: "m1", Residual: "x.a >= 20 AND x.a < 30"},
+		{Name: "m2", Residual: "x.a >= 30"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][2]int64
+	for i := int64(0); i < 50; i++ {
+		rows = append(rows, [2]int64{i, i})
+	}
+	ingestPairs(t, e, "R", rows)
+	e.Drain()
+
+	// Common admits a in [10,40): 30 tuples, evaluated once.
+	if got := g.Common.Stats().TuplesIn; got != 50 {
+		t.Errorf("common examined %d, want 50", got)
+	}
+	if got := g.Common.Stats().TuplesOut; got != 30 {
+		t.Errorf("common admitted %d, want 30", got)
+	}
+	wants := []int{10, 10, 10}
+	for i, m := range g.Members {
+		if got := countRows(collect(m)); got != wants[i] {
+			t.Errorf("member %d rows = %d, want %d", i, got, wants[i])
+		}
+		// Members only examined the 30 admitted tuples, not all 50.
+		if got := m.Stats().TuplesIn; got != 30 {
+			t.Errorf("member %d examined %d, want 30", i, got)
+		}
+	}
+}
+
+func TestFilterGroupValidation(t *testing.T) {
+	e, _ := newEngine(t)
+	if _, err := e.RegisterFilterGroup("g", "R", "x.a > 0", nil); err == nil {
+		t.Error("empty member list should fail")
+	}
+	if _, err := e.RegisterFilterGroup("g", "R", "", []GroupMember{{Name: "m"}}); err == nil {
+		t.Error("empty common predicate should fail")
+	}
+	// Bad residual rolls the group back.
+	if _, err := e.RegisterFilterGroup("g2", "R", "x.a > 0", []GroupMember{
+		{Name: "ok1", Residual: "x.a < 5"},
+		{Name: "bad", Residual: "x.nosuch > 0"},
+	}); err == nil {
+		t.Error("bad residual should fail")
+	}
+	// The rollback freed the names.
+	if _, err := e.RegisterContinuous("ok1",
+		"SELECT * FROM [SELECT * FROM R] AS S"); err != nil {
+		t.Errorf("rollback incomplete: %v", err)
+	}
+}
+
+func TestChainedWindowedQuery(t *testing.T) {
+	e, _ := newEngine(t)
+	_, err := e.RegisterContinuous("filt",
+		"SELECT S.a AS a FROM [SELECT * FROM R] AS S WHERE S.a >= 0", WithSQLPolling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.RegisterContinuous("agg",
+		"SELECT SUM(x.a) AS total FROM [SELECT * FROM filt_out] AS x WINDOW ROWS 3 SLIDE 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestPairs(t, e, "R", [][2]int64{{1, 0}, {2, 0}, {3, 0}, {4, 0}})
+	e.Drain()
+	rels := collect(q)
+	if len(rels) != 1 || rels[0].Cols[0].Get(0).I != 6 {
+		t.Fatalf("windowed chain: %v", rels)
+	}
+}

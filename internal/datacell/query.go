@@ -1,0 +1,330 @@
+package datacell
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adapters"
+	"repro/internal/basket"
+	"repro/internal/catalog"
+	"repro/internal/factory"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/window"
+)
+
+// Query is a registered continuous query: a factory between an input
+// arrangement (per strategy) and an output basket with a subscription
+// emitter.
+type Query struct {
+	Name     string
+	SQL      string
+	Strategy Strategy
+
+	stream  string // the stream the basket expression reads
+	fact    *factory.Factory
+	out     *basket.Basket
+	emitter *adapters.ChannelEmitter
+	replica *basket.Basket // separate strategy only
+	engine  *Engine
+}
+
+// Results returns the subscription channel delivering one relation per
+// result batch (the output basket's schema, including its delivery ts).
+func (q *Query) Results() <-chan *storage.Relation { return q.emitter.C() }
+
+// Out returns the query's output basket (queryable by one-time SQL under
+// the name <query>_out).
+func (q *Query) Out() *basket.Basket { return q.out }
+
+// Stats returns the factory counters.
+func (q *Query) Stats() factory.Stats { return q.fact.Stats() }
+
+// Latency returns the factory's per-batch latency histogram.
+func (q *Query) Latency() *metrics.Histogram { return q.fact.Latency }
+
+// Shed returns the number of tuples load shedding evicted from this
+// query's private input basket.
+func (q *Query) Shed() int64 {
+	if q.replica == nil {
+		return 0
+	}
+	return q.replica.Shed()
+}
+
+// InputBacklog returns the number of tuples currently buffered in the
+// query's input arrangement: the private replica under the separate
+// strategy, or the whole shared basket otherwise. Retained
+// predicate-window tuples show up here.
+func (q *Query) InputBacklog() int {
+	if q.replica != nil {
+		return q.replica.Len()
+	}
+	b, err := q.engine.Stream(q.stream)
+	if err != nil {
+		return 0
+	}
+	return b.Len()
+}
+
+// QueryOption configures RegisterContinuous.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	strategy   Strategy
+	minTuples  int
+	windowMode window.Mode
+	forceMode  bool
+	subDepth   int
+	priority   int
+	shedAt     int
+}
+
+// WithStrategy selects the basket arrangement (default SeparateBaskets,
+// the paper's first strategy).
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithMinTuples sets the factory's firing threshold.
+func WithMinTuples(n int) QueryOption {
+	return func(c *queryConfig) { c.minTuples = n }
+}
+
+// WithWindowMode pins the window evaluation strategy; without it, windowed
+// queries use incremental evaluation when the plan shape allows and fall
+// back to re-evaluation otherwise.
+func WithWindowMode(m window.Mode) QueryOption {
+	return func(c *queryConfig) { c.windowMode = m; c.forceMode = true }
+}
+
+// WithSubscriptionDepth sizes the result channel (default 64).
+func WithSubscriptionDepth(n int) QueryOption {
+	return func(c *queryConfig) { c.subDepth = n }
+}
+
+// WithSQLPolling disables the subscription emitter: results accumulate in
+// the <name>_out basket until a one-time SELECT (or another continuous
+// query) consumes them — the paper's network-of-queries usage, where one
+// query's output basket is another's input.
+func WithSQLPolling() QueryOption {
+	return func(c *queryConfig) { c.subDepth = 0 }
+}
+
+// WithPriority schedules this query's factory ahead of lower-priority
+// transitions (default 0) — the paper's "different query priorities".
+func WithPriority(p int) QueryOption {
+	return func(c *queryConfig) { c.priority = p }
+}
+
+// WithLoadShedding bounds the query's private input basket to n tuples:
+// arrivals beyond it evict the oldest unprocessed tuples (the paper's
+// load-shedding requirement under overload). Only meaningful with the
+// separate-baskets strategy, where the query owns its basket.
+func WithLoadShedding(n int) QueryOption {
+	return func(c *queryConfig) { c.shedAt = n }
+}
+
+// RegisterContinuous compiles and installs a continuous query. The query
+// must contain exactly one basket expression (the paper's continuous
+// marker); the referenced basket must be a stream created with
+// CreateStream. The query's results land in a basket named <name>_out and
+// on the subscription channel.
+func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Query, error) {
+	cfg := queryConfig{strategy: SeparateBaskets, minTuples: 1, subDepth: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	if _, dup := e.queries[key]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("datacell: query %q already registered", name)
+	}
+	e.mu.Unlock()
+
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	if !sel.IsContinuous() {
+		return nil, fmt.Errorf("datacell: %q has no basket expression; run it with Exec", name)
+	}
+	streamName, err := basketExprStream(sel)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	s, isStream := e.streams[strings.ToLower(streamName)]
+	e.mu.Unlock()
+
+	// The basket expression may also read another query's output basket —
+	// the paper's network of queries, where "continuous queries … take
+	// their input from other queries".
+	var chained *basket.Basket
+	if !isStream {
+		entry, err := e.cat.Lookup(streamName)
+		if err != nil {
+			return nil, fmt.Errorf("datacell: basket expression reads %q, which is neither a stream nor a basket", streamName)
+		}
+		b, ok := entry.Source.(*basket.Basket)
+		if !ok || entry.Kind != catalog.KindBasket {
+			return nil, fmt.Errorf("datacell: basket expression over %q, which is a %s", streamName, entry.Kind)
+		}
+		chained = b
+	}
+
+	p, err := plan.Build(sel, e.cat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Input arrangement per strategy.
+	var in factory.Input
+	var replica *basket.Basket
+	switch {
+	case chained != nil && cfg.strategy == SharedBaskets:
+		in = factory.Input{Basket: chained, Mode: factory.Shared, ReaderID: name, Bind: streamName}
+	case chained != nil:
+		// Owned-direct: this query is the exclusive consumer of the
+		// upstream basket (no receptor fan-out exists to replicate it).
+		in = factory.Input{Basket: chained, Mode: factory.Owned, Bind: streamName}
+	case cfg.strategy == SharedBaskets:
+		in = factory.Input{Basket: s.primary, Mode: factory.Shared, ReaderID: name, Bind: streamName}
+	default:
+		replica = basket.New(name+"_in", s.schema, e.clock)
+		replica.OnAppend(e.sched.Notify)
+		if cfg.shedAt > 0 {
+			replica.SetCapacity(cfg.shedAt)
+		}
+		in = factory.Input{Basket: replica, Mode: factory.Owned, Bind: streamName}
+		e.mu.Lock()
+		s.replicas = append(s.replicas, replica)
+		e.mu.Unlock()
+	}
+
+	// Output basket: the plan's schema (plus its own delivery ts), exposed
+	// in the catalog for one-time inspection.
+	out := basket.New(name+"_out", p.Schema(), e.clock)
+	out.OnAppend(e.sched.Notify)
+	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
+		return nil, err
+	}
+
+	fopts := []factory.Option{
+		factory.WithMinTuples(cfg.minTuples),
+		factory.WithClock(e.clock),
+	}
+	if sel.Window != nil {
+		runner, err := e.buildWindowRunner(p, in.Basket.Schema(), streamName, sel.Window, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fopts = append(fopts, factory.WithWindow(runner))
+	}
+	fact, err := factory.New(name, p, e.cat, []factory.Input{in}, []*basket.Basket{out}, fopts...)
+	if err != nil {
+		return nil, err
+	}
+
+	depth := cfg.subDepth
+	if depth < 1 {
+		depth = 1
+	}
+	emitter := adapters.NewChannelEmitter(name+"_emit", out, depth)
+
+	q := &Query{
+		Name:     name,
+		SQL:      text,
+		Strategy: cfg.strategy,
+		stream:   streamName,
+		fact:     fact,
+		out:      out,
+		emitter:  emitter,
+		replica:  replica,
+		engine:   e,
+	}
+	e.mu.Lock()
+	e.queries[key] = q
+	e.mu.Unlock()
+	e.sched.AddWithPriority(fact, cfg.priority)
+	if cfg.subDepth > 0 {
+		e.sched.AddWithPriority(emitter, cfg.priority)
+	}
+	return q, nil
+}
+
+// buildWindowRunner assembles the window layer for a windowed query.
+// bufSchema is the input basket's full schema (including ts); sourceName
+// is the scan source the window content overrides during re-evaluation.
+func (e *Engine) buildWindowRunner(p plan.Node, bufSchema *catalog.Schema, sourceName string, w *sql.WindowClause, cfg queryConfig) (*window.Runner, error) {
+	spec := window.Spec{
+		Kind:    w.Kind,
+		Size:    w.Size,
+		Slide:   w.Slide,
+		TSIndex: bufSchema.Index(catalog.TimestampColumn),
+	}
+	mode := window.ReEvaluate
+	paneEval, recognized := window.RecognizeIncremental(p)
+	if cfg.forceMode {
+		mode = cfg.windowMode
+		if mode == window.Incremental && !recognized {
+			return nil, fmt.Errorf("datacell: plan shape does not support incremental windows")
+		}
+	} else if recognized && spec.Size%spec.Slide == 0 {
+		mode = window.Incremental
+	}
+	if mode == window.Incremental {
+		return window.NewRunner(spec, mode, nil, paneEval, bufSchema)
+	}
+	reEval := &window.PlanEvaluator{Plan: p, Catalog: e.cat, Source: sourceName}
+	return window.NewRunner(spec, mode, reEval, nil, bufSchema)
+}
+
+// UnregisterContinuous removes a continuous query and its private baskets.
+func (e *Engine) UnregisterContinuous(name string) error {
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	q, ok := e.queries[key]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("datacell: unknown continuous query %q", name)
+	}
+	delete(e.queries, key)
+	if s := e.streams[strings.ToLower(q.stream)]; q.replica != nil && s != nil {
+		for i, r := range s.replicas {
+			if r == q.replica {
+				s.replicas = append(s.replicas[:i], s.replicas[i+1:]...)
+				break
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.sched.Remove(q.fact.Name())
+	e.sched.Remove(q.emitter.Name())
+	q.fact.Close()
+	return e.cat.Drop(name + "_out")
+}
+
+// basketExprStream locates the (single) basket expression in the query and
+// returns the stream it reads.
+func basketExprStream(sel *sql.SelectStmt) (string, error) {
+	var found []string
+	var walk func(s *sql.SelectStmt)
+	walk = func(s *sql.SelectStmt) {
+		for _, f := range s.From {
+			if f.Basket && f.Sub != nil && len(f.Sub.From) == 1 {
+				found = append(found, f.Sub.From[0].Table)
+			} else if f.Sub != nil {
+				walk(f.Sub)
+			}
+		}
+	}
+	walk(sel)
+	if len(found) != 1 {
+		return "", fmt.Errorf("datacell: continuous queries need exactly one basket expression, found %d", len(found))
+	}
+	return found[0], nil
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+func dupDB(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	tbl := storage.NewTable("d", catalog.NewSchema(
+		catalog.Column{Name: "k", Type: vector.Int64},
+		catalog.Column{Name: "v", Type: vector.String},
+	))
+	for _, r := range []struct {
+		k int64
+		v string
+	}{
+		{1, "a"}, {1, "a"}, {1, "b"}, {2, "a"}, {2, "a"}, {3, "c"},
+	} {
+		_ = tbl.AppendRow([]vector.Value{vector.NewInt(r.k), vector.NewString(r.v)})
+	}
+	if err := cat.Register("d", catalog.KindTable, tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestSelectDistinct(t *testing.T) {
+	rel, _ := runSQL(t, dupDB(t), "SELECT DISTINCT k, v FROM d ORDER BY k, v")
+	if rel.NumRows() != 4 {
+		t.Fatalf("distinct rows = %d, want 4\n%s", rel.NumRows(), rel)
+	}
+	want := []struct {
+		k int64
+		v string
+	}{{1, "a"}, {1, "b"}, {2, "a"}, {3, "c"}}
+	for i, w := range want {
+		row := rel.Row(i)
+		if row[0].I != w.k || row[1].S != w.v {
+			t.Errorf("row %d = %v, want %+v", i, row, w)
+		}
+	}
+}
+
+func TestSelectDistinctSingleColumn(t *testing.T) {
+	rel, _ := runSQL(t, dupDB(t), "SELECT DISTINCT k FROM d ORDER BY k")
+	if rel.NumRows() != 3 {
+		t.Fatalf("distinct k = %d rows", rel.NumRows())
+	}
+}
+
+func TestSelectDistinctWithWhere(t *testing.T) {
+	rel, _ := runSQL(t, dupDB(t), "SELECT DISTINCT v FROM d WHERE k = 1")
+	if rel.NumRows() != 2 {
+		t.Fatalf("rows = %d", rel.NumRows())
+	}
+}
+
+func TestSelectDistinctWithLimit(t *testing.T) {
+	rel, _ := runSQL(t, dupDB(t), "SELECT DISTINCT k FROM d ORDER BY k DESC LIMIT 2")
+	if rel.NumRows() != 2 || rel.Cols[0].Get(0).I != 3 {
+		t.Fatalf("rel = %v", rel)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	rel, _ := runSQL(t, dupDB(t), "SELECT COUNT(DISTINCT k), COUNT(DISTINCT v), COUNT(v) FROM d")
+	row := rel.Row(0)
+	if row[0].I != 3 || row[1].I != 3 || row[2].I != 6 {
+		t.Errorf("counts = %v", row)
+	}
+}
+
+func TestCountDistinctGrouped(t *testing.T) {
+	rel, _ := runSQL(t, dupDB(t), "SELECT k, COUNT(DISTINCT v) AS dv FROM d GROUP BY k ORDER BY k")
+	want := []int64{2, 1, 1}
+	if rel.NumRows() != 3 {
+		t.Fatalf("groups = %d", rel.NumRows())
+	}
+	for i, w := range want {
+		if rel.Cols[1].Get(i).I != w {
+			t.Errorf("group %d distinct = %d, want %d", i, rel.Cols[1].Get(i).I, w)
+		}
+	}
+}
+
+func TestCountDistinctIgnoresNulls(t *testing.T) {
+	cat := catalog.New()
+	tbl := storage.NewTable("n", catalog.NewSchema(
+		catalog.Column{Name: "v", Type: vector.Int64},
+	))
+	_ = tbl.AppendRow([]vector.Value{vector.NewInt(1)})
+	_ = tbl.AppendRow([]vector.Value{vector.NullValue(vector.Int64)})
+	_ = tbl.AppendRow([]vector.Value{vector.NewInt(1)})
+	_ = cat.Register("n", catalog.KindTable, tbl)
+	rel, _ := runSQL(t, cat, "SELECT COUNT(DISTINCT v) FROM n")
+	if rel.Cols[0].Get(0).I != 1 {
+		t.Errorf("count distinct with nulls = %v", rel.Row(0))
+	}
+}
+
+func TestDistinctOnlyInCount(t *testing.T) {
+	cat := dupDB(t)
+	_ = cat
+	if _, err := runSQLErr(cat, "SELECT SUM(DISTINCT k) FROM d"); err == nil {
+		t.Error("SUM(DISTINCT) should be rejected")
+	}
+}
+
+func runSQLErr(cat *catalog.Catalog, q string) (*storage.Relation, error) {
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(sel, cat)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p, NewContext(cat))
+}

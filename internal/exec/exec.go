@@ -1,0 +1,414 @@
+// Package exec is the physical executor: it runs logical plans with the
+// kernel's bulk operators, producing materialized relations. A factory
+// executes its compiled plan here on every firing; the Context carries the
+// snapshot overrides and collects basket-expression consumption so the
+// factory can remove the referenced tuples afterwards.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Context carries per-execution state.
+type Context struct {
+	// Catalog resolves scan sources.
+	Catalog *catalog.Catalog
+	// Overrides, when set, pin a scan source to fixed columns instead of a
+	// live catalog snapshot. Keys are lower-case source names. Factories
+	// use this to run a plan against the snapshot they locked.
+	Overrides map[string][]*vector.Vector
+	// Consumed collects, per basket, the snapshot positions referenced by
+	// consuming scans. The caller applies the removal (§2.6: "all tuples
+	// referenced in a basket expression are removed … automatically").
+	Consumed map[string]bat.Candidates
+}
+
+// NewContext returns a Context over the catalog.
+func NewContext(cat *catalog.Catalog) *Context {
+	return &Context{
+		Catalog:   cat,
+		Overrides: map[string][]*vector.Vector{},
+		Consumed:  map[string]bat.Candidates{},
+	}
+}
+
+// Run executes the plan and returns the result relation.
+func Run(n plan.Node, ctx *Context) (*storage.Relation, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return runScan(x, ctx)
+	case *plan.Select:
+		return runSelect(x, ctx)
+	case *plan.Project:
+		return runProject(x, ctx)
+	case *plan.Join:
+		return runJoin(x, ctx)
+	case *plan.Aggregate:
+		return runAggregate(x, ctx)
+	case *plan.Sort:
+		return runSort(x, ctx)
+	case *plan.Distinct:
+		return runDistinct(x, ctx)
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+func sourceColumns(name string, ctx *Context) ([]*vector.Vector, error) {
+	if cols, ok := ctx.Overrides[strings.ToLower(name)]; ok {
+		return cols, nil
+	}
+	entry, err := ctx.Catalog.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return entry.Source.Snapshot(), nil
+}
+
+// filterCandidates evaluates a boolean predicate over cols, using
+// candidate-list theta-selects for `column ⋈ constant` conjuncts (the
+// kernel's native selection path) and falling back to mask evaluation for
+// the rest. A nil result means "all rows".
+func filterCandidates(pred expr.Expr, cols []*vector.Vector, n int) (bat.Candidates, error) {
+	var cands bat.Candidates
+	var rest []expr.Expr
+	for _, c := range expr.SplitConjuncts(pred) {
+		col, op, val, ok := thetaConjunct(c)
+		if !ok {
+			rest = append(rest, c)
+			continue
+		}
+		cands = algebra.ThetaSelect(cols[col], cands, op, val)
+	}
+	if leftover := expr.JoinConjuncts(rest); leftover != nil {
+		mask, err := expr.Eval(leftover, cols, cands)
+		if err != nil {
+			return nil, err
+		}
+		cands = algebra.MaskSelect(mask, cands)
+	}
+	return cands, nil
+}
+
+// thetaConjunct recognizes `col ⋈ const` (or the flipped form) conjuncts.
+func thetaConjunct(e expr.Expr) (col int, op algebra.CmpOp, val vector.Value, ok bool) {
+	b, isBin := e.(*expr.Binary)
+	if !isBin || !b.Op.IsComparison() {
+		return 0, 0, vector.Value{}, false
+	}
+	if cr, isCol := b.L.(*expr.ColRef); isCol {
+		if c, isConst := b.R.(*expr.Const); isConst && comparable(cr.Typ, c.Val.Typ) {
+			return cr.Index, b.Op.CmpOp(), c.Val, true
+		}
+	}
+	if cr, isCol := b.R.(*expr.ColRef); isCol {
+		if c, isConst := b.L.(*expr.Const); isConst && comparable(cr.Typ, c.Val.Typ) {
+			return cr.Index, flip(b.Op.CmpOp()), c.Val, true
+		}
+	}
+	return 0, 0, vector.Value{}, false
+}
+
+// comparable reports whether ThetaSelect can compare the column type with
+// the constant type directly (identical types, or int/timestamp pairs).
+func comparable(col, c vector.Type) bool {
+	if col == c {
+		return true
+	}
+	return (col == vector.Int64 || col == vector.Timestamp) &&
+		(c == vector.Int64 || c == vector.Timestamp)
+}
+
+// flip mirrors a comparison for swapped operands: const op col → col op' const.
+func flip(op algebra.CmpOp) algebra.CmpOp {
+	switch op {
+	case algebra.Lt:
+		return algebra.Gt
+	case algebra.Le:
+		return algebra.Ge
+	case algebra.Gt:
+		return algebra.Lt
+	case algebra.Ge:
+		return algebra.Le
+	default:
+		return op // Eq, Ne are symmetric
+	}
+}
+
+func runScan(s *plan.Scan, ctx *Context) (*storage.Relation, error) {
+	cols, err := sourceColumns(s.Source, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) != s.Src.Len() {
+		return nil, fmt.Errorf("exec: %s has %d columns, plan expects %d", s.Source, len(cols), s.Src.Len())
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	var cands bat.Candidates
+	if s.Filter != nil {
+		cands, err = filterCandidates(s.Filter, cols, n)
+		if err != nil {
+			return nil, err
+		}
+		if cands == nil {
+			cands = bat.All(n)
+		}
+	}
+	if s.Consuming {
+		key := strings.ToLower(s.Source)
+		consumed := cands
+		if consumed == nil {
+			n := 0
+			if len(cols) > 0 {
+				n = cols[0].Len()
+			}
+			consumed = bat.All(n)
+		}
+		ctx.Consumed[key] = bat.Union(ctx.Consumed[key], consumed)
+	}
+	out := &storage.Relation{Schema: s.Out, Cols: make([]*vector.Vector, len(s.Cols))}
+	for i, src := range s.Cols {
+		if cands == nil {
+			out.Cols[i] = cols[src]
+		} else {
+			out.Cols[i] = cols[src].Take(cands)
+		}
+	}
+	return out, nil
+}
+
+func runSelect(s *plan.Select, ctx *Context) (*storage.Relation, error) {
+	child, err := Run(s.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	keep, err := filterCandidates(s.Pred, child.Cols, child.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	return child.Take(keep), nil
+}
+
+func runProject(p *plan.Project, ctx *Context) (*storage.Relation, error) {
+	child, err := Run(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &storage.Relation{Schema: p.Out, Cols: make([]*vector.Vector, len(p.Exprs))}
+	for i, e := range p.Exprs {
+		col, err := expr.Eval(e, child.Cols, nil)
+		if err != nil {
+			return nil, err
+		}
+		// A constant expression over an empty input must still be empty.
+		if child.NumRows() == 0 && col.Len() != 0 {
+			col = vector.New(col.Type())
+		}
+		out.Cols[i] = col
+	}
+	return out, nil
+}
+
+// equiKeys extracts the first equi-join conjunct of on whose sides fall on
+// opposite inputs; it returns the key expressions (right side remapped to
+// the right child's frame) and the remaining conjuncts.
+func equiKeys(on expr.Expr, lw, rw int) (lkey, rkey expr.Expr, rest []expr.Expr) {
+	for _, c := range expr.SplitConjuncts(on) {
+		if lkey == nil {
+			if b, ok := c.(*expr.Binary); ok && b.Op == expr.CmpEq {
+				lSide := sideOf(b.L, lw)
+				rSide := sideOf(b.R, lw)
+				if lSide == 'L' && rSide == 'R' {
+					lkey, rkey = b.L, shiftRight(b.R, lw)
+					continue
+				}
+				if lSide == 'R' && rSide == 'L' {
+					lkey, rkey = b.R, shiftRight(b.L, lw)
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	return lkey, rkey, rest
+}
+
+// sideOf reports 'L' if every column of e is from the left input, 'R' if
+// from the right, and 'M' for mixed or column-free expressions.
+func sideOf(e expr.Expr, lw int) byte {
+	cols := expr.Columns(e)
+	if len(cols) == 0 {
+		return 'M'
+	}
+	left, right := false, false
+	for _, c := range cols {
+		if c < lw {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	switch {
+	case left && !right:
+		return 'L'
+	case right && !left:
+		return 'R'
+	default:
+		return 'M'
+	}
+}
+
+func shiftRight(e expr.Expr, lw int) expr.Expr {
+	mapping := map[int]int{}
+	for _, c := range expr.Columns(e) {
+		mapping[c] = c - lw
+	}
+	return expr.Remap(e, mapping)
+}
+
+func runJoin(j *plan.Join, ctx *Context) (*storage.Relation, error) {
+	left, err := Run(j.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Run(j.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	lw := len(left.Cols)
+
+	var lpos, rpos []int
+	var rest []expr.Expr
+	hashed := false
+	if j.On != nil {
+		var lkeyE, rkeyE expr.Expr
+		lkeyE, rkeyE, rest = equiKeys(j.On, lw, len(right.Cols))
+		if lkeyE != nil {
+			lkey, err := expr.Eval(lkeyE, left.Cols, nil)
+			if err != nil {
+				return nil, err
+			}
+			rkey, err := expr.Eval(rkeyE, right.Cols, nil)
+			if err != nil {
+				return nil, err
+			}
+			lpos, rpos = algebra.HashJoin(lkey, rkey, nil, nil)
+			hashed = true
+		}
+	}
+	if !hashed {
+		// Cross product (no equi key found, or no condition at all); any
+		// non-equi condition is applied as the residual filter below.
+		ln, rn := left.NumRows(), right.NumRows()
+		lpos = make([]int, 0, ln*rn)
+		rpos = make([]int, 0, ln*rn)
+		for i := 0; i < ln; i++ {
+			for k := 0; k < rn; k++ {
+				lpos = append(lpos, i)
+				rpos = append(rpos, k)
+			}
+		}
+	}
+
+	out := &storage.Relation{Schema: j.Out, Cols: make([]*vector.Vector, lw+len(right.Cols))}
+	for i, col := range left.Cols {
+		out.Cols[i] = col.Take(lpos)
+	}
+	for i, col := range right.Cols {
+		out.Cols[lw+i] = col.Take(rpos)
+	}
+	if restPred := expr.JoinConjuncts(rest); restPred != nil {
+		mask, err := expr.Eval(restPred, out.Cols, nil)
+		if err != nil {
+			return nil, err
+		}
+		keep := algebra.MaskSelect(mask, nil)
+		out = out.Take(keep)
+	}
+	return out, nil
+}
+
+func runAggregate(a *plan.Aggregate, ctx *Context) (*storage.Relation, error) {
+	child, err := Run(a.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &storage.Relation{Schema: a.Out, Cols: make([]*vector.Vector, a.Out.Len())}
+
+	var gids []int
+	var ngroups int
+	if len(a.Keys) > 0 {
+		keyVecs := make([]*vector.Vector, len(a.Keys))
+		for i, k := range a.Keys {
+			kv, err := expr.Eval(k, child.Cols, nil)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = kv
+		}
+		var reps []int
+		gids, ngroups, reps = algebra.Group(keyVecs, nil)
+		for i, kv := range keyVecs {
+			out.Cols[i] = kv.Take(reps)
+		}
+	}
+
+	for i, spec := range a.Aggs {
+		var arg *vector.Vector
+		if spec.Arg != nil {
+			arg, err = expr.Eval(spec.Arg, child.Cols, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Cols[len(a.Keys)+i] = algebra.Aggregate(spec.Kind, arg, bat.All(child.NumRows()), gids, ngroups)
+	}
+	return out, nil
+}
+
+func runDistinct(d *plan.Distinct, ctx *Context) (*storage.Relation, error) {
+	child, err := Run(d.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	keep := algebra.Distinct(child.Cols, nil)
+	return child.Take(keep), nil
+}
+
+func runSort(s *plan.Sort, ctx *Context) (*storage.Relation, error) {
+	child, err := Run(s.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	order := bat.All(child.NumRows())
+	if len(s.Keys) > 0 {
+		keyVecs := make([]*vector.Vector, len(s.Keys))
+		for i, k := range s.Keys {
+			kv, err := expr.Eval(k, child.Cols, nil)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = kv
+		}
+		order = algebra.SortOrder(keyVecs, s.Desc, nil)
+	}
+	if s.Limit >= 0 && int64(len(order)) > s.Limit {
+		order = order[:s.Limit]
+	}
+	if len(s.Keys) == 0 && s.Limit < 0 {
+		return child, nil
+	}
+	return child.Take(order), nil
+}

@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// The property suite compares the full SQL stack (parse → plan → optimize
+// → execute) against a brute-force per-row interpreter on randomized data
+// and randomized range predicates.
+
+func randomTable(rng *rand.Rand, rows int) *storage.Table {
+	t := storage.NewTable("r", catalog.NewSchema(
+		catalog.Column{Name: "a", Type: vector.Int64},
+		catalog.Column{Name: "b", Type: vector.Int64},
+		catalog.Column{Name: "c", Type: vector.Float64},
+	))
+	for i := 0; i < rows; i++ {
+		_ = t.AppendRow([]vector.Value{
+			vector.NewInt(int64(rng.Intn(50))),
+			vector.NewInt(int64(rng.Intn(50))),
+			vector.NewFloat(rng.Float64() * 100),
+		})
+	}
+	return t
+}
+
+func TestPropFilterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		tbl := randomTable(rng, 200)
+		cat := catalog.New()
+		if err := cat.Register("r", catalog.KindTable, tbl); err != nil {
+			t.Fatal(err)
+		}
+		lo := rng.Intn(50)
+		hi := lo + rng.Intn(50)
+		q := fmt.Sprintf("SELECT a, b FROM r WHERE a >= %d AND a < %d AND b %% 2 = 0", lo, hi)
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := plan.Build(sel, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(p, NewContext(cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		snap := tbl.Snapshot()
+		want := 0
+		for i := 0; i < tbl.NumRows(); i++ {
+			a := snap[0].Get(i).I
+			b := snap[1].Get(i).I
+			if a >= int64(lo) && a < int64(hi) && b%2 == 0 {
+				want++
+			}
+		}
+		if got.NumRows() != want {
+			t.Fatalf("trial %d (%s): got %d rows, want %d", trial, q, got.NumRows(), want)
+		}
+	}
+}
+
+func TestPropGroupByMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		tbl := randomTable(rng, 300)
+		cat := catalog.New()
+		_ = cat.Register("r", catalog.KindTable, tbl)
+		sel, _ := sql.ParseSelect("SELECT a, COUNT(*) AS n, SUM(b) AS s FROM r GROUP BY a ORDER BY a")
+		p, err := plan.Build(sel, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(p, NewContext(cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		snap := tbl.Snapshot()
+		type agg struct{ n, s int64 }
+		ref := map[int64]*agg{}
+		for i := 0; i < tbl.NumRows(); i++ {
+			a := snap[0].Get(i).I
+			if ref[a] == nil {
+				ref[a] = &agg{}
+			}
+			ref[a].n++
+			ref[a].s += snap[1].Get(i).I
+		}
+		var keys []int64
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		if got.NumRows() != len(keys) {
+			t.Fatalf("trial %d: groups %d, want %d", trial, got.NumRows(), len(keys))
+		}
+		for i, k := range keys {
+			row := got.Row(i)
+			if row[0].I != k || row[1].I != ref[k].n || row[2].I != ref[k].s {
+				t.Fatalf("trial %d group %d: got %v, want key=%d n=%d s=%d",
+					trial, i, row, k, ref[k].n, ref[k].s)
+			}
+		}
+	}
+}
+
+func TestPropJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		l := randomTable(rng, 80)
+		r := randomTable(rng, 60)
+		cat := catalog.New()
+		_ = cat.Register("l", catalog.KindTable, l)
+		_ = cat.Register("rt", catalog.KindTable, r)
+		sel, _ := sql.ParseSelect("SELECT l.a FROM l JOIN rt ON l.a = rt.b")
+		p, err := plan.Build(sel, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(p, NewContext(cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, rs := l.Snapshot(), r.Snapshot()
+		want := 0
+		for i := 0; i < l.NumRows(); i++ {
+			for j := 0; j < r.NumRows(); j++ {
+				if ls[0].Get(i).I == rs[1].Get(j).I {
+					want++
+				}
+			}
+		}
+		if got.NumRows() != want {
+			t.Fatalf("trial %d: join rows %d, want %d", trial, got.NumRows(), want)
+		}
+	}
+}
+
+func TestPropOrderByLimitMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		tbl := randomTable(rng, 150)
+		cat := catalog.New()
+		_ = cat.Register("r", catalog.KindTable, tbl)
+		limit := 1 + rng.Intn(20)
+		sel, _ := sql.ParseSelect(fmt.Sprintf(
+			"SELECT a FROM r ORDER BY a DESC, b ASC LIMIT %d", limit))
+		p, err := plan.Build(sel, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(p, NewContext(cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := tbl.Snapshot()
+		type pair struct{ a, b int64 }
+		var all []pair
+		for i := 0; i < tbl.NumRows(); i++ {
+			all = append(all, pair{snap[0].Get(i).I, snap[1].Get(i).I})
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			if all[i].a != all[j].a {
+				return all[i].a > all[j].a
+			}
+			return all[i].b < all[j].b
+		})
+		n := limit
+		if n > len(all) {
+			n = len(all)
+		}
+		if got.NumRows() != n {
+			t.Fatalf("trial %d: rows %d, want %d", trial, got.NumRows(), n)
+		}
+		for i := 0; i < n; i++ {
+			if got.Cols[0].Get(i).I != all[i].a {
+				t.Fatalf("trial %d row %d: %d, want %d", trial, i, got.Cols[0].Get(i).I, all[i].a)
+			}
+		}
+	}
+}

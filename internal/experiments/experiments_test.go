@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment tests run at small scale and assert the directional
+// claims of the paper — who wins — not absolute numbers.
+
+const testScale = Scale(0.02)
+
+func parseRate(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse rate %q: %v", s, err)
+	}
+	return v
+}
+
+func TestF1(t *testing.T) {
+	tbl, err := F1(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if parseRate(t, tbl.Rows[0][3]) <= 0 {
+		t.Error("zero throughput")
+	}
+	// Selectivity 50%: about half selected.
+	total, _ := strconv.Atoi(tbl.Rows[0][0])
+	selected, _ := strconv.Atoi(tbl.Rows[0][4])
+	if selected < total/3 || selected > 2*total/3 {
+		t.Errorf("selected = %d of %d, expected ~half", selected, total)
+	}
+	if tbl.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestE1SharedWinsAtScale(t *testing.T) {
+	tbl, err := E1(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// At 64 queries the shared strategy must beat separate (the copy
+	// elimination claim). Small-N rows may go either way.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	sep := parseRate(t, last[1])
+	sh := parseRate(t, last[2])
+	if sh <= sep {
+		t.Errorf("at N=64 shared (%.0f/s) should beat separate (%.0f/s)\n%s", sh, sep, tbl)
+	}
+}
+
+func TestE2BulkBeatsTupleAtATime(t *testing.T) {
+	tbl, err := E2(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The largest batch size must beat the baseline; batch=1 must lose to
+	// the largest batch (the batching claim).
+	first := tbl.Rows[0]
+	last := tbl.Rows[len(tbl.Rows)-1]
+	dcSmall := parseRate(t, first[1])
+	dcBig := parseRate(t, last[1])
+	base := parseRate(t, last[2])
+	if dcBig <= base {
+		t.Errorf("bulk DataCell (%.0f/s) should beat tuple-at-a-time (%.0f/s)\n%s", dcBig, base, tbl)
+	}
+	if dcBig <= dcSmall {
+		t.Errorf("large batches (%.0f/s) should beat batch=1 (%.0f/s)\n%s", dcBig, dcSmall, tbl)
+	}
+}
+
+func TestE3CascadeReducesWork(t *testing.T) {
+	tbl, err := E3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	examined := map[string]int{}
+	for _, row := range tbl.Rows {
+		n, _ := strconv.Atoi(row[3])
+		examined[row[0]] = n
+	}
+	// Separate and shared both examine N×tuples; the cascade examines
+	// strictly less (later stages see only rejected tuples).
+	if examined["cascade"] >= examined["shared"] {
+		t.Errorf("cascade examined %d, shared %d\n%s", examined["cascade"], examined["shared"], tbl)
+	}
+	if examined["separate"] != examined["shared"] {
+		t.Errorf("separate (%d) and shared (%d) should examine the same tuple count",
+			examined["separate"], examined["shared"])
+	}
+}
+
+func TestE4IncrementalWins(t *testing.T) {
+	tbl, err := E4(Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Incremental must win on the largest window.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	re := parseRate(t, last[2])
+	inc := parseRate(t, last[3])
+	if inc <= re {
+		t.Errorf("incremental (%.0f/s) should beat re-evaluation (%.0f/s)\n%s", inc, re, tbl)
+	}
+}
+
+func TestE5ValidatesAndMeetsBound(t *testing.T) {
+	tbl, err := E5(Scale(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[6] != "PASS" {
+			t.Errorf("L=%s misses the response bound\n%s", row[0], tbl)
+		}
+		if row[7] != "true" {
+			t.Errorf("L=%s failed validation\n%s", row[0], tbl)
+		}
+	}
+}
+
+func TestE7OutputsMatchAndRetentionGrows(t *testing.T) {
+	tbl, err := E7(Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// q1 drains fully every round; q2's basket grows monotonically with
+	// the out-of-window tuples.
+	for i, row := range tbl.Rows {
+		q1len, _ := strconv.Atoi(row[1])
+		if q1len != 0 {
+			t.Errorf("round %d: q1 basket = %d, want 0", i+1, q1len)
+		}
+	}
+	firstQ2, _ := strconv.Atoi(tbl.Rows[0][3])
+	lastQ2, _ := strconv.Atoi(tbl.Rows[len(tbl.Rows)-1][3])
+	if lastQ2 <= firstQ2 {
+		t.Errorf("q2 retention should grow: %d -> %d", firstQ2, lastQ2)
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "matching tuples") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing output-match note")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID: "X", Title: "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"111", "2"}},
+		Notes:  []string{"n"},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "== X: t ==") || !strings.Contains(s, "note: n") {
+		t.Errorf("render = %q", s)
+	}
+}

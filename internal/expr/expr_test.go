@@ -1,0 +1,308 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+	"repro/internal/vector"
+)
+
+func col(i int, t vector.Type) *ColRef { return &ColRef{Index: i, Name: "c", Typ: t} }
+func ci(v int64) *Const                { return &Const{Val: vector.NewInt(v)} }
+func cf(v float64) *Const              { return &Const{Val: vector.NewFloat(v)} }
+func cb(v bool) *Const                 { return &Const{Val: vector.NewBool(v)} }
+
+func TestEvalColRef(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{1, 2, 3})}
+	got, err := Eval(col(0, vector.Int64), cols, bat.Candidates{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(0).I != 3 || got.Get(1).I != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalColRefOutOfRange(t *testing.T) {
+	if _, err := Eval(col(3, vector.Int64), nil, bat.Candidates{}); err == nil {
+		t.Error("expected error for out-of-range column")
+	}
+}
+
+func TestEvalArithInt(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{10, 20})}
+	e := &Binary{Op: Add, L: col(0, vector.Int64), R: ci(5)}
+	got, _ := Eval(e, cols, nil)
+	if got.Type() != vector.Int64 || got.Get(0).I != 15 || got.Get(1).I != 25 {
+		t.Errorf("add: %v", got)
+	}
+	e = &Binary{Op: Mul, L: col(0, vector.Int64), R: ci(3)}
+	got, _ = Eval(e, cols, nil)
+	if got.Get(1).I != 60 {
+		t.Errorf("mul: %v", got)
+	}
+	e = &Binary{Op: Sub, L: col(0, vector.Int64), R: ci(1)}
+	got, _ = Eval(e, cols, nil)
+	if got.Get(0).I != 9 {
+		t.Errorf("sub: %v", got)
+	}
+}
+
+func TestEvalDivAlwaysFloat(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{7})}
+	e := &Binary{Op: Div, L: col(0, vector.Int64), R: ci(2)}
+	got, _ := Eval(e, cols, nil)
+	if got.Type() != vector.Float64 || got.Get(0).F != 3.5 {
+		t.Errorf("div: %v", got)
+	}
+}
+
+func TestEvalDivByZeroIsNull(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{7})}
+	e := &Binary{Op: Div, L: col(0, vector.Int64), R: ci(0)}
+	got, _ := Eval(e, cols, nil)
+	if !got.Get(0).Null {
+		t.Errorf("div by zero: %v", got.Get(0))
+	}
+	e = &Binary{Op: Mod, L: col(0, vector.Int64), R: ci(0)}
+	got, _ = Eval(e, cols, nil)
+	if !got.Get(0).Null {
+		t.Errorf("mod by zero: %v", got.Get(0))
+	}
+}
+
+func TestEvalMod(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{7, 9})}
+	e := &Binary{Op: Mod, L: col(0, vector.Int64), R: ci(4)}
+	got, _ := Eval(e, cols, nil)
+	if got.Get(0).I != 3 || got.Get(1).I != 1 {
+		t.Errorf("mod: %v", got)
+	}
+}
+
+func TestEvalMixedTypesPromoteToFloat(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{3})}
+	e := &Binary{Op: Add, L: col(0, vector.Int64), R: cf(0.5)}
+	got, _ := Eval(e, cols, nil)
+	if got.Type() != vector.Float64 || got.Get(0).F != 3.5 {
+		t.Errorf("mixed add: %v", got)
+	}
+}
+
+func TestEvalStringConcat(t *testing.T) {
+	cols := []*vector.Vector{vector.FromStrings([]string{"foo"})}
+	e := &Binary{Op: Add, L: col(0, vector.String), R: &Const{Val: vector.NewString("bar")}}
+	got, err := Eval(e, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(0).S != "foobar" {
+		t.Errorf("concat: %v", got)
+	}
+}
+
+func TestEvalCompare(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{1, 5, 9})}
+	e := &Binary{Op: CmpGt, L: col(0, vector.Int64), R: ci(4)}
+	got, _ := Eval(e, cols, nil)
+	want := []bool{false, true, true}
+	for i, w := range want {
+		if got.Get(i).B != w {
+			t.Errorf("cmp[%d] = %v, want %v", i, got.Get(i), w)
+		}
+	}
+}
+
+func TestEvalCompareMixedNumeric(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{3})}
+	e := &Binary{Op: CmpLt, L: col(0, vector.Int64), R: cf(3.5)}
+	got, _ := Eval(e, cols, nil)
+	if !got.Get(0).B {
+		t.Error("3 < 3.5 should hold across types")
+	}
+}
+
+func TestEvalCompareNullIsNull(t *testing.T) {
+	c := vector.New(vector.Int64)
+	c.AppendNull()
+	e := &Binary{Op: CmpEq, L: col(0, vector.Int64), R: ci(0)}
+	got, _ := Eval(e, []*vector.Vector{c}, nil)
+	if !got.Get(0).Null {
+		t.Error("NULL = 0 should be NULL")
+	}
+}
+
+func TestKleeneLogic(t *testing.T) {
+	null := &Const{Val: vector.NullValue(vector.Bool)}
+	cases := []struct {
+		name string
+		e    Expr
+		want vector.Value
+	}{
+		{"false AND NULL", &Binary{Op: And, L: cb(false), R: null}, vector.NewBool(false)},
+		{"NULL AND false", &Binary{Op: And, L: null, R: cb(false)}, vector.NewBool(false)},
+		{"true AND NULL", &Binary{Op: And, L: cb(true), R: null}, vector.NullValue(vector.Bool)},
+		{"true AND true", &Binary{Op: And, L: cb(true), R: cb(true)}, vector.NewBool(true)},
+		{"true OR NULL", &Binary{Op: Or, L: cb(true), R: null}, vector.NewBool(true)},
+		{"NULL OR true", &Binary{Op: Or, L: null, R: cb(true)}, vector.NewBool(true)},
+		{"false OR NULL", &Binary{Op: Or, L: cb(false), R: null}, vector.NullValue(vector.Bool)},
+		{"false OR false", &Binary{Op: Or, L: cb(false), R: cb(false)}, vector.NewBool(false)},
+	}
+	one := []*vector.Vector{vector.FromInts([]int64{0})}
+	for _, c := range cases {
+		got, err := Eval(c.e, one, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		v := got.Get(0)
+		if v.Null != c.want.Null || (!v.Null && v.B != c.want.B) {
+			t.Errorf("%s = %v, want %v", c.name, v, c.want)
+		}
+	}
+}
+
+func TestEvalNegAndNot(t *testing.T) {
+	cols := []*vector.Vector{vector.FromInts([]int64{4}), vector.FromFloats([]float64{2.5})}
+	got, _ := Eval(&Neg{E: col(0, vector.Int64)}, cols, nil)
+	if got.Get(0).I != -4 {
+		t.Errorf("neg int: %v", got)
+	}
+	got, _ = Eval(&Neg{E: col(1, vector.Float64)}, cols, nil)
+	if got.Get(0).F != -2.5 {
+		t.Errorf("neg float: %v", got)
+	}
+	got, _ = Eval(&Not{E: &Binary{Op: CmpGt, L: col(0, vector.Int64), R: ci(0)}}, cols, nil)
+	if got.Get(0).B {
+		t.Errorf("not: %v", got)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	c := vector.New(vector.Int64)
+	c.AppendInt(1)
+	c.AppendNull()
+	cols := []*vector.Vector{c}
+	got, _ := Eval(&IsNull{E: col(0, vector.Int64)}, cols, nil)
+	if got.Get(0).B || !got.Get(1).B {
+		t.Errorf("is null: %v", got)
+	}
+	got, _ = Eval(&IsNull{E: col(0, vector.Int64), Negate: true}, cols, nil)
+	if !got.Get(0).B || got.Get(1).B {
+		t.Errorf("is not null: %v", got)
+	}
+}
+
+func TestFold(t *testing.T) {
+	e := &Binary{Op: Add, L: ci(2), R: &Binary{Op: Mul, L: ci(3), R: ci(4)}}
+	folded := Fold(e)
+	c, ok := folded.(*Const)
+	if !ok || c.Val.I != 14 {
+		t.Errorf("Fold = %v", folded)
+	}
+	// Column refs survive.
+	e2 := &Binary{Op: Add, L: col(0, vector.Int64), R: &Binary{Op: Add, L: ci(1), R: ci(2)}}
+	folded2 := Fold(e2).(*Binary)
+	if rc, ok := folded2.R.(*Const); !ok || rc.Val.I != 3 {
+		t.Errorf("partial fold = %v", folded2)
+	}
+	// NOT folding.
+	if f := Fold(&Not{E: cb(true)}); f.(*Const).Val.B {
+		t.Error("NOT true should fold to false")
+	}
+	// IS NULL folding.
+	if f := Fold(&IsNull{E: ci(1)}); f.(*Const).Val.B {
+		t.Error("1 IS NULL should fold to false")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := &Binary{Op: Add,
+		L: &Binary{Op: Mul, L: col(2, vector.Int64), R: col(0, vector.Int64)},
+		R: col(2, vector.Int64)}
+	got := Columns(e)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Errorf("Columns = %v", got)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	e := &Binary{Op: CmpGt, L: col(5, vector.Int64), R: ci(0)}
+	got := Remap(e, map[int]int{5: 1}).(*Binary)
+	if got.L.(*ColRef).Index != 1 {
+		t.Errorf("Remap = %v", got)
+	}
+	// Original untouched.
+	if e.L.(*ColRef).Index != 5 {
+		t.Error("Remap mutated the source tree")
+	}
+}
+
+func TestSplitJoinConjuncts(t *testing.T) {
+	a := &Binary{Op: CmpGt, L: col(0, vector.Int64), R: ci(1)}
+	b := &Binary{Op: CmpLt, L: col(0, vector.Int64), R: ci(9)}
+	c := &Binary{Op: CmpNe, L: col(1, vector.Int64), R: ci(5)}
+	e := &Binary{Op: And, L: &Binary{Op: And, L: a, R: b}, R: c}
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("SplitConjuncts = %d parts", len(parts))
+	}
+	rejoined := JoinConjuncts(parts)
+	if rejoined.String() != e.String() {
+		t.Errorf("JoinConjuncts = %s, want %s", rejoined, e)
+	}
+	if JoinConjuncts(nil) != nil {
+		t.Error("JoinConjuncts(nil) should be nil")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := &Binary{Op: And,
+		L: &Not{E: &IsNull{E: col(0, vector.Int64)}},
+		R: &Binary{Op: CmpGe, L: &Neg{E: col(0, vector.Int64)}, R: ci(0)}}
+	if e.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: folding never changes evaluation results.
+func TestPropFoldPreservesSemantics(t *testing.T) {
+	f := func(a, b int64, x int64) bool {
+		cols := []*vector.Vector{vector.FromInts([]int64{x})}
+		e := &Binary{Op: Add,
+			L: &Binary{Op: Mul, L: ci(a), R: ci(b)},
+			R: &Binary{Op: Sub, L: col(0, vector.Int64), R: ci(a)}}
+		want, err1 := Eval(e, cols, nil)
+		got, err2 := Eval(Fold(e), cols, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return want.Get(0).I == got.Get(0).I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparisons and their negations partition non-NULL rows.
+func TestPropCompareNegation(t *testing.T) {
+	f := func(vals []int64, pivot int64) bool {
+		cols := []*vector.Vector{vector.FromInts(vals)}
+		lt := &Binary{Op: CmpLt, L: col(0, vector.Int64), R: ci(pivot)}
+		ge := &Binary{Op: CmpGe, L: col(0, vector.Int64), R: ci(pivot)}
+		a, err1 := Eval(lt, cols, nil)
+		b, err2 := Eval(ge, cols, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range vals {
+			if a.Get(i).B == b.Get(i).B {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,405 @@
+// Package factory implements the DataCell's factories (§2.3): continuous
+// queries cast as resumable units holding a compiled plan. A factory has
+// input baskets and output baskets; when the scheduler fires it, it locks
+// its baskets, runs the plan over the buffered tuples in bulk, appends the
+// result to its outputs, removes the consumed input tuples, and suspends —
+// exactly the loop of Algorithm 1 in the paper. Execution state (window
+// buffers, shared-reader watermarks, statistics) persists between firings,
+// giving the MonetDB co-routine semantics.
+package factory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/basket"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+	"repro/internal/window"
+)
+
+// InputMode selects the consumption discipline for one input basket.
+type InputMode uint8
+
+// Input modes.
+const (
+	// Owned: the factory is the only consumer; it removes the tuples its
+	// basket expression references (separate-baskets strategy).
+	Owned InputMode = iota
+	// Shared: the basket is shared with other factories; this factory only
+	// advances its watermark, and the basket compacts what everyone has
+	// seen (shared-baskets strategy).
+	Shared
+)
+
+// Input binds one plan scan source to a basket.
+type Input struct {
+	Basket *basket.Basket
+	Mode   InputMode
+	// Bind is the scan source name in the plan this basket satisfies
+	// (lower-case). It is usually the basket's own name, but the
+	// separate-baskets strategy binds private replicas under the stream's
+	// name.
+	Bind string
+	// ReaderID identifies this factory at a shared basket.
+	ReaderID string
+}
+
+// Stats are cumulative factory counters.
+type Stats struct {
+	Firings   int64
+	TuplesIn  int64
+	TuplesOut int64
+}
+
+// Factory is a compiled continuous query; it implements
+// scheduler.Transition.
+type Factory struct {
+	name    string
+	plan    plan.Node
+	catalog *catalog.Catalog
+	clock   metrics.Clock
+
+	inputs  []Input
+	outputs []*basket.Basket
+
+	// minTuples is the firing threshold (§2.4: "the system may explicitly
+	// require a basket to have a minimum of n tuples").
+	minTuples int
+
+	// onResult, when set, receives every non-empty result batch along with
+	// the max input timestamp it covers (for latency accounting). Called
+	// outside all basket locks.
+	onResult func(rel *storage.Relation, maxInputTS int64)
+
+	// Window state (nil for unwindowed queries). runnerMu serializes the
+	// scheduler-driven Append path against asynchronous FlushWindows
+	// calls (the engine's window ticker).
+	runner   *window.Runner
+	runnerMu sync.Mutex
+
+	// seen is the per-input arrival watermark (hseq+len observed at the
+	// last firing) for Owned inputs. Tuples a predicate window retained
+	// are below it and do not re-trigger the factory; they are re-examined
+	// whenever new tuples arrive.
+	seen []bat.OID
+
+	// Latency is per-batch processing latency (emit time − newest input
+	// timestamp); populated when the inputs carry a ts column.
+	Latency *metrics.Histogram
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Option configures a Factory.
+type Option func(*Factory)
+
+// WithMinTuples sets the firing threshold (default 1).
+func WithMinTuples(n int) Option {
+	return func(f *Factory) {
+		if n > 0 {
+			f.minTuples = n
+		}
+	}
+}
+
+// WithOnResult registers a result callback.
+func WithOnResult(fn func(*storage.Relation, int64)) Option {
+	return func(f *Factory) { f.onResult = fn }
+}
+
+// WithWindow attaches a window runner; the factory then buffers input
+// tuples into the runner and emits one result per completed window.
+func WithWindow(r *window.Runner) Option {
+	return func(f *Factory) { f.runner = r }
+}
+
+// WithClock overrides the clock (tests).
+func WithClock(c metrics.Clock) Option {
+	return func(f *Factory) { f.clock = c }
+}
+
+// New builds a factory around a compiled plan.
+func New(name string, p plan.Node, cat *catalog.Catalog, inputs []Input, outputs []*basket.Basket, opts ...Option) (*Factory, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("factory %s: needs at least one input basket", name)
+	}
+	f := &Factory{
+		name:      name,
+		plan:      p,
+		catalog:   cat,
+		clock:     metrics.WallClock{},
+		inputs:    inputs,
+		outputs:   outputs,
+		minTuples: 1,
+		Latency:   metrics.NewHistogram(),
+	}
+	f.seen = make([]bat.OID, len(f.inputs))
+	for i := range f.inputs {
+		in := &f.inputs[i]
+		in.Bind = strings.ToLower(in.Bind)
+		if in.Bind == "" {
+			in.Bind = strings.ToLower(in.Basket.Name())
+		}
+		if in.Mode == Shared {
+			if in.ReaderID == "" {
+				in.ReaderID = name
+			}
+			in.Basket.RegisterReader(in.ReaderID)
+		}
+		// Existing backlog counts as unseen.
+		hseq, _ := in.Basket.Bounds()
+		f.seen[i] = hseq
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f, nil
+}
+
+// Name implements scheduler.Transition.
+func (f *Factory) Name() string { return f.name }
+
+// Plan exposes the compiled plan (diagnostics).
+func (f *Factory) Plan() plan.Node { return f.plan }
+
+// Stats returns a copy of the cumulative counters.
+func (f *Factory) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Close unregisters shared readers so retained tuples are freed.
+func (f *Factory) Close() {
+	for _, in := range f.inputs {
+		if in.Mode == Shared {
+			in.Basket.UnregisterReader(in.ReaderID)
+		}
+	}
+}
+
+// Ready implements scheduler.Transition: all inputs must hold at least
+// minTuples unseen tuples (§2.4: a transition with multiple inputs needs
+// tokens in every input place).
+func (f *Factory) Ready() bool {
+	for i := range f.inputs {
+		if f.available(i) < f.minTuples {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Factory) available(i int) int {
+	in := f.inputs[i]
+	if in.Mode == Shared {
+		in.Basket.Lock()
+		off, n := in.Basket.UnseenLocked(in.ReaderID)
+		in.Basket.Unlock()
+		return n - off
+	}
+	hseq, n := in.Basket.Bounds()
+	f.mu.Lock()
+	seen := f.seen[i]
+	f.mu.Unlock()
+	return int(hseq + bat.OID(n) - seen)
+}
+
+// pinned is a consistent view of one input basket captured under its lock.
+type pinned struct {
+	in     Input
+	cols   []*vector.Vector // unseen window of the snapshot
+	offset int              // shared mode: first unseen row of the snapshot
+	n      int              // snapshot length
+	hseq   bat.OID
+}
+
+// Fire implements scheduler.Transition: one bulk processing step.
+func (f *Factory) Fire() error {
+	// Lock all inputs in name order to avoid deadlock with factories that
+	// share baskets.
+	locked := append([]Input(nil), f.inputs...)
+	sort.Slice(locked, func(i, j int) bool {
+		return locked[i].Basket.Name() < locked[j].Basket.Name()
+	})
+	for _, in := range locked {
+		in.Basket.Lock()
+	}
+	unlock := func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].Basket.Unlock()
+		}
+	}
+
+	// Pin a consistent snapshot of every input.
+	pins := make([]pinned, len(f.inputs))
+	total := 0
+	for i, in := range f.inputs {
+		cols, n := in.Basket.LockedSnapshot()
+		p := pinned{in: in, cols: cols, n: n, hseq: in.Basket.LockedHseq()}
+		if in.Mode == Shared {
+			p.offset, _ = in.Basket.UnseenLocked(in.ReaderID)
+			views := make([]*vector.Vector, len(cols))
+			for c, col := range cols {
+				views[c] = col.Window(p.offset, n)
+			}
+			p.cols = views
+			total += p.n - p.offset
+		} else {
+			f.mu.Lock()
+			unseen := int(p.hseq + bat.OID(p.n) - f.seen[i])
+			f.mu.Unlock()
+			// Load shedding may have evicted unseen arrivals; only what is
+			// actually in the snapshot counts as processed.
+			if unseen > p.n {
+				unseen = p.n
+			}
+			total += unseen
+		}
+		pins[i] = p
+	}
+	if total == 0 {
+		unlock()
+		return nil
+	}
+
+	if f.runner != nil {
+		return f.fireWindowed(pins[0], unlock)
+	}
+
+	ctx := exec.NewContext(f.catalog)
+	for _, p := range pins {
+		ctx.Overrides[p.in.Bind] = p.cols
+	}
+	rel, err := exec.Run(f.plan, ctx)
+	if err != nil {
+		unlock()
+		return fmt.Errorf("factory %s: %w", f.name, err)
+	}
+
+	// Consumption: remove what the basket expressions referenced (§2.3:
+	// "all tuples consumed are removed from their input baskets").
+	maxTS := int64(0)
+	for _, p := range pins {
+		if tsIdx := p.in.Basket.Schema().Index(catalog.TimestampColumn); tsIdx >= 0 && p.n-p.offset > 0 {
+			last := p.cols[tsIdx].Get(p.n - p.offset - 1).I
+			if last > maxTS {
+				maxTS = last
+			}
+		}
+		switch p.in.Mode {
+		case Owned:
+			// Consumed positions are relative to the pinned snapshot.
+			p.in.Basket.LockedRemove(ctx.Consumed[p.in.Bind])
+		case Shared:
+			p.in.Basket.LockedSetMark(p.in.ReaderID, p.hseq+bat.OID(p.n))
+		}
+	}
+	f.mu.Lock()
+	for i, p := range pins {
+		if p.in.Mode == Owned {
+			f.seen[i] = p.hseq + bat.OID(p.n)
+		}
+	}
+	f.mu.Unlock()
+	unlock()
+
+	return f.deliver(rel, maxTS, total)
+}
+
+// fireWindowed moves the unseen tuples of the (single) input into the
+// window runner and emits any completed windows. The batch is copied
+// before consumption so basket compaction cannot disturb it.
+func (f *Factory) fireWindowed(p pinned, unlock func()) error {
+	rows := p.n - p.offset
+	batch := &storage.Relation{Schema: p.in.Basket.Schema(), Cols: make([]*vector.Vector, len(p.cols))}
+	for i, c := range p.cols {
+		batch.Cols[i] = c.Clone()
+	}
+	switch p.in.Mode {
+	case Owned:
+		p.in.Basket.LockedDropPrefix(p.n)
+		f.mu.Lock()
+		f.seen[0] = p.hseq + bat.OID(p.n)
+		f.mu.Unlock()
+	case Shared:
+		p.in.Basket.LockedSetMark(p.in.ReaderID, p.hseq+bat.OID(p.n))
+	}
+	unlock()
+
+	f.runnerMu.Lock()
+	results, err := f.runner.Append(batch)
+	f.runnerMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("factory %s: %w", f.name, err)
+	}
+	f.mu.Lock()
+	f.stats.TuplesIn += int64(rows)
+	f.mu.Unlock()
+	for _, res := range results {
+		if err := f.deliver(res.Rel, f.windowTS(res), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// windowTS converts a window result boundary into a latency reference:
+// time-based window ends are timestamps; count-based ends are tuple
+// indexes and carry no time information.
+func (f *Factory) windowTS(res window.Result) int64 {
+	if f.runner.Spec().Kind == sql.WindowRange {
+		return res.End
+	}
+	return 0
+}
+
+// FlushWindows advances time-based windows to the current clock and
+// delivers any completed results (used when the stream pauses).
+func (f *Factory) FlushWindows() error {
+	if f.runner == nil {
+		return nil
+	}
+	f.runnerMu.Lock()
+	results, err := f.runner.Flush(f.clock.Now())
+	f.runnerMu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if err := f.deliver(res.Rel, f.windowTS(res), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Factory) deliver(rel *storage.Relation, maxTS int64, tuplesIn int) error {
+	f.mu.Lock()
+	f.stats.Firings++
+	f.stats.TuplesIn += int64(tuplesIn)
+	f.stats.TuplesOut += int64(rel.NumRows())
+	f.mu.Unlock()
+	if maxTS > 0 {
+		f.Latency.Observe(f.clock.Now() - maxTS)
+	}
+	for _, out := range f.outputs {
+		if err := out.AppendRelation(rel); err != nil {
+			return fmt.Errorf("factory %s: output %s: %w", f.name, out.Name(), err)
+		}
+	}
+	if f.onResult != nil && rel.NumRows() > 0 {
+		f.onResult(rel, maxTS)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package linearroad
+
+import (
+	"testing"
+)
+
+func smallConfig() GenConfig {
+	return GenConfig{
+		XWays:            1,
+		VehiclesPerXWay:  60,
+		DurationSec:      240,
+		Seed:             42,
+		AccidentEverySec: 90,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a) == 0 {
+		t.Fatal("no records")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	recs := Generate(smallConfig())
+	lastTime := int64(0)
+	reportsPerVID := map[int64]int{}
+	for _, r := range recs {
+		if r.Time < lastTime {
+			t.Fatal("records out of time order")
+		}
+		lastTime = r.Time
+		if r.Seg < 0 || r.Seg >= SegmentsPerXWay {
+			t.Fatalf("segment out of range: %+v", r)
+		}
+		if r.Pos < 0 || r.Pos >= SegmentsPerXWay*FeetPerSegment {
+			t.Fatalf("position out of range: %+v", r)
+		}
+		if r.Seg != r.Pos/FeetPerSegment {
+			t.Fatalf("segment/position inconsistent: %+v", r)
+		}
+		if r.Dir != 0 && r.Dir != 1 {
+			t.Fatalf("bad direction: %+v", r)
+		}
+		reportsPerVID[r.VID]++
+	}
+	if len(reportsPerVID) != 60 {
+		t.Errorf("vehicles = %d, want 60", len(reportsPerVID))
+	}
+	// Every vehicle reports roughly every 30 s over 240 s.
+	for vid, n := range reportsPerVID {
+		if n < 6 || n > 9 {
+			t.Errorf("vehicle %d has %d reports", vid, n)
+		}
+	}
+}
+
+func TestGenerateAccidentsProduceStoppedVehicles(t *testing.T) {
+	recs := Generate(smallConfig())
+	stopped := 0
+	for _, r := range recs {
+		if r.Speed == 0 {
+			stopped++
+		}
+	}
+	if stopped == 0 {
+		t.Error("accident injection produced no stopped reports")
+	}
+}
+
+func TestReferenceBasics(t *testing.T) {
+	recs := Generate(smallConfig())
+	notes := Reference(recs)
+	if len(notes) == 0 {
+		t.Fatal("no notifications")
+	}
+	// Every vehicle's first report is a crossing, so there are at least as
+	// many notifications as vehicles.
+	if len(notes) < 60 {
+		t.Errorf("notifications = %d", len(notes))
+	}
+	accidents := 0
+	for _, n := range notes {
+		if n.Accident {
+			accidents++
+			if n.Toll != 0 {
+				t.Error("accident alerts are toll exempt")
+			}
+		}
+	}
+	if accidents == 0 {
+		t.Error("no accident alerts despite injected accidents")
+	}
+}
+
+func TestStopDetectionQuorum(t *testing.T) {
+	logic := newTollLogic()
+	r := Record{VID: 1, XWay: 0, Lane: 1, Dir: 0, Seg: 3, Pos: 3 * FeetPerSegment}
+	for i := 0; i < StoppedQuorum-1; i++ {
+		logic.observe(r)
+	}
+	if len(logic.stoppedAt) != 0 {
+		t.Fatal("stopped too early")
+	}
+	logic.observe(r)
+	if len(logic.stoppedAt) != 1 {
+		t.Fatal("not stopped at quorum")
+	}
+	// One stopped vehicle is not an accident.
+	if logic.accidentAhead(Record{XWay: 0, Dir: 0, Seg: 3}) {
+		t.Error("single stopped vehicle should not be an accident")
+	}
+	// Second vehicle at the same spot: accident.
+	r2 := r
+	r2.VID = 2
+	for i := 0; i < StoppedQuorum; i++ {
+		logic.observe(r2)
+	}
+	if !logic.accidentAhead(Record{XWay: 0, Dir: 0, Seg: 3}) {
+		t.Error("two stopped vehicles should be an accident")
+	}
+	// Upstream (dir 0 → smaller segments) within range sees it; beyond not.
+	if !logic.accidentAhead(Record{XWay: 0, Dir: 0, Seg: 0}) {
+		t.Error("segment 0 is within 4 of 3 in direction 0")
+	}
+	if logic.accidentAhead(Record{XWay: 0, Dir: 0, Seg: 4}) {
+		t.Error("downstream traffic (already past) should not alert")
+	}
+	if logic.accidentAhead(Record{XWay: 0, Dir: 1, Seg: 2}) {
+		t.Error("wrong direction should not alert")
+	}
+	// A vehicle moving again clears the accident.
+	r2.Pos += 100
+	logic.observe(r2)
+	if logic.accidentAhead(Record{XWay: 0, Dir: 0, Seg: 3}) {
+		t.Error("accident should clear when a vehicle moves")
+	}
+}
+
+func TestChargeRules(t *testing.T) {
+	logic := newTollLogic()
+	mkStats := func(cnt int64, lav float64, ok bool) statsLookup {
+		return func(_, _, _, _ int64) (int64, float64, bool) { return cnt, lav, ok }
+	}
+	r := Record{VID: 9, Time: 120, Seg: 10}
+	// Congested and busy: charged.
+	n := logic.charge(r, mkStats(80, 30, true))
+	if n.Toll != 2*30*30 {
+		t.Errorf("toll = %d", n.Toll)
+	}
+	// Fast traffic: free.
+	if n := logic.charge(r, mkStats(80, 55, true)); n.Toll != 0 {
+		t.Errorf("fast toll = %d", n.Toll)
+	}
+	// Quiet segment: free.
+	if n := logic.charge(r, mkStats(50, 30, true)); n.Toll != 0 {
+		t.Errorf("quiet toll = %d", n.Toll)
+	}
+	// No history: free.
+	if n := logic.charge(r, mkStats(0, 0, false)); n.Toll != 0 {
+		t.Errorf("no-history toll = %d", n.Toll)
+	}
+	// Minute zero: free.
+	r0 := r
+	r0.Time = 30
+	if n := logic.charge(r0, mkStats(80, 30, true)); n.Toll != 0 {
+		t.Errorf("minute-zero toll = %d", n.Toll)
+	}
+}
+
+// The headline correctness check: the DataCell pipeline (SQL windowed
+// statistics + toll processor) produces exactly the oracle's output.
+func TestSystemMatchesReference(t *testing.T) {
+	cfg := smallConfig()
+	recs := Generate(cfg)
+	want := Reference(recs)
+
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(recs); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Notifications()
+	if len(got) != len(want) {
+		t.Fatalf("notifications: got %d, want %d", len(got), len(want))
+	}
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("notification %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d of %d notifications differ", mismatches, len(want))
+	}
+	// Some toll was actually charged somewhere (the workload is dense
+	// enough) — guards against vacuous agreement.
+	var charged int64
+	for _, n := range want {
+		charged += n.Toll
+	}
+	if charged == 0 {
+		t.Log("warning: scenario charged no tolls; congestion too light")
+	}
+	if sys.Latency.Count() == 0 {
+		t.Error("no latency observations")
+	}
+}
+
+func TestSystemMultiXWay(t *testing.T) {
+	cfg := GenConfig{XWays: 2, VehiclesPerXWay: 40, DurationSec: 150, Seed: 7, AccidentEverySec: 60}
+	recs := Generate(cfg)
+	want := Reference(recs)
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(recs); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Notifications()
+	if len(got) != len(want) {
+		t.Fatalf("notifications: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("notification %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFeedRejectsWrongSecond(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Feed(5, []Record{{Time: 9}})
+	if err == nil {
+		t.Error("mis-timed batch should fail")
+	}
+}

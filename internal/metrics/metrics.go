@@ -1,0 +1,171 @@
+// Package metrics provides the small measurement kit used by the engine
+// and the benchmark harness: an injectable clock, latency histograms, and
+// throughput counters. Everything is safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so tests and simulations can drive it manually.
+type Clock interface {
+	// Now returns nanoseconds since the epoch.
+	Now() int64
+}
+
+// WallClock reads the system clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// ManualClock is an explicitly advanced clock for deterministic tests.
+type ManualClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+// NewManualClock starts at the given nanosecond timestamp.
+func NewManualClock(start int64) *ManualClock { return &ManualClock{ns: start} }
+
+// Now implements Clock.
+func (c *ManualClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ns
+}
+
+// Advance moves the clock forward by d nanoseconds.
+func (c *ManualClock) Advance(d int64) {
+	c.mu.Lock()
+	c.ns += d
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to ns.
+func (c *ManualClock) Set(ns int64) {
+	c.mu.Lock()
+	c.ns = ns
+	c.mu.Unlock()
+}
+
+// Histogram records int64 observations (typically latencies in
+// nanoseconds) and reports order statistics. It keeps every observation;
+// the workloads here are bounded, and exact quantiles make experiment
+// tables reproducible.
+type Histogram struct {
+	mu   sync.Mutex
+	vals []int64
+	sum  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	h.vals = append(h.vals, v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(len(h.vals))
+}
+
+// Quantile returns the q-th (0..1) order statistic, or 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), h.vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var max int64
+	for _, v := range h.vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.vals = h.vals[:0]
+	h.sum = 0
+	h.mu.Unlock()
+}
+
+// Summary renders count/mean/p50/p99/max with the values interpreted as
+// nanoseconds.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		h.Count(),
+		time.Duration(int64(h.Mean())),
+		time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.Max()))
+}
+
+// Counter is a concurrency-safe monotonic counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Rate computes a throughput given a wall-time interval.
+func Rate(count int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(count) / elapsed.Seconds()
+}

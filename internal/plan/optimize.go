@@ -1,0 +1,267 @@
+package plan
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/expr"
+)
+
+// Optimize runs the rule-based optimizer: predicate pushdown into scans
+// and join sides, followed by column pruning so scans materialize only the
+// attributes a query touches — the column-store benefit the paper leans on
+// (§2.2: "a query needs to read and process only the attributes required").
+func Optimize(n Node) Node {
+	n = pushdown(n)
+	all := make([]bool, n.Schema().Len())
+	for i := range all {
+		all[i] = true
+	}
+	pruned, _ := prune(n, all)
+	return pruned
+}
+
+// pushdown moves filter predicates toward the scans that can evaluate
+// them. Consuming scans never absorb outer predicates: the basket
+// expression alone decides which tuples are consumed (§2.6).
+func pushdown(n Node) Node {
+	switch x := n.(type) {
+	case *Select:
+		child := pushdown(x.Child)
+		return pushSelect(x.Pred, child)
+	case *Project:
+		return &Project{Child: pushdown(x.Child), Exprs: x.Exprs, Out: x.Out}
+	case *Join:
+		return &Join{L: pushdown(x.L), R: pushdown(x.R), On: x.On, Out: x.Out}
+	case *Aggregate:
+		return &Aggregate{Child: pushdown(x.Child), Keys: x.Keys, Aggs: x.Aggs, Out: x.Out}
+	case *Sort:
+		return &Sort{Child: pushdown(x.Child), Keys: x.Keys, Desc: x.Desc, Limit: x.Limit}
+	case *Distinct:
+		return &Distinct{Child: pushdown(x.Child)}
+	default:
+		return n
+	}
+}
+
+func pushSelect(pred expr.Expr, child Node) Node {
+	switch c := child.(type) {
+	case *Scan:
+		if c.Consuming {
+			return &Select{Child: c, Pred: pred}
+		}
+		combined := pred
+		if c.Filter != nil {
+			combined = &expr.Binary{Op: expr.And, L: c.Filter, R: pred}
+		}
+		return &Scan{Source: c.Source, Kind: c.Kind, Filter: combined,
+			Cols: c.Cols, Src: c.Src, Out: c.Out}
+	case *Select:
+		return pushSelect(&expr.Binary{Op: expr.And, L: c.Pred, R: pred}, c.Child)
+	case *Distinct:
+		// A filter commutes with duplicate elimination.
+		return &Distinct{Child: pushSelect(pred, c.Child)}
+	case *Join:
+		lw := c.L.Schema().Len()
+		var leftParts, rightParts, keep []expr.Expr
+		for _, p := range expr.SplitConjuncts(pred) {
+			cols := expr.Columns(p)
+			left, right := false, false
+			for _, ci := range cols {
+				if ci < lw {
+					left = true
+				} else {
+					right = true
+				}
+			}
+			switch {
+			case left && !right:
+				leftParts = append(leftParts, p)
+			case right && !left:
+				// Shift indexes into the right child's frame.
+				mapping := map[int]int{}
+				for _, ci := range cols {
+					mapping[ci] = ci - lw
+				}
+				rightParts = append(rightParts, expr.Remap(p, mapping))
+			default:
+				keep = append(keep, p)
+			}
+		}
+		l, r := c.L, c.R
+		if lp := expr.JoinConjuncts(leftParts); lp != nil {
+			l = pushSelect(lp, l)
+		}
+		if rp := expr.JoinConjuncts(rightParts); rp != nil {
+			r = pushSelect(rp, r)
+		}
+		join := &Join{L: l, R: r, On: c.On, Out: c.Out}
+		if kp := expr.JoinConjuncts(keep); kp != nil {
+			return &Select{Child: join, Pred: kp}
+		}
+		return join
+	default:
+		return &Select{Child: child, Pred: pred}
+	}
+}
+
+// prune removes unused columns bottom-up. need marks which output columns
+// of n the parent requires. It returns the pruned node and the index
+// mapping old→new for surviving columns.
+func prune(n Node, need []bool) (Node, map[int]int) {
+	switch x := n.(type) {
+	case *Scan:
+		newCols := make([]int, 0, len(x.Cols))
+		mapping := map[int]int{}
+		out := &catalog.Schema{}
+		for i, src := range x.Cols {
+			if !need[i] {
+				continue
+			}
+			mapping[i] = len(newCols)
+			newCols = append(newCols, src)
+			out.Columns = append(out.Columns, x.Out.Columns[i])
+		}
+		// Row cardinality must survive even when no column's values are
+		// needed (e.g. COUNT(*)): keep one column.
+		if len(newCols) == 0 && len(x.Cols) > 0 {
+			newCols = append(newCols, x.Cols[0])
+			out.Columns = append(out.Columns, x.Out.Columns[0])
+			mapping[0] = 0
+		}
+		return &Scan{Source: x.Source, Kind: x.Kind, Consuming: x.Consuming,
+			Filter: x.Filter, Cols: newCols, Src: x.Src, Out: out}, mapping
+
+	case *Select:
+		childNeed := append([]bool(nil), need...)
+		for _, ci := range expr.Columns(x.Pred) {
+			childNeed[ci] = true
+		}
+		child, m := prune(x.Child, childNeed)
+		return &Select{Child: child, Pred: expr.Remap(x.Pred, m)}, m
+
+	case *Project:
+		var exprs []expr.Expr
+		out := &catalog.Schema{}
+		mapping := map[int]int{}
+		childNeed := make([]bool, x.Child.Schema().Len())
+		for i, e := range x.Exprs {
+			if !need[i] {
+				continue
+			}
+			mapping[i] = len(exprs)
+			exprs = append(exprs, e)
+			out.Columns = append(out.Columns, x.Out.Columns[i])
+			for _, ci := range expr.Columns(e) {
+				childNeed[ci] = true
+			}
+		}
+		child, m := prune(x.Child, childNeed)
+		for i, e := range exprs {
+			exprs[i] = expr.Remap(e, m)
+		}
+		return &Project{Child: child, Exprs: exprs, Out: out}, mapping
+
+	case *Join:
+		lw := x.L.Schema().Len()
+		lNeed := make([]bool, lw)
+		rNeed := make([]bool, x.R.Schema().Len())
+		mark := func(i int) {
+			if i < lw {
+				lNeed[i] = true
+			} else {
+				rNeed[i-lw] = true
+			}
+		}
+		for i, nd := range need {
+			if nd {
+				mark(i)
+			}
+		}
+		if x.On != nil {
+			for _, ci := range expr.Columns(x.On) {
+				mark(ci)
+			}
+		}
+		l, lm := prune(x.L, lNeed)
+		r, rm := prune(x.R, rNeed)
+		newLW := l.Schema().Len()
+		mapping := map[int]int{}
+		for old, nw := range lm {
+			mapping[old] = nw
+		}
+		for old, nw := range rm {
+			mapping[lw+old] = newLW + nw
+		}
+		out := &catalog.Schema{}
+		out.Columns = append(out.Columns, l.Schema().Columns...)
+		out.Columns = append(out.Columns, r.Schema().Columns...)
+		var on expr.Expr
+		if x.On != nil {
+			on = expr.Remap(x.On, mapping)
+		}
+		return &Join{L: l, R: r, On: on, Out: out}, mapping
+
+	case *Aggregate:
+		// Keep all aggregate outputs (they are cheap scalars); prune below.
+		childNeed := make([]bool, x.Child.Schema().Len())
+		for _, k := range x.Keys {
+			for _, ci := range expr.Columns(k) {
+				childNeed[ci] = true
+			}
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				for _, ci := range expr.Columns(a.Arg) {
+					childNeed[ci] = true
+				}
+			}
+		}
+		child, m := prune(x.Child, childNeed)
+		keys := make([]expr.Expr, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = expr.Remap(k, m)
+		}
+		aggs := make([]AggSpec, len(x.Aggs))
+		for i, a := range x.Aggs {
+			aggs[i] = a
+			if a.Arg != nil {
+				aggs[i].Arg = expr.Remap(a.Arg, m)
+			}
+		}
+		mapping := map[int]int{}
+		for i := 0; i < x.Out.Len(); i++ {
+			mapping[i] = i
+		}
+		return &Aggregate{Child: child, Keys: keys, Aggs: aggs, Out: x.Out}, mapping
+
+	case *Distinct:
+		// Duplicate elimination compares whole rows: every child column is
+		// needed regardless of what the parent uses.
+		all := make([]bool, x.Child.Schema().Len())
+		for i := range all {
+			all[i] = true
+		}
+		child, m := prune(x.Child, all)
+		return &Distinct{Child: child}, m
+
+	case *Sort:
+		childNeed := append([]bool(nil), need...)
+		for _, k := range x.Keys {
+			for _, ci := range expr.Columns(k) {
+				childNeed[ci] = true
+			}
+		}
+		child, m := prune(x.Child, childNeed)
+		keys := make([]expr.Expr, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = expr.Remap(k, m)
+		}
+		return &Sort{Child: child, Keys: keys, Desc: x.Desc, Limit: x.Limit}, m
+
+	default:
+		mapping := map[int]int{}
+		for i := range need {
+			mapping[i] = i
+		}
+		return n, mapping
+	}
+}

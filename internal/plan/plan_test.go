@@ -1,0 +1,270 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	tbl := storage.NewTable("t", catalog.NewSchema(
+		catalog.Column{Name: "a", Type: vector.Int64},
+		catalog.Column{Name: "b", Type: vector.Float64},
+		catalog.Column{Name: "c", Type: vector.String},
+	))
+	if err := cat.Register("t", catalog.KindTable, tbl); err != nil {
+		t.Fatal(err)
+	}
+	bk := storage.NewTable("s", catalog.NewSchema(
+		catalog.Column{Name: "v", Type: vector.Int64},
+	).WithTimestamp())
+	if err := cat.Register("s", catalog.KindBasket, bk); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func mustBuild(t *testing.T, cat *catalog.Catalog, q string) Node {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(sel, cat)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", q, err)
+	}
+	return p
+}
+
+func TestBuildShapes(t *testing.T) {
+	cat := testCatalog(t)
+	cases := map[string]string{
+		"SELECT a FROM t":                      "Project",
+		"SELECT a FROM t WHERE a > 1":          "Project", // filter pushed into scan
+		"SELECT COUNT(*) FROM t":               "Project",
+		"SELECT a FROM t ORDER BY a":           "Sort",
+		"SELECT a FROM t LIMIT 3":              "Sort",
+		"SELECT t1.a FROM t t1, t t2":          "Project",
+		"SELECT a, COUNT(*) FROM t GROUP BY a": "Project",
+	}
+	for q, wantRoot := range cases {
+		p := mustBuild(t, cat, q)
+		if got := nodeName(p); got != wantRoot {
+			t.Errorf("%q root = %s, want %s\n%s", q, got, wantRoot, Explain(p))
+		}
+	}
+}
+
+func nodeName(n Node) string {
+	switch n.(type) {
+	case *Scan:
+		return "Scan"
+	case *Select:
+		return "Select"
+	case *Project:
+		return "Project"
+	case *Join:
+		return "Join"
+	case *Aggregate:
+		return "Aggregate"
+	case *Sort:
+		return "Sort"
+	default:
+		return "?"
+	}
+}
+
+func TestOutputSchemaNamesAndTypes(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat, "SELECT a, b * 2 AS dbl, c FROM t")
+	s := p.Schema()
+	if s.Len() != 3 {
+		t.Fatalf("schema = %v", s)
+	}
+	if s.Columns[0].Type != vector.Int64 || s.Columns[1].Type != vector.Float64 || s.Columns[2].Type != vector.String {
+		t.Errorf("types = %v", s)
+	}
+	if s.Columns[1].Name != "dbl" {
+		t.Errorf("alias = %q", s.Columns[1].Name)
+	}
+}
+
+func TestAggregateSchema(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat, "SELECT a, COUNT(*) AS n, AVG(b) AS m FROM t GROUP BY a")
+	s := p.Schema()
+	if s.Columns[1].Type != vector.Int64 || s.Columns[2].Type != vector.Float64 {
+		t.Errorf("agg types = %v", s)
+	}
+}
+
+func TestDuplicateAggregatesShareSlot(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat, "SELECT COUNT(*), COUNT(*) + 1 FROM t")
+	// Inner aggregate node computes COUNT(*) once.
+	proj, ok := p.(*Project)
+	if !ok {
+		t.Fatalf("root = %T", p)
+	}
+	agg, ok := proj.Child.(*Aggregate)
+	if !ok {
+		t.Fatalf("child = %T", proj.Child)
+	}
+	if len(agg.Aggs) != 1 {
+		t.Errorf("aggs = %d, want 1 (deduplicated)", len(agg.Aggs))
+	}
+}
+
+func TestPushdownThroughJoin(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat,
+		"SELECT t1.a FROM t t1 JOIN t t2 ON t1.a = t2.a WHERE t1.b > 1 AND t2.b < 5 AND t1.a + t2.a > 0")
+	// The single-side conjuncts must be gone from above the join.
+	explained := Explain(p)
+	if strings.Count(explained, "Select(") > 1 {
+		t.Errorf("expected at most one residual Select:\n%s", explained)
+	}
+	// Both scans carry filters.
+	filters := strings.Count(explained, "filter=")
+	if filters != 2 {
+		t.Errorf("pushed filters = %d, want 2:\n%s", filters, explained)
+	}
+}
+
+func TestOptimizeIsIdempotent(t *testing.T) {
+	cat := testCatalog(t)
+	for _, q := range []string{
+		"SELECT a FROM t WHERE a > 1 AND b < 2",
+		"SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a LIMIT 3",
+		"SELECT t1.a FROM t t1 JOIN t t2 ON t1.a = t2.a WHERE t1.b > 1",
+	} {
+		sel, _ := sql.ParseSelect(q)
+		p1, err := Build(sel, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := Optimize(p1)
+		if Explain(p1) != Explain(p2) {
+			t.Errorf("%q: Optimize not idempotent:\n%s\nvs\n%s", q, Explain(p1), Explain(p2))
+		}
+	}
+}
+
+func TestBasketExprPlanHasConsumingScan(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat, "SELECT * FROM [SELECT * FROM s WHERE v > 5] AS x")
+	found := false
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			if x.Consuming {
+				found = true
+				if x.Filter == nil {
+					t.Error("predicate window lost its filter")
+				}
+			}
+		case *Select:
+			walk(x.Child)
+		case *Project:
+			walk(x.Child)
+		case *Sort:
+			walk(x.Child)
+		case *Aggregate:
+			walk(x.Child)
+		case *Join:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	walk(p)
+	if !found {
+		t.Fatalf("no consuming scan:\n%s", Explain(p))
+	}
+}
+
+func TestStarOverBasketHidesTS(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat, "SELECT * FROM s")
+	if p.Schema().Index(catalog.TimestampColumn) >= 0 {
+		t.Errorf("ts leaked into *: %v", p.Schema().Names())
+	}
+	p = mustBuild(t, cat, "SELECT ts FROM s")
+	if p.Schema().Len() != 1 {
+		t.Error("explicit ts select failed")
+	}
+}
+
+func TestJoinSchemaConcatenation(t *testing.T) {
+	cat := testCatalog(t)
+	sel, _ := sql.ParseSelect("SELECT * FROM t t1 JOIN t t2 ON t1.a = t2.a")
+	p, err := Build(sel, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().Len() != 6 {
+		t.Errorf("star over join = %v", p.Schema().Names())
+	}
+}
+
+func TestExplainCoversAllNodes(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat,
+		"SELECT a, COUNT(*) AS n FROM t WHERE b > 0 GROUP BY a HAVING COUNT(*) > 1 ORDER BY a LIMIT 2")
+	out := Explain(p)
+	for _, want := range []string{"Sort", "Project", "Select", "Aggregate", "Scan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRetypedNullComparison(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBuild(t, cat, "SELECT a FROM t WHERE b = NULL")
+	// The NULL literal must have been retyped (no Unknown left anywhere).
+	var check func(e expr.Expr)
+	check = func(e expr.Expr) {
+		switch x := e.(type) {
+		case *expr.Const:
+			if x.Val.Typ == vector.Unknown {
+				t.Error("untyped NULL survived planning")
+			}
+		case *expr.Binary:
+			check(x.L)
+			check(x.R)
+		case *expr.Not:
+			check(x.E)
+		case *expr.Neg:
+			check(x.E)
+		case *expr.IsNull:
+			check(x.E)
+		}
+	}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			if x.Filter != nil {
+				check(x.Filter)
+			}
+		case *Select:
+			check(x.Pred)
+			walk(x.Child)
+		case *Project:
+			for _, e := range x.Exprs {
+				check(e)
+			}
+			walk(x.Child)
+		}
+	}
+	walk(p)
+}

@@ -1,0 +1,248 @@
+// Package scheduler implements the DataCell's Petri-net processing model
+// (§2.4): receptors, factories, and emitters are transitions; baskets are
+// token places. A transition fires when all of its input places hold
+// enough tuples. The scheduler continuously re-evaluates firing conditions
+// and runs fireable transitions.
+//
+// Two modes are provided:
+//
+//   - Step/Drain: deterministic, single-threaded firing on the caller's
+//     goroutine — used by tests and the benchmark harness.
+//   - Start/Stop: a worker pool woken by basket appends — the
+//     multi-threaded architecture of the paper.
+//
+// A scheduler must be driven by exactly one of the two modes at a time.
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transition is a Petri-net transition: a receptor, factory, or emitter.
+type Transition interface {
+	// Name identifies the transition in diagnostics.
+	Name() string
+	// Ready reports whether the firing condition holds (all input baskets
+	// hold at least the transition's minimum tuple count).
+	Ready() bool
+	// Fire performs one processing step: consume inputs, produce outputs.
+	Fire() error
+}
+
+// entry pairs a transition with its priority and its concurrent-mode
+// claim flag (the flag travels with the transition across reorderings).
+type entry struct {
+	t    Transition
+	prio int
+	busy int32
+}
+
+// Scheduler organizes transition execution.
+type Scheduler struct {
+	mu      sync.Mutex
+	entries []*entry
+
+	wake    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+
+	// OnError, when set, receives transition failures; by default they are
+	// recorded and firing continues.
+	OnError func(name string, err error)
+
+	errMu   sync.Mutex
+	lastErr error
+	fired   int64
+}
+
+// New returns an empty scheduler.
+func New() *Scheduler {
+	return &Scheduler{wake: make(chan struct{}, 1)}
+}
+
+// Add registers a transition at priority 0.
+func (s *Scheduler) Add(t Transition) { s.AddWithPriority(t, 0) }
+
+// AddWithPriority registers a transition. Higher-priority transitions are
+// scanned (and therefore fired) first — the paper's "different query
+// priorities" hook. Ties keep registration order.
+func (s *Scheduler) AddWithPriority(t Transition, priority int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Insert before the first strictly lower priority, keeping stability.
+	pos := len(s.entries)
+	for i, e := range s.entries {
+		if e.prio < priority {
+			pos = i
+			break
+		}
+	}
+	s.entries = append(s.entries, nil)
+	copy(s.entries[pos+1:], s.entries[pos:])
+	s.entries[pos] = &entry{t: t, prio: priority}
+}
+
+// Remove unregisters a transition by name.
+func (s *Scheduler) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.entries {
+		if e.t.Name() == name {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Transitions returns a snapshot of the registered transitions in
+// scheduling order.
+func (s *Scheduler) Transitions() []Transition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Transition, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.t
+	}
+	return out
+}
+
+// Notify wakes the worker pool; baskets call it on append.
+func (s *Scheduler) Notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Step runs one deterministic pass: every currently-ready transition fires
+// once, in registration order. It returns the number of firings.
+func (s *Scheduler) Step() int {
+	fired := 0
+	for _, t := range s.Transitions() {
+		if !t.Ready() {
+			continue
+		}
+		s.fire(t)
+		fired++
+	}
+	return fired
+}
+
+// Drain repeatedly Steps until no transition is ready (the net is dead, in
+// Petri-net terms) or maxRounds passes elapse. It returns the total number
+// of firings.
+func (s *Scheduler) Drain(maxRounds int) int {
+	total := 0
+	for round := 0; round < maxRounds; round++ {
+		n := s.Step()
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+	return total
+}
+
+func (s *Scheduler) fire(t Transition) {
+	atomic.AddInt64(&s.fired, 1)
+	if err := t.Fire(); err != nil {
+		s.errMu.Lock()
+		s.lastErr = err
+		s.errMu.Unlock()
+		if s.OnError != nil {
+			s.OnError(t.Name(), err)
+		}
+	}
+}
+
+// Fired returns the total number of transition firings.
+func (s *Scheduler) Fired() int64 { return atomic.LoadInt64(&s.fired) }
+
+// Err returns the most recent transition error, if any.
+func (s *Scheduler) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}
+
+// Start launches the worker pool (concurrent mode). Each worker scans for
+// a ready, unclaimed transition and fires it; with nothing ready, workers
+// sleep until a basket append notifies them (with a periodic fallback scan
+// so time-based windows advance).
+func (s *Scheduler) Start(workers int) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.done = make(chan struct{})
+	s.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.fireOne() {
+			// Keep going while there is work — but let Stop interrupt a
+			// continuously-ready net.
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			continue
+		}
+		select {
+		case <-s.done:
+			return
+		case <-s.wake:
+		case <-tick.C:
+		}
+	}
+}
+
+// fireOne claims and fires the first ready transition; it reports whether
+// it fired anything.
+func (s *Scheduler) fireOne() bool {
+	s.mu.Lock()
+	es := append([]*entry(nil), s.entries...)
+	s.mu.Unlock()
+	for _, e := range es {
+		if !atomic.CompareAndSwapInt32(&e.busy, 0, 1) {
+			continue
+		}
+		if e.t.Ready() {
+			s.fire(e.t)
+			atomic.StoreInt32(&e.busy, 0)
+			return true
+		}
+		atomic.StoreInt32(&e.busy, 0)
+	}
+	return false
+}
+
+// Stop terminates the worker pool and waits for in-flight firings.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	close(s.done)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

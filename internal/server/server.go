@@ -1,0 +1,222 @@
+// Package server exposes the DataCell engine over TCP: receptor listeners
+// accept flat-text tuples into streams, emitter listeners deliver
+// continuous-query results to subscribers, and a control listener executes
+// one-time SQL — the adapter periphery of §2.1 as a network daemon.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	datacell "repro"
+	"repro/internal/adapters"
+	"repro/internal/catalog"
+)
+
+// Server wires one engine to its listeners.
+type Server struct {
+	eng *datacell.Engine
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...interface{})
+}
+
+// New wraps an engine.
+func New(eng *datacell.Engine) *Server { return &Server{eng: eng} }
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// RunScript executes a statement script: semicolon-separated SQL, where
+// the extension form `CONTINUOUS <name> <select>` registers a continuous
+// query.
+func (s *Server) RunScript(script string) error {
+	for _, stmt := range strings.Split(script, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if rest, ok := cutKeyword(stmt, "CONTINUOUS"); ok {
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("server: CONTINUOUS needs a name and a query: %q", stmt)
+			}
+			if _, err := s.eng.RegisterContinuous(parts[0], strings.TrimSpace(parts[1])); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := s.eng.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cutKeyword(stmt, kw string) (string, bool) {
+	if len(stmt) > len(kw) && strings.EqualFold(stmt[:len(kw)], kw) &&
+		(stmt[len(kw)] == ' ' || stmt[len(kw)] == '\t' || stmt[len(kw)] == '\n') {
+		return strings.TrimSpace(stmt[len(kw):]), true
+	}
+	return "", false
+}
+
+// ListenIngest starts the stream-ingestion listener and returns its bound
+// address. Protocol: the first line names the stream; each further line
+// is one comma-separated tuple.
+func (s *Server) ListenIngest(addr string) (net.Addr, error) {
+	return s.listen(addr, s.ServeIngest)
+}
+
+// ListenResults starts the result-subscription listener. Protocol: the
+// first line names a continuous query; result tuples stream back.
+func (s *Server) ListenResults(addr string) (net.Addr, error) {
+	return s.listen(addr, s.ServeResults)
+}
+
+// ListenSQL starts the one-time SQL listener (one statement per line).
+func (s *Server) ListenSQL(addr string) (net.Addr, error) {
+	return s.listen(addr, s.ServeSQL)
+}
+
+func (s *Server) listen(addr string, handle func(io.ReadWriteCloser)) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handle(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops all listeners.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ln := range s.listeners {
+		_ = ln.Close()
+	}
+	s.listeners = nil
+}
+
+// ServeIngest handles one receptor connection.
+func (s *Server) ServeIngest(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	streamName, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	streamName = strings.TrimSpace(streamName)
+	b, err := s.eng.Stream(streamName)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	userSchema := &catalog.Schema{Columns: b.Schema().Columns[:b.UserWidth()]}
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	var pending [][]datacell.Value
+	flush := func() {
+		if len(pending) > 0 {
+			if err := s.eng.Ingest(streamName, pending); err != nil {
+				s.logf("ingest %s: %v", streamName, err)
+			}
+			pending = pending[:0]
+		}
+	}
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		row, err := adapters.ParseTuple(userSchema, line)
+		if err != nil {
+			s.logf("ingest %s: %v", streamName, err)
+			continue
+		}
+		pending = append(pending, row)
+		if len(pending) >= 128 {
+			flush()
+		}
+	}
+	flush()
+}
+
+// ServeResults handles one subscriber connection.
+func (s *Server) ServeResults(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	name, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	q, err := s.eng.Query(strings.TrimSpace(name))
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	w := bufio.NewWriter(conn)
+	for rel := range q.Results() {
+		userW := rel.Schema.Len()
+		if rel.Schema.Index(catalog.TimestampColumn) == userW-1 {
+			userW-- // strip the output basket's delivery timestamp
+		}
+		for i := 0; i < rel.NumRows(); i++ {
+			row := rel.Row(i)
+			if _, err := fmt.Fprintln(w, adapters.FormatTuple(row[:userW])); err != nil {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// ServeSQL handles one control connection.
+func (s *Server) ServeSQL(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	for scanner.Scan() {
+		stmt := strings.TrimSpace(scanner.Text())
+		if stmt == "" {
+			continue
+		}
+		rel, err := s.eng.Exec(stmt)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "ERR %v\n", err)
+		case rel != nil:
+			fmt.Fprint(w, rel.String())
+			fmt.Fprintln(w, "OK")
+		default:
+			fmt.Fprintln(w, "OK")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	datacell "repro"
+)
+
+func newServer(t *testing.T) (*Server, *datacell.Engine) {
+	t.Helper()
+	eng := datacell.New(datacell.Config{Workers: 2})
+	s := New(eng)
+	if err := s.RunScript(`
+		CREATE BASKET sensors (id INT, temp DOUBLE);
+		CONTINUOUS hot SELECT * FROM [SELECT * FROM sensors] AS x WHERE x.temp > 30.0;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	t.Cleanup(func() {
+		s.Close()
+		eng.Stop()
+	})
+	return s, eng
+}
+
+func dial(t *testing.T, addr net.Addr) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+func TestRunScriptErrors(t *testing.T) {
+	eng := datacell.New(datacell.Config{})
+	s := New(eng)
+	if err := s.RunScript("CONTINUOUS justaname"); err == nil {
+		t.Error("CONTINUOUS without query should fail")
+	}
+	if err := s.RunScript("BOGUS SQL"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	if err := s.RunScript("  ;;  ;"); err != nil {
+		t.Errorf("empty statements should be skipped: %v", err)
+	}
+}
+
+func TestEndToEndTCP(t *testing.T) {
+	s, _ := newServer(t)
+	ingestAddr, err := s.ListenIngest("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultAddr, err := s.ListenResults("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlAddr, err := s.ListenSQL("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscribe first.
+	sub := dial(t, resultAddr)
+	fmt.Fprintln(sub, "hot")
+	results := bufio.NewScanner(sub)
+
+	// Feed tuples, one cold and two hot, plus one malformed line.
+	in := dial(t, ingestAddr)
+	fmt.Fprintln(in, "sensors")
+	fmt.Fprintln(in, "1,20.5")
+	fmt.Fprintln(in, "not,a,tuple")
+	fmt.Fprintln(in, "2,31.5")
+	fmt.Fprintln(in, "3,40.0")
+	_ = in.Close()
+
+	var got []string
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for results.Scan() {
+			lines <- results.Text()
+		}
+		close(lines)
+	}()
+	for len(got) < 2 {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatalf("subscription closed early; got %v", got)
+			}
+			got = append(got, l)
+		case <-deadline:
+			t.Fatalf("timeout; got %v", got)
+		}
+	}
+	if got[0] != "2,31.5" || got[1] != "3,40" {
+		t.Errorf("results = %v", got)
+	}
+
+	// One-time SQL over the control port.
+	ctl := dial(t, sqlAddr)
+	fmt.Fprintln(ctl, "SELECT COUNT(*) FROM sensors")
+	r := bufio.NewScanner(ctl)
+	var resp []string
+	for r.Scan() {
+		resp = append(resp, r.Text())
+		if r.Text() == "OK" || strings.HasPrefix(r.Text(), "ERR") {
+			break
+		}
+	}
+	joined := strings.Join(resp, "\n")
+	if !strings.Contains(joined, "OK") {
+		t.Errorf("sql response = %q", joined)
+	}
+
+	// Error paths.
+	badIn := dial(t, ingestAddr)
+	fmt.Fprintln(badIn, "nosuchstream")
+	br := bufio.NewScanner(badIn)
+	if !br.Scan() || !strings.HasPrefix(br.Text(), "ERR") {
+		t.Errorf("expected ERR for unknown stream, got %q", br.Text())
+	}
+
+	badSub := dial(t, resultAddr)
+	fmt.Fprintln(badSub, "nosuchquery")
+	bs := bufio.NewScanner(badSub)
+	if !bs.Scan() || !strings.HasPrefix(bs.Text(), "ERR") {
+		t.Errorf("expected ERR for unknown query, got %q", bs.Text())
+	}
+
+	badCtl := dial(t, sqlAddr)
+	fmt.Fprintln(badCtl, "SELECT broken FROM nowhere")
+	bc := bufio.NewScanner(badCtl)
+	if !bc.Scan() || !strings.HasPrefix(bc.Text(), "ERR") {
+		t.Errorf("expected ERR for bad SQL, got %q", bc.Text())
+	}
+}
+
+func TestDDLOverSQLPort(t *testing.T) {
+	s, eng := newServer(t)
+	sqlAddr, err := s.ListenSQL("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := dial(t, sqlAddr)
+	fmt.Fprintln(ctl, "CREATE TABLE ref (k INT, v VARCHAR)")
+	r := bufio.NewScanner(ctl)
+	if !r.Scan() || r.Text() != "OK" {
+		t.Fatalf("create: %q", r.Text())
+	}
+	fmt.Fprintln(ctl, "INSERT INTO ref VALUES (1, 'one')")
+	if !r.Scan() || r.Text() != "OK" {
+		t.Fatalf("insert: %q", r.Text())
+	}
+	rel, err := eng.Exec("SELECT v FROM ref WHERE k = 1")
+	if err != nil || rel.NumRows() != 1 {
+		t.Fatalf("rel = %v err = %v", rel, err)
+	}
+}

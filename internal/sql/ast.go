@@ -1,0 +1,246 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vector"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColDef is one column in a CREATE statement.
+type ColDef struct {
+	Name string
+	Type vector.Type
+}
+
+// CreateStmt is CREATE TABLE / CREATE BASKET.
+type CreateStmt struct {
+	Name   string
+	Basket bool
+	Cols   []ColDef
+}
+
+func (*CreateStmt) stmt() {}
+
+// DropStmt is DROP TABLE / DROP BASKET.
+type DropStmt struct {
+	Name   string
+	Basket bool
+}
+
+func (*DropStmt) stmt() {}
+
+// InsertStmt is INSERT INTO t VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr // literal expressions only
+}
+
+func (*InsertStmt) stmt() {}
+
+// SelectItem is one output of a SELECT list.
+type SelectItem struct {
+	Star  bool   // SELECT *
+	Expr  Expr   // nil when Star
+	Alias string // optional AS name
+}
+
+// FromItem is one entry of the FROM clause. Exactly one of Table or Sub is
+// set. Basket marks the paper's bracketed basket expression `[select …]`,
+// whose referenced tuples are consumed from the underlying basket.
+type FromItem struct {
+	Table  string
+	Sub    *SelectStmt
+	Basket bool
+	Alias  string
+	// JoinOn, when non-nil, joins this item to the accumulated left input
+	// (written as JOIN … ON …). Nil means cross product (comma syntax).
+	JoinOn Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// WindowKind distinguishes count- and time-based windows.
+type WindowKind uint8
+
+// Window kinds.
+const (
+	WindowNone  WindowKind = iota
+	WindowRows             // count-based, over arrival order
+	WindowRange            // time-based, over the basket's ts column
+)
+
+// WindowClause is the DataCell window extension:
+//
+//	WINDOW ROWS n SLIDE s   — count-based sliding window
+//	WINDOW RANGE n SLIDE s  — time-based sliding window over ts (nanoseconds)
+//
+// SLIDE defaults to the window size (a tumbling window).
+type WindowClause struct {
+	Kind  WindowKind
+	Size  int64
+	Slide int64
+}
+
+// SelectStmt is a (possibly continuous) SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	Window   *WindowClause
+}
+
+func (*SelectStmt) stmt() {}
+
+// IsContinuous reports whether the statement is a continuous query: per the
+// paper (§2.6), a query is continuous iff it contains a basket expression.
+func (s *SelectStmt) IsContinuous() bool {
+	for _, f := range s.From {
+		if f.Basket {
+			return true
+		}
+		if f.Sub != nil && f.Sub.IsContinuous() {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr is an unresolved (pre-planning) expression node.
+type Expr interface{ expr() }
+
+// Ident is a possibly qualified column reference.
+type Ident struct {
+	Qualifier string // table alias; empty if unqualified
+	Name      string
+}
+
+func (*Ident) expr() {}
+
+// String renders the reference.
+func (i *Ident) String() string {
+	if i.Qualifier != "" {
+		return i.Qualifier + "." + i.Name
+	}
+	return i.Name
+}
+
+// Lit is a literal value.
+type Lit struct{ Val vector.Value }
+
+func (*Lit) expr() {}
+
+// UnaryExpr is -e or NOT e.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	E  Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// BinaryExpr applies an infix operator: + - * / % = <> < <= > >= AND OR.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// CallExpr is an aggregate call: COUNT(*|e), SUM(e), MIN(e), MAX(e),
+// AVG(e), or COUNT(DISTINCT e).
+type CallExpr struct {
+	Name     string // upper-case
+	Star     bool   // COUNT(*)
+	Distinct bool   // COUNT(DISTINCT e)
+	Arg      Expr   // nil when Star
+}
+
+func (*CallExpr) expr() {}
+
+// ExprString renders an expression for diagnostics.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.String()
+	case *Lit:
+		if x.Val.Typ == vector.String && !x.Val.Null {
+			return "'" + x.Val.S + "'"
+		}
+		return x.Val.String()
+	case *UnaryExpr:
+		return fmt.Sprintf("(%s %s)", x.Op, ExprString(x.E))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), x.Op, ExprString(x.R))
+	case *IsNullExpr:
+		if x.Not {
+			return fmt.Sprintf("(%s IS NOT NULL)", ExprString(x.E))
+		}
+		return fmt.Sprintf("(%s IS NULL)", ExprString(x.E))
+	case *CallExpr:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		if x.Distinct {
+			return fmt.Sprintf("%s(DISTINCT %s)", x.Name, ExprString(x.Arg))
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, ExprString(x.Arg))
+	default:
+		return "?"
+	}
+}
+
+// StmtString renders a statement for diagnostics.
+func StmtString(s Statement) string {
+	switch x := s.(type) {
+	case *SelectStmt:
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if it.Star {
+				b.WriteString("*")
+			} else {
+				b.WriteString(ExprString(it.Expr))
+				if it.Alias != "" {
+					b.WriteString(" AS " + it.Alias)
+				}
+			}
+		}
+		b.WriteString(" FROM …")
+		return b.String()
+	case *CreateStmt:
+		kind := "TABLE"
+		if x.Basket {
+			kind = "BASKET"
+		}
+		return fmt.Sprintf("CREATE %s %s", kind, x.Name)
+	case *InsertStmt:
+		return fmt.Sprintf("INSERT INTO %s (%d rows)", x.Table, len(x.Rows))
+	case *DropStmt:
+		return fmt.Sprintf("DROP %s", x.Name)
+	default:
+		return "?"
+	}
+}

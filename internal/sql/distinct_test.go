@@ -1,0 +1,45 @@
+package sql
+
+import "testing"
+
+func TestParseSelectDistinct(t *testing.T) {
+	s := mustSelect(t, "SELECT DISTINCT a, b FROM t")
+	if !s.Distinct {
+		t.Error("Distinct flag not set")
+	}
+	s = mustSelect(t, "SELECT a FROM t")
+	if s.Distinct {
+		t.Error("Distinct flag set without keyword")
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	s := mustSelect(t, "SELECT COUNT(DISTINCT a) FROM t")
+	c := s.Items[0].Expr.(*CallExpr)
+	if !c.Distinct || c.Star || c.Arg == nil {
+		t.Errorf("call = %+v", c)
+	}
+	if got := ExprString(c); got != "COUNT(DISTINCT a)" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestParseDistinctOnlyForCount(t *testing.T) {
+	for _, q := range []string{
+		"SELECT SUM(DISTINCT a) FROM t",
+		"SELECT AVG(DISTINCT a) FROM t",
+		"SELECT MIN(DISTINCT a) FROM t",
+	} {
+		if _, err := ParseSelect(q); err == nil {
+			t.Errorf("%q should fail to parse", q)
+		}
+	}
+}
+
+func TestParseDistinctWithEverything(t *testing.T) {
+	s := mustSelect(t,
+		"SELECT DISTINCT k, COUNT(DISTINCT v) AS dv FROM t GROUP BY k HAVING COUNT(*) > 1 ORDER BY k LIMIT 5")
+	if !s.Distinct || s.Limit != 5 || len(s.GroupBy) != 1 {
+		t.Errorf("stmt = %+v", s)
+	}
+}

@@ -1,0 +1,166 @@
+// Package sql implements the DataCell SQL front end: a lexer, an abstract
+// syntax tree, and a recursive-descent parser for the SQL subset the engine
+// supports, extended with the paper's orthogonal continuous-query
+// constructs (CREATE BASKET, and basket expressions written as a bracketed
+// sub-query in FROM).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TEOF TokenKind = iota
+	TIdent
+	TKeyword
+	TNumber
+	TString
+	TOp    // + - * / % = <> != < <= > >= . ,
+	TPunct // ( ) [ ] ;
+)
+
+// Token is one lexical unit. Keywords are upper-cased in Text; identifiers
+// keep their original spelling.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "IS": true, "IN": true, "BETWEEN": true,
+	"CREATE": true, "TABLE": true, "BASKET": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DROP": true, "JOIN": true, "INNER": true,
+	"ON": true, "DISTINCT": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "DELETE": true, "WINDOW": true, "SLIDE": true,
+	"RANGE": true, "ROWS": true, "EVERY": true,
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			seenDot := false
+			for i < n && (isDigit(input[i]) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// exponent
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && isDigit(input[j]) {
+					i = j
+					for i < n && isDigit(input[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{Kind: TNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TString, Text: sb.String(), Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TIdent, Text: word, Pos: start})
+			}
+		case c == '(' || c == ')' || c == '[' || c == ']' || c == ';':
+			toks = append(toks, Token{Kind: TPunct, Text: string(c), Pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TOp, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TOp, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TOp, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TOp, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TOp, Text: "<>", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		case strings.ContainsRune("+-*/%=.,", rune(c)):
+			toks = append(toks, Token{Kind: TOp, Text: string(c), Pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

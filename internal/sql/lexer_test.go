@@ -1,0 +1,130 @@
+package sql
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasic(t *testing.T) {
+	toks, err := Lex("SELECT a, b FROM t WHERE a >= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TKeyword, "SELECT"}, {TIdent, "a"}, {TOp, ","}, {TIdent, "b"},
+		{TKeyword, "FROM"}, {TIdent, "t"}, {TKeyword, "WHERE"},
+		{TIdent, "a"}, {TOp, ">="}, {TNumber, "10"}, {TEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("tok[%d] = {%d %q}, want {%d %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, _ := Lex("select From wHeRe")
+	for _, tk := range toks[:3] {
+		if tk.Kind != TKeyword {
+			t.Errorf("%q should be a keyword", tk.Text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	for _, s := range []string{"0", "42", "3.5", ".5", "1e6", "2.5E-3"} {
+		toks, err := Lex(s)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", s, err)
+		}
+		if toks[0].Kind != TNumber || toks[0].Text != s {
+			t.Errorf("Lex(%q) = %v", s, toks[0])
+		}
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex("'hello world'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TString || toks[0].Text != "hello world" {
+		t.Errorf("string token = %v", toks[0])
+	}
+	// Escaped quote.
+	toks, _ = Lex("'it''s'")
+	if toks[0].Text != "it's" {
+		t.Errorf("escaped quote: %q", toks[0].Text)
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	if _, err := Lex("'oops"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("< <= > >= = <> != + - * / % . ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<", "<=", ">", ">=", "=", "<>", "<>", "+", "-", "*", "/", "%", ".", ","}
+	for i, w := range want {
+		if toks[i].Kind != TOp || toks[i].Text != w {
+			t.Errorf("op[%d] = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexBrackets(t *testing.T) {
+	toks, err := Lex("[ ] ( ) ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []string{"[", "]", "(", ")", ";"} {
+		if toks[i].Kind != TPunct || toks[i].Text != w {
+			t.Errorf("punct[%d] = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComment(t *testing.T) {
+	toks, err := Lex("SELECT -- the select list\n a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Text != "a" {
+		t.Errorf("comment not skipped: %v", toks)
+	}
+}
+
+func TestLexIllegalChar(t *testing.T) {
+	if _, err := Lex("a ? b"); err == nil {
+		t.Error("illegal char should fail")
+	}
+	if _, err := Lex("a ! b"); err == nil {
+		t.Error("lone ! should fail")
+	}
+}
+
+func TestLexEmpty(t *testing.T) {
+	toks, err := Lex("   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Kind != TEOF {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}

@@ -1,0 +1,717 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vector"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TPunct, ";")
+	if p.peek().Kind != TEOF {
+		return nil, p.errorf("unexpected %q after statement", p.peek().Text)
+	}
+	return st, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(input string) (*SelectStmt, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+// accept consumes the next token if it matches kind and (case-sensitive on
+// canonical text) value; it reports whether it did.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && t.Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errorf("expected %q, found %q", text, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(TKeyword, kw) }
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.Kind != TIdent {
+		return "", p.errorf("expected identifier, found %q", t.Text)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch t := p.peek(); {
+	case t.Kind == TKeyword && t.Text == "SELECT":
+		return p.parseSelect()
+	case t.Kind == TKeyword && t.Text == "CREATE":
+		return p.parseCreate()
+	case t.Kind == TKeyword && t.Text == "INSERT":
+		return p.parseInsert()
+	case t.Kind == TKeyword && t.Text == "DROP":
+		return p.parseDrop()
+	default:
+		return nil, p.errorf("expected statement, found %q", t.Text)
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	basket := false
+	switch {
+	case p.acceptKeyword("TABLE"):
+	case p.acceptKeyword("BASKET"):
+		basket = true
+	default:
+		return nil, p.errorf("expected TABLE or BASKET")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TPunct, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColDef
+	for {
+		cname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.Kind != TIdent && t.Kind != TKeyword {
+			return nil, p.errorf("expected type name, found %q", t.Text)
+		}
+		p.pos++
+		typ, err := vector.ParseType(t.Text)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, ColDef{Name: cname, Type: typ})
+		if p.accept(TOp, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(TPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateStmt{Name: name, Basket: basket, Cols: cols}, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	basket := false
+	switch {
+	case p.acceptKeyword("TABLE"):
+	case p.acceptKeyword("BASKET"):
+		basket = true
+	default:
+		return nil, p.errorf("expected TABLE or BASKET")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropStmt{Name: name, Basket: basket}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]Expr
+	for {
+		if err := p.expect(TPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(TOp, ",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(TPunct, ")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.accept(TOp, ",") {
+			continue
+		}
+		break
+	}
+	return &InsertStmt{Table: name, Rows: rows}, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	}
+
+	// Select list.
+	for {
+		if p.accept(TOp, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.peek().Kind == TIdent {
+				item.Alias = p.next().Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if p.accept(TOp, ",") {
+			continue
+		}
+		break
+	}
+
+	// FROM.
+	if p.acceptKeyword("FROM") {
+		item, err := p.parseFromItem(nil)
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, *item)
+		for {
+			if p.accept(TOp, ",") {
+				item, err := p.parseFromItem(nil)
+				if err != nil {
+					return nil, err
+				}
+				sel.From = append(sel.From, *item)
+				continue
+			}
+			if p.acceptKeyword("INNER") {
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+			} else if !p.acceptKeyword("JOIN") {
+				break
+			}
+			item, err := p.parseFromItem(nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.JoinOn = on
+			sel.From = append(sel.From, *item)
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				it.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, it)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TNumber {
+			return nil, p.errorf("expected number after LIMIT")
+		}
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	if p.acceptKeyword("WINDOW") {
+		w, err := p.parseWindow()
+		if err != nil {
+			return nil, err
+		}
+		sel.Window = w
+	}
+	return sel, nil
+}
+
+func (p *parser) parseWindow() (*WindowClause, error) {
+	w := &WindowClause{}
+	switch {
+	case p.acceptKeyword("ROWS"):
+		w.Kind = WindowRows
+	case p.acceptKeyword("RANGE"):
+		w.Kind = WindowRange
+	default:
+		return nil, p.errorf("expected ROWS or RANGE after WINDOW")
+	}
+	t := p.peek()
+	if t.Kind != TNumber {
+		return nil, p.errorf("expected window size")
+	}
+	p.pos++
+	size, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil || size <= 0 {
+		return nil, p.errorf("invalid window size %q", t.Text)
+	}
+	w.Size = size
+	w.Slide = size // tumbling by default
+	if p.acceptKeyword("SLIDE") {
+		t := p.peek()
+		if t.Kind != TNumber {
+			return nil, p.errorf("expected slide size")
+		}
+		p.pos++
+		slide, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || slide <= 0 || slide > size {
+			return nil, p.errorf("invalid slide %q (must be in 1..window size)", t.Text)
+		}
+		w.Slide = slide
+	}
+	return w, nil
+}
+
+// parseFromItem parses one FROM entry: a table name, a parenthesized
+// sub-query, or a bracketed basket expression.
+func (p *parser) parseFromItem(_ *FromItem) (*FromItem, error) {
+	item := &FromItem{}
+	switch {
+	case p.accept(TPunct, "["):
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TPunct, "]"); err != nil {
+			return nil, err
+		}
+		item.Sub = sub
+		item.Basket = true
+	case p.accept(TPunct, "("):
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TPunct, ")"); err != nil {
+			return nil, err
+		}
+		item.Sub = sub
+	default:
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item.Table = name
+	}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TIdent {
+		item.Alias = p.next().Text
+	}
+	if item.Sub != nil && item.Alias == "" {
+		return nil, p.errorf("sub-query in FROM requires an alias")
+	}
+	return item, nil
+}
+
+// Expression grammar (loosest to tightest):
+//
+//	orExpr    := andExpr (OR andExpr)*
+//	andExpr   := notExpr (AND notExpr)*
+//	notExpr   := NOT notExpr | cmpExpr
+//	cmpExpr   := addExpr (cmpOp addExpr | IS [NOT] NULL
+//	             | [NOT] BETWEEN addExpr AND addExpr
+//	             | [NOT] IN (expr, …))?
+//	addExpr   := mulExpr (("+"|"-") mulExpr)*
+//	mulExpr   := unary (("*"|"/"|"%") unary)*
+//	unary     := "-" unary | primary
+//	primary   := literal | ident[.ident] | agg(…) | "(" orExpr ")"
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Not: not}, nil
+	}
+	// [NOT] BETWEEN / IN
+	negate := false
+	if p.peek().Kind == TKeyword && p.peek().Text == "NOT" {
+		save := p.pos
+		p.pos++
+		if p.peek().Text == "BETWEEN" || p.peek().Text == "IN" {
+			negate = true
+		} else {
+			p.pos = save
+		}
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&BinaryExpr{Op: "AND",
+			L: &BinaryExpr{Op: ">=", L: l, R: lo},
+			R: &BinaryExpr{Op: "<=", L: l, R: hi}})
+		if negate {
+			e = &UnaryExpr{Op: "NOT", E: e}
+		}
+		return e, nil
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expect(TPunct, "("); err != nil {
+			return nil, err
+		}
+		var alts Expr
+		for {
+			item, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			eq := &BinaryExpr{Op: "=", L: l, R: item}
+			if alts == nil {
+				alts = eq
+			} else {
+				alts = &BinaryExpr{Op: "OR", L: alts, R: eq}
+			}
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+		if err := p.expect(TPunct, ")"); err != nil {
+			return nil, err
+		}
+		if negate {
+			return &UnaryExpr{Op: "NOT", E: alts}, nil
+		}
+		return alts, nil
+	}
+	t := p.peek()
+	if t.Kind == TOp {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.Text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TOp && (t.Text == "+" || t.Text == "-") {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TOp && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TNumber:
+		p.pos++
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return &Lit{Val: vector.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &Lit{Val: vector.NewInt(i)}, nil
+	case t.Kind == TString:
+		p.pos++
+		return &Lit{Val: vector.NewString(t.Text)}, nil
+	case t.Kind == TKeyword && t.Text == "NULL":
+		p.pos++
+		return &Lit{Val: vector.NullValue(vector.Unknown)}, nil
+	case t.Kind == TKeyword && t.Text == "TRUE":
+		p.pos++
+		return &Lit{Val: vector.NewBool(true)}, nil
+	case t.Kind == TKeyword && t.Text == "FALSE":
+		p.pos++
+		return &Lit{Val: vector.NewBool(false)}, nil
+	case t.Kind == TKeyword && aggNames[t.Text]:
+		p.pos++
+		name := t.Text
+		if err := p.expect(TPunct, "("); err != nil {
+			return nil, err
+		}
+		if name == "COUNT" && p.accept(TOp, "*") {
+			if err := p.expect(TPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: name, Star: true}, nil
+		}
+		distinct := false
+		if p.acceptKeyword("DISTINCT") {
+			if name != "COUNT" {
+				return nil, p.errorf("DISTINCT is only supported in COUNT")
+			}
+			distinct = true
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &CallExpr{Name: name, Distinct: distinct, Arg: arg}, nil
+	case t.Kind == TIdent:
+		p.pos++
+		name := t.Text
+		if p.accept(TOp, ".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: name, Name: col}, nil
+		}
+		return &Ident{Name: name}, nil
+	case t.Kind == TPunct && t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("unexpected %q in expression", t.Text)
+	}
+}

@@ -1,0 +1,330 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func mustSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := ParseSelect(q)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse("CREATE TABLE t (a INT, b DOUBLE, c VARCHAR, d TIMESTAMP)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.(*CreateStmt)
+	if c.Basket || c.Name != "t" || len(c.Cols) != 4 {
+		t.Fatalf("create = %+v", c)
+	}
+	if c.Cols[0].Type != vector.Int64 || c.Cols[1].Type != vector.Float64 ||
+		c.Cols[2].Type != vector.String || c.Cols[3].Type != vector.Timestamp {
+		t.Errorf("types = %+v", c.Cols)
+	}
+}
+
+func TestParseCreateBasket(t *testing.T) {
+	st, err := Parse("CREATE BASKET sensors (id INT, temp DOUBLE);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.(*CreateStmt)
+	if !c.Basket || c.Name != "sensors" {
+		t.Fatalf("create = %+v", c)
+	}
+}
+
+func TestParseCreateErrors(t *testing.T) {
+	for _, q := range []string{
+		"CREATE VIEW v (a INT)",
+		"CREATE TABLE (a INT)",
+		"CREATE TABLE t (a BLOB)",
+		"CREATE TABLE t a INT",
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	st, err := Parse("DROP BASKET sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.(*DropStmt)
+	if !d.Basket || d.Name != "sensors" {
+		t.Errorf("drop = %+v", d)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t VALUES (1, 2.5, 'x'), (2, -3.5, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if lit := ins.Rows[1][1].(*UnaryExpr); lit.Op != "-" {
+		t.Errorf("negative literal = %+v", lit)
+	}
+}
+
+func TestParseSelectBasics(t *testing.T) {
+	s := mustSelect(t, "SELECT a, b*2 AS dbl, * FROM t WHERE a > 1 AND b <= 2 ORDER BY a DESC, b LIMIT 5")
+	if len(s.Items) != 3 || s.Items[0].Alias != "" || s.Items[1].Alias != "dbl" || !s.Items[2].Star {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0].Table != "t" {
+		t.Fatalf("from = %+v", s.From)
+	}
+	if s.Where == nil || len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("clauses = %+v", s)
+	}
+	if s.Limit != 5 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	s := mustSelect(t, "SELECT a cnt FROM t x")
+	if s.Items[0].Alias != "cnt" {
+		t.Errorf("implicit expr alias = %q", s.Items[0].Alias)
+	}
+	if s.From[0].Alias != "x" {
+		t.Errorf("implicit table alias = %q", s.From[0].Alias)
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	s := mustSelect(t, "SELECT k, COUNT(*) AS n, SUM(v) FROM t GROUP BY k HAVING COUNT(*) > 2")
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Fatalf("groupby = %+v having = %+v", s.GroupBy, s.Having)
+	}
+	c := s.Items[1].Expr.(*CallExpr)
+	if c.Name != "COUNT" || !c.Star {
+		t.Errorf("count(*) = %+v", c)
+	}
+	sum := s.Items[2].Expr.(*CallExpr)
+	if sum.Name != "SUM" || sum.Arg == nil {
+		t.Errorf("sum = %+v", sum)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM a JOIN b ON a.id = b.id, c")
+	if len(s.From) != 3 {
+		t.Fatalf("from = %+v", s.From)
+	}
+	if s.From[1].JoinOn == nil {
+		t.Error("join condition missing")
+	}
+	if s.From[2].JoinOn != nil {
+		t.Error("comma join should have no condition")
+	}
+	s = mustSelect(t, "SELECT * FROM a INNER JOIN b ON a.x = b.y")
+	if s.From[1].JoinOn == nil {
+		t.Error("INNER JOIN condition missing")
+	}
+}
+
+func TestParseBasketExpression(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM [SELECT * FROM R] AS S WHERE S.a > 10")
+	if !s.IsContinuous() {
+		t.Fatal("query with basket expression should be continuous")
+	}
+	f := s.From[0]
+	if !f.Basket || f.Sub == nil || f.Alias != "S" {
+		t.Fatalf("from = %+v", f)
+	}
+	if f.Sub.From[0].Table != "R" {
+		t.Errorf("inner from = %+v", f.Sub.From)
+	}
+}
+
+func TestParsePredicateWindowQ2(t *testing.T) {
+	// Query q2 of the paper.
+	s := mustSelect(t, "SELECT * FROM [SELECT * FROM R WHERE R.b < 20] AS S WHERE S.a > 10")
+	if !s.IsContinuous() {
+		t.Fatal("should be continuous")
+	}
+	if s.From[0].Sub.Where == nil {
+		t.Error("inner where missing")
+	}
+}
+
+func TestParsePlainSubquery(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM (SELECT a FROM t) AS sub")
+	if s.IsContinuous() {
+		t.Error("parenthesized sub-query is not continuous")
+	}
+	if s.From[0].Sub == nil || s.From[0].Basket {
+		t.Errorf("from = %+v", s.From[0])
+	}
+}
+
+func TestParseSubqueryRequiresAlias(t *testing.T) {
+	if _, err := ParseSelect("SELECT * FROM (SELECT a FROM t)"); err == nil {
+		t.Error("sub-query without alias should fail")
+	}
+}
+
+func TestParseWindowClause(t *testing.T) {
+	s := mustSelect(t, "SELECT AVG(v) FROM [SELECT * FROM R] AS S WINDOW ROWS 100 SLIDE 10")
+	if s.Window == nil || s.Window.Kind != WindowRows || s.Window.Size != 100 || s.Window.Slide != 10 {
+		t.Fatalf("window = %+v", s.Window)
+	}
+	s = mustSelect(t, "SELECT AVG(v) FROM [SELECT * FROM R] AS S WINDOW RANGE 5000")
+	if s.Window.Kind != WindowRange || s.Window.Slide != 5000 {
+		t.Fatalf("tumbling default: %+v", s.Window)
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT a FROM t WINDOW ROWS 0",
+		"SELECT a FROM t WINDOW ROWS 10 SLIDE 20",
+		"SELECT a FROM t WINDOW TUPLES 5",
+	} {
+		if _, err := ParseSelect(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT 1+2*3 FROM t")
+	e := s.Items[0].Expr.(*BinaryExpr)
+	if e.Op != "+" {
+		t.Fatalf("top op = %q", e.Op)
+	}
+	if r := e.R.(*BinaryExpr); r.Op != "*" {
+		t.Errorf("rhs = %+v", r)
+	}
+	// AND binds tighter than OR.
+	s = mustSelect(t, "SELECT * FROM t WHERE a OR b AND c")
+	w := s.Where.(*BinaryExpr)
+	if w.Op != "OR" {
+		t.Fatalf("where top = %q", w.Op)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT (1+2)*3 FROM t")
+	e := s.Items[0].Expr.(*BinaryExpr)
+	if e.Op != "*" {
+		t.Errorf("top op = %q, want *", e.Op)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+	w := s.Where.(*BinaryExpr)
+	if w.Op != "AND" {
+		t.Fatalf("between desugar = %v", ExprString(w))
+	}
+	if l := w.L.(*BinaryExpr); l.Op != ">=" {
+		t.Errorf("lo bound = %q", l.Op)
+	}
+	s = mustSelect(t, "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5")
+	if _, ok := s.Where.(*UnaryExpr); !ok {
+		t.Errorf("not between = %v", ExprString(s.Where))
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a IN (1, 2, 3)")
+	w := s.Where.(*BinaryExpr)
+	if w.Op != "OR" {
+		t.Fatalf("in desugar = %v", ExprString(w))
+	}
+	s = mustSelect(t, "SELECT * FROM t WHERE a NOT IN (1)")
+	if u, ok := s.Where.(*UnaryExpr); !ok || u.Op != "NOT" {
+		t.Errorf("not in = %v", ExprString(s.Where))
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+	w := s.Where.(*BinaryExpr)
+	l := w.L.(*IsNullExpr)
+	r := w.R.(*IsNullExpr)
+	if l.Not || !r.Not {
+		t.Errorf("is null = %+v %+v", l, r)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	s := mustSelect(t, "SELECT 1, 2.5, 'x', TRUE, FALSE, NULL FROM t")
+	wantTypes := []vector.Type{vector.Int64, vector.Float64, vector.String, vector.Bool, vector.Bool, vector.Unknown}
+	for i, w := range wantTypes {
+		l := s.Items[i].Expr.(*Lit)
+		if l.Val.Typ != w {
+			t.Errorf("lit %d type = %v, want %v", i, l.Val.Typ, w)
+		}
+	}
+	if !s.Items[5].Expr.(*Lit).Val.Null {
+		t.Error("NULL literal should be null")
+	}
+}
+
+func TestParseQualifiedIdent(t *testing.T) {
+	s := mustSelect(t, "SELECT t.a FROM t")
+	id := s.Items[0].Expr.(*Ident)
+	if id.Qualifier != "t" || id.Name != "a" {
+		t.Errorf("ident = %+v", id)
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	if _, err := Parse("SELECT a FROM t garbage extra"); err == nil {
+		// "garbage" binds as table alias; "extra" must fail.
+		t.Error("trailing tokens should fail")
+	}
+}
+
+func TestParseSelectOfNonSelect(t *testing.T) {
+	if _, err := ParseSelect("CREATE TABLE t (a INT)"); err == nil {
+		t.Error("ParseSelect of CREATE should fail")
+	}
+}
+
+func TestExprAndStmtStrings(t *testing.T) {
+	s := mustSelect(t, "SELECT COUNT(*), -a AS na FROM t WHERE NOT (a IS NULL) AND b IN (1,2)")
+	if got := ExprString(s.Where); !strings.Contains(got, "IS NULL") {
+		t.Errorf("ExprString = %q", got)
+	}
+	if StmtString(s) == "" {
+		t.Error("StmtString empty")
+	}
+	for _, q := range []string{
+		"CREATE BASKET b (a INT)",
+		"INSERT INTO t VALUES (1)",
+		"DROP TABLE t",
+	} {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if StmtString(st) == "" {
+			t.Errorf("StmtString(%q) empty", q)
+		}
+	}
+}
+
+func TestParseNestedBasketInSubquery(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM (SELECT * FROM [SELECT * FROM R] AS inner1) AS outer1")
+	if !s.IsContinuous() {
+		t.Error("nested basket expression should make the query continuous")
+	}
+}

@@ -1,0 +1,253 @@
+// Package storage provides the in-memory column tables of the kernel and
+// the Relation value that flows between operators. Tables are
+// append-optimized: inserts extend every column; snapshots are cheap
+// read-only views; deletions (used by baskets to drop consumed tuples)
+// compact in place.
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/vector"
+)
+
+// Relation is a transient result set: a schema plus aligned columns. It is
+// what the executor produces and what emitters consume.
+type Relation struct {
+	Schema *catalog.Schema
+	Cols   []*vector.Vector
+}
+
+// NewRelation allocates an empty relation with the given schema.
+func NewRelation(s *catalog.Schema) *Relation {
+	cols := make([]*vector.Vector, s.Len())
+	for i, c := range s.Columns {
+		cols[i] = vector.New(c.Type)
+	}
+	return &Relation{Schema: s, Cols: cols}
+}
+
+// NumRows returns the row count.
+func (r *Relation) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return r.Cols[0].Len()
+}
+
+// Row materializes row i as values.
+func (r *Relation) Row(i int) []vector.Value {
+	out := make([]vector.Value, len(r.Cols))
+	for c, col := range r.Cols {
+		out[c] = col.Get(i)
+	}
+	return out
+}
+
+// AppendRow appends one row of values.
+func (r *Relation) AppendRow(row []vector.Value) {
+	for c, col := range r.Cols {
+		col.AppendValue(row[c])
+	}
+}
+
+// AppendRelation appends all rows of other (schemas must be compatible).
+func (r *Relation) AppendRelation(other *Relation) {
+	for c, col := range r.Cols {
+		col.AppendVector(other.Cols[c])
+	}
+}
+
+// Take materializes the rows at the given positions into a new relation.
+func (r *Relation) Take(pos []int) *Relation {
+	out := &Relation{Schema: r.Schema, Cols: make([]*vector.Vector, len(r.Cols))}
+	for i, col := range r.Cols {
+		out.Cols[i] = col.Take(pos)
+	}
+	return out
+}
+
+// String renders the relation as an aligned text table (for debugging and
+// the CLI).
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Schema.Names(), "\t"))
+	b.WriteByte('\n')
+	for i := 0; i < r.NumRows(); i++ {
+		for c := range r.Cols {
+			if c > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(r.Cols[c].Get(i).String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a named, concurrency-safe column table. It implements
+// catalog.Source.
+type Table struct {
+	name   string
+	schema *catalog.Schema
+
+	mu   sync.RWMutex
+	cols []*vector.Vector
+	// dropped counts tuples compacted away from the front; it keeps the
+	// table's OID sequence stable across consumption (see bat.DropPrefix).
+	dropped int64
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *catalog.Schema) *Table {
+	cols := make([]*vector.Vector, schema.Len())
+	for i, c := range schema.Columns {
+		cols[i] = vector.New(c.Type)
+	}
+	return &Table{name: name, schema: schema, cols: cols}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema implements catalog.Source.
+func (t *Table) Schema() *catalog.Schema { return t.schema }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// Hseq returns the OID of the first live tuple (tuples dropped so far).
+func (t *Table) Hseq() bat.OID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return bat.OID(t.dropped)
+}
+
+// AppendRow appends one row. The row must match the schema.
+func (t *Table) AppendRow(row []vector.Value) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("storage: %s expects %d values, got %d", t.name, len(t.cols), len(row))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, col := range t.cols {
+		col.AppendValue(row[i])
+	}
+	return nil
+}
+
+// AppendBatch appends whole column chunks; all must have equal length and
+// match the schema's types.
+func (t *Table) AppendBatch(cols []*vector.Vector) error {
+	if len(cols) != len(t.cols) {
+		return fmt.Errorf("storage: %s expects %d columns, got %d", t.name, len(t.cols), len(cols))
+	}
+	n := -1
+	for i, c := range cols {
+		if c.Type() != t.schema.Columns[i].Type {
+			return fmt.Errorf("storage: %s column %s expects %s, got %s",
+				t.name, t.schema.Columns[i].Name, t.schema.Columns[i].Type, c.Type())
+		}
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return fmt.Errorf("storage: ragged batch for %s", t.name)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, col := range t.cols {
+		col.AppendVector(cols[i])
+	}
+	return nil
+}
+
+// AppendRelation appends all rows of a relation (types must match).
+func (t *Table) AppendRelation(r *Relation) error { return t.AppendBatch(r.Cols) }
+
+// Snapshot implements catalog.Source: it returns read-only views of the
+// current columns. Views stay valid across later appends (appends may
+// reallocate, never mutate shared prefixes).
+func (t *Table) Snapshot() []*vector.Vector {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*vector.Vector, len(t.cols))
+	for i, col := range t.cols {
+		out[i] = col.Window(0, col.Len())
+	}
+	return out
+}
+
+// SnapshotRelation bundles Snapshot with the schema.
+func (t *Table) SnapshotRelation() *Relation {
+	return &Relation{Schema: t.schema, Cols: t.Snapshot()}
+}
+
+// DropPrefix removes the first n tuples (consumed stream data). The
+// surviving suffix is copied into fresh columns so snapshots taken before
+// the call stay valid.
+func (t *Table) DropPrefix(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, col := range t.cols {
+		t.cols[i] = col.Window(n, col.Len()).Clone()
+	}
+	t.dropped += int64(n)
+}
+
+// Retain keeps only the rows at the given sorted positions — the basket
+// expression's "remove everything I referenced" side effect inverted. The
+// survivors are copied into fresh columns so prior snapshots stay valid.
+func (t *Table) Retain(pos []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	if len(t.cols) > 0 {
+		n = t.cols[0].Len()
+	}
+	for i, col := range t.cols {
+		t.cols[i] = col.Take(pos)
+	}
+	t.dropped += int64(n - len(pos))
+}
+
+// Remove deletes the rows at the given sorted positions.
+func (t *Table) Remove(pos []int) {
+	if len(pos) == 0 {
+		return
+	}
+	t.mu.Lock()
+	n := 0
+	if len(t.cols) > 0 {
+		n = t.cols[0].Len()
+	}
+	t.mu.Unlock()
+	keep := bat.Difference(bat.All(n), bat.Candidates(pos))
+	t.Retain(keep)
+}
+
+// Truncate removes all rows, advancing the OID base as if every tuple had
+// been consumed. Prior snapshots stay valid.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.cols) == 0 {
+		return
+	}
+	n := t.cols[0].Len()
+	for i := range t.cols {
+		t.cols[i] = vector.New(t.schema.Columns[i].Type)
+	}
+	t.dropped += int64(n)
+}

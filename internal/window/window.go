@@ -1,0 +1,336 @@
+// Package window implements windowed continuous-query processing per the
+// thesis outline (§3.1): no new kernel operators are introduced; instead
+// windows are realized at the query-plan level by slicing basket content
+// and either re-evaluating the full plan per window (re-evaluation) or
+// maintaining per-basic-window summaries that merge into window results
+// (incremental evaluation, the basic-window model of StatStream).
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Mode selects the evaluation strategy.
+type Mode uint8
+
+// Evaluation strategies.
+const (
+	// ReEvaluate computes every window from scratch over its full content.
+	ReEvaluate Mode = iota
+	// Incremental summarizes each basic window (pane) once and synthesizes
+	// window results by merging pane summaries.
+	Incremental
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Incremental {
+		return "incremental"
+	}
+	return "re-evaluation"
+}
+
+// Spec describes a sliding window.
+type Spec struct {
+	Kind  sql.WindowKind // WindowRows (count-based) or WindowRange (time-based)
+	Size  int64          // tuples, or nanoseconds
+	Slide int64          // tuples, or nanoseconds; Slide <= Size
+	// TSIndex is the position of the timestamp column in the buffered
+	// tuples (time-based windows).
+	TSIndex int
+}
+
+// Validate checks the spec's invariants.
+func (s Spec) Validate() error {
+	if s.Kind != sql.WindowRows && s.Kind != sql.WindowRange {
+		return fmt.Errorf("window: invalid kind")
+	}
+	if s.Size <= 0 || s.Slide <= 0 || s.Slide > s.Size {
+		return fmt.Errorf("window: need 0 < slide <= size, got size=%d slide=%d", s.Size, s.Slide)
+	}
+	return nil
+}
+
+// Evaluator computes the continuous query over one complete window.
+type Evaluator interface {
+	// Eval runs the query over the window's columns.
+	Eval(win *storage.Relation) (*storage.Relation, error)
+	// Schema describes the result columns.
+	Schema() *catalog.Schema
+}
+
+// PaneEvaluator is the incremental counterpart: it summarizes individual
+// panes and merges k consecutive pane summaries into a window result.
+type PaneEvaluator interface {
+	// Summarize reduces one pane to a mergeable summary.
+	Summarize(pane *storage.Relation) (Summary, error)
+	// Merge combines consecutive pane summaries into the window result.
+	Merge(panes []Summary) (*storage.Relation, error)
+	// Schema describes the result columns.
+	Schema() *catalog.Schema
+}
+
+// Summary is an opaque pane digest produced by a PaneEvaluator.
+type Summary interface{}
+
+// Result is one emitted window.
+type Result struct {
+	// Start and End delimit the window: tuple indexes for count windows
+	// (absolute, since the start of the stream) or timestamps for time
+	// windows.
+	Start, End int64
+	Rel        *storage.Relation
+}
+
+// Runner buffers arriving tuples and emits one Result per completed
+// window, using the configured strategy. It is not safe for concurrent
+// use; the owning factory serializes access.
+type Runner struct {
+	spec Spec
+	mode Mode
+
+	eval Evaluator     // ReEvaluate mode
+	pane PaneEvaluator // Incremental mode
+
+	buf      *storage.Relation // pending tuples (window suffix)
+	absBase  int64             // absolute index of buf row 0 (count windows)
+	absCount int64             // absolute count of tuples ever appended
+	winStart int64             // current window start (abs index or timestamp)
+	started  bool              // time windows: winStart initialized from first tuple
+
+	panes     []Summary // Incremental: pane summaries inside current horizon
+	paneStart int64     // start of the first un-summarized pane (abs or ts)
+}
+
+// NewRunner builds a runner. For ReEvaluate pass an Evaluator; for
+// Incremental pass a PaneEvaluator and the spec must have Size divisible
+// by Slide (panes are slide-sized).
+func NewRunner(spec Spec, mode Mode, eval Evaluator, pane PaneEvaluator, schema *catalog.Schema) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if mode == Incremental {
+		if pane == nil {
+			return nil, fmt.Errorf("window: incremental mode needs a pane evaluator")
+		}
+		if spec.Size%spec.Slide != 0 {
+			return nil, fmt.Errorf("window: incremental mode needs size %% slide == 0")
+		}
+	} else if eval == nil {
+		return nil, fmt.Errorf("window: re-evaluation mode needs an evaluator")
+	}
+	return &Runner{
+		spec: spec,
+		mode: mode,
+		eval: eval,
+		pane: pane,
+		buf:  storage.NewRelation(schema),
+	}, nil
+}
+
+// Mode returns the evaluation strategy.
+func (r *Runner) Mode() Mode { return r.mode }
+
+// Spec returns the window specification.
+func (r *Runner) Spec() Spec { return r.spec }
+
+// Buffered returns the number of pending tuples.
+func (r *Runner) Buffered() int { return r.buf.NumRows() }
+
+// Append adds arriving tuples (columns aligned with the runner's schema)
+// and returns any windows they complete.
+func (r *Runner) Append(rel *storage.Relation) ([]Result, error) {
+	if rel.NumRows() > 0 {
+		r.buf.AppendRelation(rel)
+		r.absCount += int64(rel.NumRows())
+		if !r.started && r.spec.Kind == sql.WindowRange {
+			// Time windows align to the slide grid (floor the first
+			// timestamp to a slide multiple), the usual tumbling-window
+			// convention — so wall minutes map to window boundaries.
+			first := r.buf.Cols[r.spec.TSIndex].Get(0).I
+			aligned := first - mod(first, r.spec.Slide)
+			r.winStart = aligned
+			r.paneStart = aligned
+			r.started = true
+		}
+	}
+	return r.advance(nil)
+}
+
+// Flush advances time-based windows to the given clock reading, emitting
+// windows that ended at or before it even if no later tuple arrived.
+func (r *Runner) Flush(now int64) ([]Result, error) {
+	if r.spec.Kind != sql.WindowRange || !r.started {
+		return nil, nil
+	}
+	return r.advance(&now)
+}
+
+func (r *Runner) advance(now *int64) ([]Result, error) {
+	var out []Result
+	for {
+		res, ok, err := r.tryEmit(now)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, res)
+	}
+}
+
+// tryEmit emits the next complete window, if any.
+func (r *Runner) tryEmit(now *int64) (Result, bool, error) {
+	if r.spec.Kind == sql.WindowRows {
+		if r.absCount-r.winStart < r.spec.Size {
+			return Result{}, false, nil
+		}
+		return r.emitCount()
+	}
+	if !r.started {
+		return Result{}, false, nil
+	}
+	end := r.winStart + r.spec.Size
+	complete := false
+	if n := r.buf.NumRows(); n > 0 {
+		lastTS := r.buf.Cols[r.spec.TSIndex].Get(n - 1).I
+		complete = lastTS >= end
+	}
+	if now != nil && *now >= end {
+		complete = true
+	}
+	if !complete {
+		return Result{}, false, nil
+	}
+	return r.emitTime(end)
+}
+
+func (r *Runner) emitCount() (Result, bool, error) {
+	lo := int(r.winStart - r.absBase)
+	hi := lo + int(r.spec.Size)
+	var rel *storage.Relation
+	var err error
+	if r.mode == ReEvaluate {
+		win := r.slice(lo, hi)
+		rel, err = r.eval.Eval(win)
+	} else {
+		// Summarize any completed slide-sized panes up to hi.
+		for r.paneStart+r.spec.Slide <= r.absBase+int64(r.buf.NumRows()) {
+			plo := int(r.paneStart - r.absBase)
+			phi := plo + int(r.spec.Slide)
+			sum, serr := r.pane.Summarize(r.slice(plo, phi))
+			if serr != nil {
+				return Result{}, false, serr
+			}
+			r.panes = append(r.panes, sum)
+			r.paneStart += r.spec.Slide
+		}
+		k := int(r.spec.Size / r.spec.Slide)
+		if len(r.panes) < k {
+			return Result{}, false, fmt.Errorf("window: internal pane shortfall (%d < %d)", len(r.panes), k)
+		}
+		rel, err = r.pane.Merge(r.panes[:k])
+	}
+	if err != nil {
+		return Result{}, false, err
+	}
+	res := Result{Start: r.winStart, End: r.winStart + r.spec.Size, Rel: rel}
+	// Slide: drop expired tuples (and pane summaries).
+	r.winStart += r.spec.Slide
+	drop := int(r.winStart - r.absBase)
+	if drop > r.buf.NumRows() {
+		drop = r.buf.NumRows()
+	}
+	if drop > 0 {
+		for _, c := range r.buf.Cols {
+			c.DropPrefix(drop)
+		}
+		r.absBase += int64(drop)
+	}
+	if r.mode == Incremental && len(r.panes) > 0 {
+		r.panes = r.panes[1:]
+	}
+	return res, true, nil
+}
+
+func (r *Runner) emitTime(end int64) (Result, bool, error) {
+	ts := r.buf.Cols[r.spec.TSIndex]
+	// Locate the first tuple at or beyond the window end.
+	hi := 0
+	for hi < r.buf.NumRows() && ts.Get(hi).I < end {
+		hi++
+	}
+	var rel *storage.Relation
+	var err error
+	if r.mode == ReEvaluate {
+		rel, err = r.eval.Eval(r.slice(0, hi))
+	} else {
+		// Summarize panes covering [paneStart, end).
+		for r.paneStart+r.spec.Slide <= end {
+			pEnd := r.paneStart + r.spec.Slide
+			plo, phi := 0, 0
+			for phi < r.buf.NumRows() && ts.Get(phi).I < pEnd {
+				phi++
+			}
+			for plo < phi && ts.Get(plo).I < r.paneStart {
+				plo++
+			}
+			sum, serr := r.pane.Summarize(r.slice(plo, phi))
+			if serr != nil {
+				return Result{}, false, serr
+			}
+			r.panes = append(r.panes, sum)
+			r.paneStart = pEnd
+		}
+		k := int(r.spec.Size / r.spec.Slide)
+		if len(r.panes) < k {
+			return Result{}, false, fmt.Errorf("window: internal pane shortfall (%d < %d)", len(r.panes), k)
+		}
+		// The pane list starts at winStart, so the window is the first k.
+		rel, err = r.pane.Merge(r.panes[:k])
+	}
+	if err != nil {
+		return Result{}, false, err
+	}
+	res := Result{Start: r.winStart, End: end, Rel: rel}
+	r.winStart += r.spec.Slide
+	// Expire tuples before the new window start.
+	drop := 0
+	for drop < r.buf.NumRows() && ts.Get(drop).I < r.winStart {
+		drop++
+	}
+	if drop > 0 {
+		for _, c := range r.buf.Cols {
+			c.DropPrefix(drop)
+		}
+		r.absBase += int64(drop)
+	}
+	if r.mode == Incremental && len(r.panes) > 0 {
+		r.panes = r.panes[1:]
+	}
+	return res, true, nil
+}
+
+// mod is a non-negative modulus (timestamps may precede the epoch).
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// slice materializes buffer rows [lo, hi) as window views.
+func (r *Runner) slice(lo, hi int) *storage.Relation {
+	out := &storage.Relation{Schema: r.buf.Schema, Cols: make([]*vector.Vector, len(r.buf.Cols))}
+	for i, c := range r.buf.Cols {
+		out.Cols[i] = c.Window(lo, hi)
+	}
+	return out
+}
