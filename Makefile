@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet fmt bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+check: build vet fmt test

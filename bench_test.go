@@ -5,6 +5,7 @@ package datacell_test
 // code paths measurable with `go test -bench`.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -31,7 +32,7 @@ func mustEngine(b *testing.B, stmts ...string) *datacell.Engine {
 	b.Helper()
 	eng := datacell.New(datacell.Config{})
 	for _, s := range stmts {
-		if _, err := eng.Exec(s); err != nil {
+		if _, err := eng.Exec(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -52,7 +53,7 @@ func BenchmarkF1Pipeline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := eng.Ingest("s", rows); err != nil {
+		if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 			b.Fatal(err)
 		}
 		eng.Drain()
@@ -78,7 +79,7 @@ func BenchmarkE1Strategies(b *testing.B) {
 				rows := intRows(batch, 1000)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if err := eng.Ingest("s", rows); err != nil {
+					if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 						b.Fatal(err)
 					}
 					eng.Drain()
@@ -104,7 +105,7 @@ func BenchmarkE2Batch(b *testing.B) {
 			b.ResetTimer()
 			total := 0
 			for i := 0; i < b.N; i++ {
-				if err := eng.Ingest("s", rows); err != nil {
+				if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 					b.Fatal(err)
 				}
 				eng.Drain()
@@ -154,14 +155,14 @@ func BenchmarkE3Cascade(b *testing.B) {
 		rows := intRows(batch, 80)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := eng.Ingest("s", rows); err != nil {
+			if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 				b.Fatal(err)
 			}
 			eng.Drain()
 			for st := 0; st < c.Stages(); st++ {
 				for {
 					select {
-					case <-c.Results(st):
+					case <-c.Subscription(st).C():
 						continue
 					default:
 					}
@@ -184,7 +185,7 @@ func BenchmarkE3Cascade(b *testing.B) {
 		rows := intRows(batch, 80)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := eng.Ingest("s", rows); err != nil {
+			if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 				b.Fatal(err)
 			}
 			eng.Drain()
@@ -208,7 +209,7 @@ func BenchmarkE4Window(b *testing.B) {
 			rows := intRows(batch, 1000)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := eng.Ingest("s", rows); err != nil {
+				if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 					b.Fatal(err)
 				}
 				eng.Drain()
@@ -267,7 +268,7 @@ func BenchmarkE6IngestToResult(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := eng.Ingest("s", rows); err != nil {
+		if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 			b.Fatal(err)
 		}
 		eng.Drain()
@@ -294,7 +295,7 @@ func BenchmarkE7PredicateWindow(b *testing.B) {
 			rows := intRows(batch, 500) // every tuple falls inside the window
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := eng.Ingest("s", rows); err != nil {
+				if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 					b.Fatal(err)
 				}
 				eng.Drain()
@@ -322,7 +323,7 @@ func BenchmarkAblationSharedFactory(b *testing.B) {
 		rows := intRows(batch, 1000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := eng.Ingest("s", rows); err != nil {
+			if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 				b.Fatal(err)
 			}
 			eng.Drain()
@@ -345,7 +346,7 @@ func BenchmarkAblationSharedFactory(b *testing.B) {
 		rows := intRows(batch, 1000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := eng.Ingest("s", rows); err != nil {
+			if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 				b.Fatal(err)
 			}
 			eng.Drain()

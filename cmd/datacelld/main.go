@@ -7,7 +7,12 @@
 // startup (-init), e.g.:
 //
 //	CREATE BASKET sensors (id INT, temp DOUBLE);
-//	CONTINUOUS overheat SELECT * FROM [SELECT * FROM sensors] AS s WHERE s.temp > 30.0;
+//	CREATE CONTINUOUS QUERY overheat AS
+//	    SELECT * FROM [SELECT * FROM sensors] AS s WHERE s.temp > 30.0;
+//
+// The same DDL works live over the control port: CREATE CONTINUOUS QUERY,
+// DROP CONTINUOUS QUERY, and SHOW QUERIES/BASKETS all route through the
+// one SQL entry point.
 //
 // Ports:
 //
@@ -18,9 +23,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	datacell "repro"
 	"repro/internal/server"
@@ -34,7 +43,13 @@ func main() {
 	workers := flag.Int("workers", 4, "scheduler workers")
 	flag.Parse()
 
-	eng := datacell.New(datacell.Config{Workers: *workers})
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	eng, err := datacell.Open(ctx, datacell.Config{Workers: *workers})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
 	srv := server.New(eng)
 	srv.Logf = log.Printf
 
@@ -43,12 +58,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("init script: %v", err)
 		}
-		if err := srv.RunScript(string(script)); err != nil {
+		if err := srv.RunScript(ctx, string(script)); err != nil {
 			log.Fatalf("init script: %v", err)
 		}
 	}
-	eng.Start()
-	defer eng.Stop()
+	if err := eng.Start(ctx); err != nil {
+		log.Fatalf("start: %v", err)
+	}
 
 	in, err := srv.ListenIngest(*ingestAddr)
 	if err != nil {
@@ -63,5 +79,13 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("datacelld: ingest=%s results=%s sql=%s", in, res, ctl)
-	select {} // serve forever
+
+	<-ctx.Done()
+	log.Printf("datacelld: shutting down")
+	srv.Close()
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer drainCancel()
+	if err := eng.Stop(drainCtx); err != nil {
+		log.Printf("datacelld: drain incomplete: %v", err)
+	}
 }

@@ -8,26 +8,38 @@
 // repeatedly throws standing SQL queries at them with the full machinery
 // of a relational kernel: vectorized selections, hash joins, grouped
 // aggregation, a rule-based optimizer. Continuous queries are ordinary
-// SELECT statements whose FROM clause contains a basket expression — a
+// SQL: a SELECT whose FROM clause contains a basket expression — a
 // bracketed sub-query whose referenced tuples are consumed from the
-// underlying basket:
-//
-//	SELECT * FROM [SELECT * FROM trades] AS t WHERE t.price > 100
-//
+// underlying basket — installed with the CREATE CONTINUOUS QUERY DDL.
 // A Petri-net scheduler fires factories (compiled continuous queries)
 // whenever their input baskets hold tuples, and emitters deliver results
 // to subscribers.
 //
 // # Quick start
 //
-//	eng := datacell.New(datacell.Config{})
+//	eng, err := datacell.Open(ctx, datacell.Config{})
 //	datacell.MustExec(eng, "CREATE BASKET trades (sym VARCHAR, price DOUBLE)")
-//	q, _ := eng.RegisterContinuous("spikes",
-//	    "SELECT * FROM [SELECT * FROM trades] AS t WHERE t.price > 100")
-//	eng.Start()
-//	defer eng.Stop()
-//	eng.Ingest("trades", [][]datacell.Value{{datacell.Str("ACME"), datacell.Float(101.5)}})
-//	batch := <-q.Results()
+//	datacell.MustExec(eng, `CREATE CONTINUOUS QUERY spikes AS
+//	    SELECT * FROM [SELECT * FROM trades] AS t WHERE t.price > 100`)
+//	eng.Start(ctx)
+//	defer eng.Stop(ctx)
+//	eng.Ingest(ctx, "trades", [][]datacell.Value{{datacell.Str("ACME"), datacell.Float(101.5)}})
+//	q, _ := eng.Query("spikes")
+//	batch, err := q.Subscription().Recv(ctx)
+//
+// The whole lifecycle is SQL-first: CREATE/DROP CONTINUOUS QUERY, DROP
+// BASKET, and SHOW QUERIES/BASKETS/TABLES/STREAMS execute through
+// Engine.Exec, the same entry point used by script execution and the TCP
+// control listener. Query behavior is tuned per query, either with WITH
+// options in the DDL (strategy, min_tuples, window_mode, priority,
+// shed_limit, depth, polling, backpressure) or with the equivalent Go
+// QueryOption helpers on RegisterContinuous.
+//
+// Failures are typed: sentinel errors (ErrUnknownStream,
+// ErrDuplicateQuery, ErrEngineStopped, ...) are asserted with errors.Is,
+// and SQL syntax errors carry line/column positions via *ParseError
+// (errors.As). Exec and Ingest honor context cancellation; Stop drains
+// gracefully and is idempotent.
 //
 // Three processing strategies from the paper are available per query:
 // separate baskets (private input replica), shared baskets (watermarked
@@ -35,14 +47,29 @@
 // windows (count- or time-based) are expressed with the WINDOW clause and
 // evaluated either by re-evaluation or incrementally via per-pane
 // summaries.
+//
+// # Migrating from the pre-session API
+//
+//   - datacell.New(cfg) still works but Open(ctx, cfg) is preferred: it
+//     validates the configuration and stops the engine when ctx ends.
+//   - Engine.Exec, Ingest, IngestColumns, Start, and Stop now take a
+//     context.Context as their first argument.
+//   - Engine.RegisterContinuous remains as the Go-level twin of CREATE
+//     CONTINUOUS QUERY; the server-side "CONTINUOUS <name> <select>"
+//     script extension is gone — use the DDL.
+//   - Query.Results() is replaced by Query.Subscription(), a handle with
+//     Recv(ctx)/C()/Close()/Err(); Cascade.Results(i) likewise became
+//     Cascade.Subscription(i).
 package datacell
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
 	idc "repro/internal/datacell"
 	"repro/internal/metrics"
+	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/vector"
 	"repro/internal/window"
@@ -52,11 +79,16 @@ import (
 // scheduler, and the registered continuous queries.
 type Engine = idc.Engine
 
-// Config parameterizes New.
+// Config parameterizes Open.
 type Config = idc.Config
 
 // Query is a registered continuous query.
 type Query = idc.Query
+
+// Subscription is a handle on a continuous query's result delivery:
+// Recv(ctx) or C() to consume, Close() to detach without stopping the
+// query, Err() for the close reason.
+type Subscription = idc.Subscription
 
 // QueryOption configures RegisterContinuous.
 type QueryOption = idc.QueryOption
@@ -74,6 +106,46 @@ const (
 	// retained until every query has seen them.
 	SharedBaskets = idc.SharedBaskets
 )
+
+// Backpressure selects what a subscription does when its consumer falls
+// behind.
+type Backpressure = idc.Backpressure
+
+// Backpressure policies.
+const (
+	// BackpressureBlock retains results until the consumer catches up.
+	BackpressureBlock = idc.BackpressureBlock
+	// BackpressureDropOldest evicts the oldest undelivered batch.
+	BackpressureDropOldest = idc.BackpressureDropOldest
+)
+
+// Typed errors, asserted with errors.Is.
+var (
+	// ErrUnknownStream reports a reference to a stream that was never created.
+	ErrUnknownStream = idc.ErrUnknownStream
+	// ErrUnknownQuery reports a name that is not a registered continuous query.
+	ErrUnknownQuery = idc.ErrUnknownQuery
+	// ErrDuplicateQuery reports a continuous-query name collision.
+	ErrDuplicateQuery = idc.ErrDuplicateQuery
+	// ErrDuplicateName reports a CREATE collision with an existing object.
+	ErrDuplicateName = idc.ErrDuplicateName
+	// ErrEngineStopped reports use of an engine after Stop.
+	ErrEngineStopped = idc.ErrEngineStopped
+	// ErrNotContinuous reports continuous registration of a plain query.
+	ErrNotContinuous = idc.ErrNotContinuous
+	// ErrContinuousViaExec reports a continuous SELECT passed to Exec bare.
+	ErrContinuousViaExec = idc.ErrContinuousViaExec
+	// ErrStreamInUse reports DROP of a stream that queries still read.
+	ErrStreamInUse = idc.ErrStreamInUse
+	// ErrSubscriptionClosed reports delivery after a subscription closed.
+	ErrSubscriptionClosed = idc.ErrSubscriptionClosed
+	// ErrInvalidOption reports an unknown or malformed query option.
+	ErrInvalidOption = idc.ErrInvalidOption
+)
+
+// ParseError is a SQL syntax error with line/column position, asserted
+// with errors.As.
+type ParseError = sql.ParseError
 
 // CascadePredicate is one disjoint-range stage of a cascade.
 type CascadePredicate = idc.CascadePredicate
@@ -129,7 +201,14 @@ const (
 	Timestamp = vector.Timestamp
 )
 
-// New creates an engine.
+// Open creates an engine whose lifetime is bounded by ctx: when ctx ends,
+// the engine stops as if Stop had been called.
+func Open(ctx context.Context, cfg Config) (*Engine, error) { return idc.Open(ctx, cfg) }
+
+// New creates an engine without a bounding context.
+//
+// Deprecated: prefer Open, which validates the configuration and ties the
+// engine lifetime to a context.
 func New(cfg Config) *Engine { return idc.New(cfg) }
 
 // NewManualClock returns a manually advanced clock starting at ns.
@@ -159,29 +238,35 @@ func TS(ns int64) Value { return vector.NewTimestamp(ns) }
 // Null returns the NULL of type t.
 func Null(t Type) Value { return vector.NullValue(t) }
 
-// Query options re-exported from the engine.
+// Query options re-exported from the engine; each has a WITH (...)
+// equivalent in the CREATE CONTINUOUS QUERY DDL.
 var (
-	// WithStrategy selects the basket arrangement.
+	// WithStrategy selects the basket arrangement (strategy = ...).
 	WithStrategy = idc.WithStrategy
-	// WithMinTuples sets the factory firing threshold.
+	// WithMinTuples sets the factory firing threshold (min_tuples = ...).
 	WithMinTuples = idc.WithMinTuples
-	// WithWindowMode pins the window evaluation strategy.
+	// WithWindowMode pins the window evaluation strategy (window_mode = ...).
 	WithWindowMode = idc.WithWindowMode
-	// WithSubscriptionDepth sizes the result channel.
+	// WithSubscriptionDepth sizes the result channel (depth = ...).
 	WithSubscriptionDepth = idc.WithSubscriptionDepth
-	// WithSQLPolling disables the subscription emitter; poll <name>_out.
+	// WithSQLPolling disables the subscription emitter; poll <name>_out
+	// (polling = true).
 	WithSQLPolling = idc.WithSQLPolling
-	// WithPriority schedules the query's factory ahead of lower priorities.
+	// WithPriority schedules the query's factory ahead of lower priorities
+	// (priority = ...).
 	WithPriority = idc.WithPriority
 	// WithLoadShedding bounds the query's private input basket, evicting
-	// the oldest tuples under overload.
+	// the oldest tuples under overload (shed_limit = ...).
 	WithLoadShedding = idc.WithLoadShedding
+	// WithBackpressure selects the subscription overflow policy
+	// (backpressure = block | drop_oldest).
+	WithBackpressure = idc.WithBackpressure
 )
 
 // MustExec runs a statement and panics on error — for examples and setup
 // code where failure is a programming bug.
 func MustExec(e *Engine, stmt string) *Relation {
-	rel, err := e.Exec(stmt)
+	rel, err := e.Exec(context.Background(), stmt)
 	if err != nil {
 		panic(fmt.Sprintf("datacell: MustExec(%q): %v", stmt, err))
 	}

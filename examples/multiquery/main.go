@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,20 +29,23 @@ func makeRows() [][]datacell.Value {
 }
 
 func runStrategy(strategy datacell.Strategy) (time.Duration, int64) {
-	eng := datacell.New(datacell.Config{})
+	ctx := context.Background()
+	eng, err := datacell.Open(ctx, datacell.Config{})
+	if err != nil {
+		panic(err)
+	}
 	datacell.MustExec(eng, "CREATE BASKET s (v INT)")
 	for i := 0; i < nQueries; i++ {
 		lo, hi := i*10, (i+1)*10
-		_, err := eng.RegisterContinuous(fmt.Sprintf("q%d", i),
-			fmt.Sprintf("SELECT * FROM [SELECT * FROM s] AS x WHERE x.v >= %d AND x.v < %d", lo, hi),
-			datacell.WithStrategy(strategy), datacell.WithSQLPolling())
-		if err != nil {
-			panic(err)
-		}
+		stmt := fmt.Sprintf(
+			"CREATE CONTINUOUS QUERY q%d WITH (strategy = %s, polling = true) AS "+
+				"SELECT * FROM [SELECT * FROM s] AS x WHERE x.v >= %d AND x.v < %d",
+			i, strategy, lo, hi)
+		datacell.MustExec(eng, stmt)
 	}
 	rows := makeRows()
 	start := time.Now()
-	if err := eng.Ingest("s", rows); err != nil {
+	if err := eng.Ingest(ctx, "s", rows); err != nil {
 		panic(err)
 	}
 	eng.Drain()
@@ -56,7 +60,11 @@ func runStrategy(strategy datacell.Strategy) (time.Duration, int64) {
 }
 
 func runCascade() (time.Duration, int64) {
-	eng := datacell.New(datacell.Config{})
+	ctx := context.Background()
+	eng, err := datacell.Open(ctx, datacell.Config{})
+	if err != nil {
+		panic(err)
+	}
 	datacell.MustExec(eng, "CREATE BASKET s (v INT)")
 	preds := make([]datacell.CascadePredicate, nQueries)
 	for i := range preds {
@@ -72,7 +80,7 @@ func runCascade() (time.Duration, int64) {
 	}
 	rows := makeRows()
 	start := time.Now()
-	if err := eng.Ingest("s", rows); err != nil {
+	if err := eng.Ingest(ctx, "s", rows); err != nil {
 		panic(err)
 	}
 	eng.Drain()
@@ -82,7 +90,7 @@ func runCascade() (time.Duration, int64) {
 	for i := 0; i < c.Stages(); i++ {
 		for {
 			select {
-			case rel := <-c.Results(i):
+			case rel := <-c.Subscription(i).C():
 				matched += int64(rel.NumRows())
 				continue
 			default:

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,21 +22,21 @@ import (
 )
 
 func main() {
-	eng := datacell.New(datacell.Config{})
-	datacell.MustExec(eng, "CREATE BASKET payments (account INT, amount DOUBLE, country VARCHAR)")
-
-	// Stage 1 → stage 2: a chained query network. The `large_out` basket
-	// is the second query's input.
-	_, err := eng.RegisterContinuous("large",
-		"SELECT p.account AS account, p.amount AS amount, p.country AS country "+
-			"FROM [SELECT * FROM payments] AS p WHERE p.amount > 900.0",
-		datacell.WithSQLPolling(), datacell.WithPriority(10))
+	ctx := context.Background()
+	eng, err := datacell.Open(ctx, datacell.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	foreign, err := eng.RegisterContinuous("foreign_large",
-		"SELECT * FROM [SELECT * FROM large_out] AS x WHERE x.country <> 'NL'",
-		datacell.WithPriority(10), datacell.WithSubscriptionDepth(1024))
+	datacell.MustExec(eng, "CREATE BASKET payments (account INT, amount DOUBLE, country VARCHAR)")
+
+	// Stage 1 → stage 2: a chained query network. The `large_out` basket
+	// is the second query's input. Both stages are plain DDL.
+	datacell.MustExec(eng, `CREATE CONTINUOUS QUERY large WITH (polling = true, priority = 10) AS
+		SELECT p.account AS account, p.amount AS amount, p.country AS country
+		FROM [SELECT * FROM payments] AS p WHERE p.amount > 900.0`)
+	datacell.MustExec(eng, `CREATE CONTINUOUS QUERY foreign_large WITH (priority = 10, depth = 1024) AS
+		SELECT * FROM [SELECT * FROM large_out] AS x WHERE x.country <> 'NL'`)
+	foreign, err := eng.Query("foreign_large")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,9 +53,10 @@ func main() {
 	}
 
 	// A low-priority audit trail that tolerates loss under pressure.
-	audit, err := eng.RegisterContinuous("audit",
-		"SELECT * FROM [SELECT * FROM payments] AS p",
-		datacell.WithPriority(-5), datacell.WithLoadShedding(2000), datacell.WithSQLPolling())
+	datacell.MustExec(eng, `CREATE CONTINUOUS QUERY audit
+		WITH (priority = -5, shed_limit = 2000, polling = true) AS
+		SELECT * FROM [SELECT * FROM payments] AS p`)
+	audit, err := eng.Query("audit")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func main() {
 			datacell.Str(countries[rng.Intn(len(countries))]),
 		}
 	}
-	if err := eng.Ingest("payments", rows); err != nil {
+	if err := eng.Ingest(ctx, "payments", rows); err != nil {
 		log.Fatal(err)
 	}
 	eng.Drain()
@@ -79,7 +81,7 @@ func main() {
 	foreignHits := 0
 	for {
 		select {
-		case rel := <-foreign.Results():
+		case rel := <-foreign.Subscription().C():
 			foreignHits += rel.NumRows()
 			continue
 		default:

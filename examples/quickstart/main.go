@@ -1,10 +1,12 @@
 // Command quickstart is the Figure-1 pipeline of the paper in miniature:
 // a receptor feeds sensor readings into a basket, one continuous query
 // (a factory) filters them, and an emitter delivers the qualifying tuples
-// — all through the public API.
+// — all through the public API: Open a session, install the standing
+// query with CREATE CONTINUOUS QUERY, and consume its Subscription.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,25 +15,33 @@ import (
 )
 
 func main() {
-	eng := datacell.New(datacell.Config{Workers: 2})
+	ctx := context.Background()
+	eng, err := datacell.Open(ctx, datacell.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	datacell.MustExec(eng, "CREATE BASKET sensors (id INT, temp DOUBLE)")
 
 	// The continuous query: the bracketed basket expression consumes the
-	// stream; the outer WHERE is the standing filter.
-	alerts, err := eng.RegisterContinuous("overheat",
-		"SELECT * FROM [SELECT * FROM sensors] AS s WHERE s.temp > 30.0")
+	// stream; the outer WHERE is the standing filter. Continuous queries
+	// are ordinary DDL statements.
+	datacell.MustExec(eng, `CREATE CONTINUOUS QUERY overheat AS
+		SELECT * FROM [SELECT * FROM sensors] AS s WHERE s.temp > 30.0`)
+	alerts, err := eng.Query("overheat")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	eng.Start()
-	defer eng.Stop()
+	if err := eng.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Stop(ctx)
 
 	// A receptor thread: ten readings, two of them hot.
 	go func() {
 		temps := []float64{21.5, 22.0, 31.2, 23.9, 19.4, 25.0, 35.8, 24.1, 22.2, 20.0}
 		for i, temp := range temps {
-			err := eng.Ingest("sensors", [][]datacell.Value{
+			err := eng.Ingest(ctx, "sensors", [][]datacell.Value{
 				{datacell.Int(int64(i)), datacell.Float(temp)},
 			})
 			if err != nil {
@@ -41,19 +51,20 @@ func main() {
 		}
 	}()
 
-	// The emitter side: collect until both alerts arrived.
+	// The emitter side: receive until both alerts arrived.
+	recvCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	sub := alerts.Subscription()
 	hot := 0
-	timeout := time.After(5 * time.Second)
 	for hot < 2 {
-		select {
-		case batch := <-alerts.Results():
-			for i := 0; i < batch.NumRows(); i++ {
-				row := batch.Row(i)
-				fmt.Printf("ALERT sensor=%d temp=%.1f°C\n", row[0].I, row[1].F)
-				hot++
-			}
-		case <-timeout:
-			log.Fatal("timed out waiting for alerts")
+		batch, err := sub.Recv(recvCtx)
+		if err != nil {
+			log.Fatalf("waiting for alerts: %v", err)
+		}
+		for i := 0; i < batch.NumRows(); i++ {
+			row := batch.Row(i)
+			fmt.Printf("ALERT sensor=%d temp=%.1f°C\n", row[0].I, row[1].F)
+			hot++
 		}
 	}
 

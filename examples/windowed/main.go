@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,7 +25,11 @@ const (
 var symbols = []string{"ACME", "WIDG", "GLOB", "NANO"}
 
 func main() {
-	eng := datacell.New(datacell.Config{})
+	ctx := context.Background()
+	eng, err := datacell.Open(ctx, datacell.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	datacell.MustExec(eng, "CREATE BASKET trades (sym VARCHAR, price DOUBLE, qty INT)")
 
 	query := fmt.Sprintf(`
@@ -34,13 +39,17 @@ func main() {
 		GROUP BY t.sym
 		WINDOW ROWS %d SLIDE %d`, window, slide)
 
-	inc, err := eng.RegisterContinuous("stats_incremental", query,
-		datacell.WithWindowMode(datacell.Incremental), datacell.WithSubscriptionDepth(4096))
+	// The two standing queries differ only in their WITH options — the
+	// window evaluation strategy and the subscription depth are DDL.
+	datacell.MustExec(eng, fmt.Sprintf(
+		"CREATE CONTINUOUS QUERY stats_incremental WITH (window_mode = incremental, depth = 4096) AS %s", query))
+	datacell.MustExec(eng, fmt.Sprintf(
+		"CREATE CONTINUOUS QUERY stats_reeval WITH (window_mode = reeval, depth = 4096) AS %s", query))
+	inc, err := eng.Query("stats_incremental")
 	if err != nil {
 		log.Fatal(err)
 	}
-	re, err := eng.RegisterContinuous("stats_reeval", query,
-		datacell.WithWindowMode(datacell.ReEvaluate), datacell.WithSubscriptionDepth(4096))
+	re, err := eng.Query("stats_reeval")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +72,7 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := eng.Ingest("trades", rows); err != nil {
+	if err := eng.Ingest(ctx, "trades", rows); err != nil {
 		log.Fatal(err)
 	}
 	eng.Drain()
@@ -90,7 +99,7 @@ func drain(q *datacell.Query) []*datacell.Relation {
 	var out []*datacell.Relation
 	for {
 		select {
-		case rel := <-q.Results():
+		case rel := <-q.Subscription().C():
 			out = append(out, rel)
 		default:
 			return out

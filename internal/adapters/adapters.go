@@ -12,6 +12,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/basket"
 	"repro/internal/catalog"
@@ -215,35 +216,99 @@ func (e *Emitter) Fire() error {
 	return nil
 }
 
+// Backpressure selects what a channel emitter does when its subscriber
+// falls behind and the channel fills up.
+type Backpressure uint8
+
+// Backpressure policies.
+const (
+	// BackpressureBlock keeps results in the output basket until the
+	// subscriber catches up — nothing is lost, the producer slows down.
+	BackpressureBlock Backpressure = iota
+	// BackpressureDropOldest evicts the oldest undelivered batch to make
+	// room — the subscriber always sees the freshest results.
+	BackpressureDropOldest
+)
+
+// String names the policy.
+func (b Backpressure) String() string {
+	if b == BackpressureDropOldest {
+		return "drop_oldest"
+	}
+	return "block"
+}
+
 // ChannelEmitter delivers result batches to a Go channel instead of a
 // writer — the embedding API's subscription mechanism. It implements
 // scheduler.Transition.
 type ChannelEmitter struct {
 	name   string
 	source *basket.Basket
+	policy Backpressure
 	ch     chan *storage.Relation
+
+	// done unblocks an in-flight blocking send when the emitter closes;
+	// sendMu serializes senders against Close so ch is never closed while
+	// a send is in flight.
+	done    chan struct{}
+	once    sync.Once
+	sendMu  sync.Mutex
+	closed  bool
+	dropped int64
 }
 
-// NewChannelEmitter builds a channel emitter with the given buffer depth.
-func NewChannelEmitter(name string, source *basket.Basket, depth int) *ChannelEmitter {
+// NewChannelEmitter builds a channel emitter with the given buffer depth
+// and backpressure policy.
+func NewChannelEmitter(name string, source *basket.Basket, depth int, policy Backpressure) *ChannelEmitter {
 	if depth < 1 {
 		depth = 1
 	}
-	return &ChannelEmitter{name: name, source: source, ch: make(chan *storage.Relation, depth)}
+	return &ChannelEmitter{
+		name:   name,
+		source: source,
+		policy: policy,
+		ch:     make(chan *storage.Relation, depth),
+		done:   make(chan struct{}),
+	}
 }
 
 // Name implements scheduler.Transition.
 func (e *ChannelEmitter) Name() string { return e.name }
 
-// Ready implements scheduler.Transition. The emitter stays not-ready while
-// the subscriber's channel is full, exerting back-pressure instead of
-// dropping results.
+// Ready implements scheduler.Transition. Under the blocking policy the
+// emitter stays not-ready while the subscriber's channel is full, exerting
+// back-pressure instead of dropping results; under drop-oldest it is ready
+// whenever results wait.
 func (e *ChannelEmitter) Ready() bool {
-	return e.source.Len() > 0 && len(e.ch) < cap(e.ch)
+	if e.source.Len() == 0 {
+		return false
+	}
+	select {
+	case <-e.done:
+		return false
+	default:
+	}
+	return e.policy == BackpressureDropOldest || len(e.ch) < cap(e.ch)
 }
 
-// C returns the subscription channel.
+// C returns the subscription channel. It is closed by Close.
 func (e *ChannelEmitter) C() <-chan *storage.Relation { return e.ch }
+
+// Dropped returns the number of batches evicted under drop-oldest.
+func (e *ChannelEmitter) Dropped() int64 { return atomic.LoadInt64(&e.dropped) }
+
+// Close terminates delivery: any blocked send is released, the channel is
+// closed, and later firings discard their batches. Safe to call more than
+// once and concurrently with Fire.
+func (e *ChannelEmitter) Close() {
+	e.once.Do(func() { close(e.done) })
+	e.sendMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.ch)
+	}
+	e.sendMu.Unlock()
+}
 
 // Fire implements scheduler.Transition.
 func (e *ChannelEmitter) Fire() error {
@@ -255,13 +320,31 @@ func (e *ChannelEmitter) Fire() error {
 		return nil
 	}
 	rel := &storage.Relation{Schema: e.source.Schema(), Cols: cols}
-	select {
-	case e.ch <- rel:
-		return nil
-	default:
-		// Ready() said there was room, but a concurrent firing may have
-		// filled it; requeue by re-appending would reorder, so block.
-		e.ch <- rel
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	if e.closed {
 		return nil
 	}
+	if e.policy == BackpressureDropOldest {
+		for {
+			select {
+			case e.ch <- rel:
+				return nil
+			default:
+				select {
+				case <-e.ch:
+					atomic.AddInt64(&e.dropped, 1)
+				default:
+				}
+			}
+		}
+	}
+	// Blocking policy: Ready() said there was room, but a concurrent firing
+	// may have filled it; requeue by re-appending would reorder, so block
+	// until the subscriber catches up (or the emitter closes).
+	select {
+	case e.ch <- rel:
+	case <-e.done:
+	}
+	return nil
 }

@@ -124,7 +124,7 @@ func TestEmitterDrains(t *testing.T) {
 func TestChannelEmitter(t *testing.T) {
 	clk := metrics.NewManualClock(1)
 	b := basket.New("out", schemaIV(), clk)
-	e := NewChannelEmitter("sub", b, 2)
+	e := NewChannelEmitter("sub", b, 2, BackpressureBlock)
 	if e.Ready() {
 		t.Error("empty basket: not ready")
 	}
@@ -148,7 +148,7 @@ func TestChannelEmitter(t *testing.T) {
 func TestChannelEmitterBackpressure(t *testing.T) {
 	clk := metrics.NewManualClock(1)
 	b := basket.New("out", schemaIV(), clk)
-	e := NewChannelEmitter("sub", b, 1)
+	e := NewChannelEmitter("sub", b, 1, BackpressureBlock)
 	_ = b.AppendRows([][]vector.Value{{vector.NewInt(1), vector.NewFloat(1)}})
 	_ = e.Fire()
 	_ = b.AppendRows([][]vector.Value{{vector.NewInt(2), vector.NewFloat(2)}})

@@ -31,14 +31,15 @@ func (p CascadePredicate) String() string {
 // Cascade is a registered chain of disjoint-range stages over one stream.
 type Cascade struct {
 	Name   string
+	stream string
 	stages []*cascadeStage
 }
 
 // Stage returns the i-th stage's output basket (its matched tuples).
 func (c *Cascade) Stage(i int) *basket.Basket { return c.stages[i].out }
 
-// Results returns the i-th stage's subscription channel.
-func (c *Cascade) Results(i int) <-chan *storage.Relation { return c.stages[i].emitter.C() }
+// Subscription returns the i-th stage's result subscription.
+func (c *Cascade) Subscription(i int) *Subscription { return c.stages[i].sub }
 
 // Stages returns the number of stages.
 func (c *Cascade) Stages() int { return len(c.stages) }
@@ -57,7 +58,7 @@ type cascadeStage struct {
 	in      *basket.Basket
 	next    *basket.Basket // nil for the last stage
 	out     *basket.Basket
-	emitter *adapters.ChannelEmitter
+	sub     *Subscription
 
 	processed counter
 }
@@ -125,15 +126,15 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 	e.mu.Lock()
 	if _, dup := e.cascades[key]; dup {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("datacell: cascade %q already registered", name)
+		return nil, fmt.Errorf("%w: cascade %q", ErrDuplicateQuery, name)
 	}
 	s, ok := e.streams[strings.ToLower(streamName)]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datacell: unknown stream %q", streamName)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStream, streamName)
 	}
 
-	c := &Cascade{Name: name}
+	c := &Cascade{Name: name, stream: streamName}
 	// Stage 0 reads a private replica of the stream; the paper's "extra
 	// basket between q1 and q2" connects consecutive stages.
 	head := basket.New(name+"_s0_in", s.schema, e.clock)
@@ -154,6 +155,7 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 		if err := e.cat.Register(out.Name(), catalog.KindBasket, out); err != nil {
 			return nil, err
 		}
+		emitter := adapters.NewChannelEmitter(fmt.Sprintf("%s_s%d_emit", name, i), out, 64, adapters.BackpressureBlock)
 		stage := &cascadeStage{
 			name:    fmt.Sprintf("%s_s%d", name, i),
 			pred:    p,
@@ -161,7 +163,7 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 			in:      chain,
 			next:    next,
 			out:     out,
-			emitter: adapters.NewChannelEmitter(fmt.Sprintf("%s_s%d_emit", name, i), out, 64),
+			sub:     newSubscription(e, emitter),
 		}
 		c.stages = append(c.stages, stage)
 		chain = next
@@ -173,7 +175,7 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 	e.mu.Unlock()
 	for _, st := range c.stages {
 		e.sched.Add(st)
-		e.sched.Add(st.emitter)
+		e.sched.Add(st.sub.em)
 	}
 	return c, nil
 }
@@ -184,7 +186,7 @@ func (e *Engine) CascadeByName(name string) (*Cascade, error) {
 	defer e.mu.Unlock()
 	c, ok := e.cascades[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("datacell: unknown cascade %q", name)
+		return nil, fmt.Errorf("%w: cascade %q", ErrUnknownQuery, name)
 	}
 	return c, nil
 }

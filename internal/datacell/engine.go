@@ -4,10 +4,16 @@
 // for result delivery. It implements the paper's processing strategies —
 // separate baskets, shared baskets, and the cascade of disjoint predicates
 // (§2.5) — as per-query options on one shared substrate.
+//
+// The whole continuous-query lifecycle is SQL: CREATE CONTINUOUS QUERY,
+// DROP CONTINUOUS QUERY, and SHOW QUERIES/BASKETS all execute through
+// Exec, the same entry point as one-time statements.
 package datacell
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -54,6 +60,13 @@ type Config struct {
 	Workers int
 }
 
+// Engine lifecycle states.
+const (
+	stateIdle int = iota
+	stateRunning
+	stateStopped
+)
+
 // Engine is the DataCell instance.
 type Engine struct {
 	clock metrics.Clock
@@ -65,9 +78,12 @@ type Engine struct {
 	tables    map[string]*storage.Table
 	queries   map[string]*Query
 	cascades  map[string]*Cascade
+	subs      []*Subscription
 	workers   int
-	started   bool
+	state     int
 	flushStop chan struct{}
+	// done is closed exactly once, on Stop; context watchers select on it.
+	done chan struct{}
 }
 
 // stream is one ingestion point: the primary (shared) basket plus the
@@ -80,7 +96,8 @@ type stream struct {
 	ingested int64
 }
 
-// New creates an engine.
+// New creates an engine. Prefer Open, which validates the configuration
+// and ties the engine's lifetime to a context.
 func New(cfg Config) *Engine {
 	clock := cfg.Clock
 	if clock == nil {
@@ -99,7 +116,41 @@ func New(cfg Config) *Engine {
 		queries:  map[string]*Query{},
 		cascades: map[string]*Cascade{},
 		workers:  workers,
+		done:     make(chan struct{}),
 	}
+}
+
+// Open creates an engine whose lifetime is bounded by ctx: when ctx is
+// cancelled the engine shuts down as if Stop had been called. It fails
+// fast on an already-cancelled context or an invalid configuration.
+func Open(ctx context.Context, cfg Config) (*Engine, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("datacell: negative worker count %d", cfg.Workers)
+	}
+	e := New(cfg)
+	e.watchContext(ctx)
+	return e, nil
+}
+
+// watchContext stops the engine when ctx ends; the watcher goroutine is
+// released when the engine stops first.
+func (e *Engine) watchContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = e.Stop(context.Background())
+		case <-e.done:
+		}
+	}()
 }
 
 // Catalog exposes the engine's catalog (diagnostics and tests).
@@ -111,16 +162,44 @@ func (e *Engine) Scheduler() *scheduler.Scheduler { return e.sched }
 // Clock returns the engine clock.
 func (e *Engine) Clock() metrics.Clock { return e.clock }
 
+// guard rejects calls on a stopped engine or under a cancelled context.
+func (e *Engine) guard(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	stopped := e.state == stateStopped
+	e.mu.Unlock()
+	if stopped {
+		return ErrEngineStopped
+	}
+	return nil
+}
+
 // Start launches the concurrent scheduler pool, plus a background ticker
 // that advances time-based windows so they close even when their stream
-// pauses.
-func (e *Engine) Start() {
-	e.mu.Lock()
-	if e.started {
-		e.mu.Unlock()
-		return
+// pauses. Cancelling ctx stops the engine. Start on a running engine is a
+// no-op; after Stop it returns ErrEngineStopped.
+func (e *Engine) Start(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
-	e.started = true
+	// The state transition and its checks share one mu acquisition: a
+	// concurrent Stop must not be overwritten by a resurrecting Start.
+	e.mu.Lock()
+	switch e.state {
+	case stateStopped:
+		e.mu.Unlock()
+		return ErrEngineStopped
+	case stateRunning:
+		e.mu.Unlock()
+		return nil
+	}
+	e.state = stateRunning
 	w := e.workers
 	stop := make(chan struct{})
 	e.flushStop = stop
@@ -138,18 +217,76 @@ func (e *Engine) Start() {
 			}
 		}
 	}()
+	e.watchContext(ctx)
+	return nil
 }
 
-// Stop terminates the scheduler pool and the window ticker.
-func (e *Engine) Stop() {
+// Stop shuts the engine down: the window ticker stops, in-flight work is
+// drained gracefully (bounded by ctx), the scheduler pool terminates, and
+// every subscription closes with ErrEngineStopped. Stop is idempotent and
+// safe before Start; once stopped, the engine rejects further work.
+func (e *Engine) Stop(ctx context.Context) error {
 	e.mu.Lock()
-	if e.flushStop != nil {
-		close(e.flushStop)
-		e.flushStop = nil
+	if e.state == stateStopped {
+		e.mu.Unlock()
+		return nil
 	}
-	e.started = false
+	wasRunning := e.state == stateRunning
+	e.state = stateStopped
+	stop := e.flushStop
+	e.flushStop = nil
 	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	var drainErr error
+	if wasRunning {
+		drainErr = e.drainRunning(ctx)
+	}
 	e.sched.Stop()
+	close(e.done)
+	e.mu.Lock()
+	subs := append([]*Subscription(nil), e.subs...)
+	e.mu.Unlock()
+	for _, s := range subs {
+		s.closeWith(ErrEngineStopped)
+	}
+	return drainErr
+}
+
+// drainRunning waits for the concurrent scheduler to go quiescent: every
+// transition unready, or no firing progress for a grace period (a blocked
+// emitter must not wedge shutdown), or ctx done.
+func (e *Engine) drainRunning(ctx context.Context) error {
+	const stallLimit = 50 * time.Millisecond
+	idleSince := time.Time{}
+	last := e.sched.Fired()
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ready := false
+		for _, t := range e.sched.Transitions() {
+			if t.Ready() {
+				ready = true
+				break
+			}
+		}
+		if !ready {
+			return nil
+		}
+		if now := e.sched.Fired(); now != last {
+			last = now
+			idleSince = time.Time{}
+		} else if idleSince.IsZero() {
+			idleSince = time.Now()
+		} else if time.Since(idleSince) > stallLimit {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Step runs one deterministic scheduler pass (test/bench mode).
@@ -165,12 +302,12 @@ func (e *Engine) CreateStream(name string, schema *catalog.Schema) error {
 	defer e.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, dup := e.streams[key]; dup {
-		return fmt.Errorf("datacell: stream %q already exists", name)
+		return fmt.Errorf("%w: stream %q", ErrDuplicateName, name)
 	}
 	b := basket.New(name, schema, e.clock)
 	b.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name, catalog.KindBasket, b); err != nil {
-		return err
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
 	}
 	e.streams[key] = &stream{name: name, schema: schema, primary: b}
 	return nil
@@ -182,7 +319,7 @@ func (e *Engine) CreateTable(name string, schema *catalog.Schema) error {
 	defer e.mu.Unlock()
 	t := storage.NewTable(name, schema)
 	if err := e.cat.Register(name, catalog.KindTable, t); err != nil {
-		return err
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
 	}
 	e.tables[strings.ToLower(name)] = t
 	return nil
@@ -194,7 +331,7 @@ func (e *Engine) Stream(name string) (*basket.Basket, error) {
 	defer e.mu.Unlock()
 	s, ok := e.streams[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("datacell: unknown stream %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
 	return s.primary, nil
 }
@@ -202,12 +339,16 @@ func (e *Engine) Stream(name string) (*basket.Basket, error) {
 // Ingest routes rows into a stream: to the primary basket when shared
 // consumers (or no queries at all) read it, and to every private replica
 // created by separate-strategy queries — the receptor's replication step.
-func (e *Engine) Ingest(streamName string, rows [][]vector.Value) error {
+// It honors ctx cancellation and fails after Stop.
+func (e *Engine) Ingest(ctx context.Context, streamName string, rows [][]vector.Value) error {
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	s, ok := e.streams[strings.ToLower(streamName)]
 	if !ok {
 		e.mu.Unlock()
-		return fmt.Errorf("datacell: unknown stream %q", streamName)
+		return fmt.Errorf("%w: %q", ErrUnknownStream, streamName)
 	}
 	s.ingested += int64(len(rows))
 	primary := s.primary
@@ -228,12 +369,15 @@ func (e *Engine) Ingest(streamName string, rows [][]vector.Value) error {
 }
 
 // IngestColumns is the bulk variant of Ingest.
-func (e *Engine) IngestColumns(streamName string, cols []*vector.Vector) error {
+func (e *Engine) IngestColumns(ctx context.Context, streamName string, cols []*vector.Vector) error {
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	s, ok := e.streams[strings.ToLower(streamName)]
 	if !ok {
 		e.mu.Unlock()
-		return fmt.Errorf("datacell: unknown stream %q", streamName)
+		return fmt.Errorf("%w: %q", ErrUnknownStream, streamName)
 	}
 	n := 0
 	if len(cols) > 0 {
@@ -267,10 +411,15 @@ func (e *Engine) Ingested(streamName string) int64 {
 	return 0
 }
 
-// Exec runs one SQL statement: DDL, INSERT, or a one-time SELECT.
-// Continuous queries (those containing a basket expression) must be
-// registered with RegisterContinuous instead.
-func (e *Engine) Exec(text string) (*storage.Relation, error) {
+// Exec runs one SQL statement: DDL (including the continuous-query
+// lifecycle), INSERT, a one-time SELECT, or SHOW introspection. It honors
+// ctx cancellation and fails after Stop. Every front end — the embedding
+// API, script execution, and the TCP control listener — routes through
+// this single entry point.
+func (e *Engine) Exec(ctx context.Context, text string) (*storage.Relation, error) {
+	if err := e.guard(ctx); err != nil {
+		return nil, err
+	}
 	st, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -285,13 +434,24 @@ func (e *Engine) Exec(text string) (*storage.Relation, error) {
 			return nil, e.CreateStream(x.Name, schema)
 		}
 		return nil, e.CreateTable(x.Name, schema)
+	case *sql.CreateContinuousStmt:
+		opts, err := optionsFromSpecs(x.Options)
+		if err != nil {
+			return nil, err
+		}
+		_, err = e.registerParsed(x.Name, x.SelectText, x.Select, opts...)
+		return nil, err
+	case *sql.DropContinuousStmt:
+		return nil, e.UnregisterContinuous(x.Name)
 	case *sql.DropStmt:
 		return nil, e.drop(x.Name)
+	case *sql.ShowStmt:
+		return e.show(x.What)
 	case *sql.InsertStmt:
-		return nil, e.insert(x)
+		return nil, e.insert(ctx, x)
 	case *sql.SelectStmt:
 		if x.IsContinuous() {
-			return nil, fmt.Errorf("datacell: continuous query; use RegisterContinuous")
+			return nil, fmt.Errorf("%w: %s", ErrContinuousViaExec, sql.StmtString(x))
 		}
 		p, err := plan.Build(x, e.cat)
 		if err != nil {
@@ -303,25 +463,115 @@ func (e *Engine) Exec(text string) (*storage.Relation, error) {
 	}
 }
 
+// show builds the introspection relations for SHOW QUERIES / BASKETS /
+// TABLES / STREAMS.
+func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
+	switch what {
+	case sql.ShowQueries:
+		rel := storage.NewRelation(catalog.NewSchema(
+			catalog.Column{Name: "name", Type: vector.String},
+			catalog.Column{Name: "strategy", Type: vector.String},
+			catalog.Column{Name: "sql", Type: vector.String},
+		))
+		qs := e.Queries()
+		sort.Slice(qs, func(i, j int) bool { return qs[i].Name < qs[j].Name })
+		for _, q := range qs {
+			rel.AppendRow([]vector.Value{
+				vector.NewString(q.Name),
+				vector.NewString(q.Strategy.String()),
+				vector.NewString(q.SQL),
+			})
+		}
+		return rel, nil
+	case sql.ShowStreams:
+		rel := storage.NewRelation(catalog.NewSchema(
+			catalog.Column{Name: "name", Type: vector.String},
+			catalog.Column{Name: "ingested", Type: vector.Int64},
+			catalog.Column{Name: "backlog", Type: vector.Int64},
+		))
+		// s.ingested is written under e.mu by Ingest; snapshot it there.
+		type row struct {
+			name     string
+			ingested int64
+			primary  *basket.Basket
+		}
+		e.mu.Lock()
+		rows := make([]row, 0, len(e.streams))
+		for _, s := range e.streams {
+			rows = append(rows, row{s.name, s.ingested, s.primary})
+		}
+		e.mu.Unlock()
+		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+		for _, s := range rows {
+			rel.AppendRow([]vector.Value{
+				vector.NewString(s.name),
+				vector.NewInt(s.ingested),
+				vector.NewInt(int64(s.primary.Len())),
+			})
+		}
+		return rel, nil
+	case sql.ShowBaskets, sql.ShowTables:
+		wantKind := catalog.KindBasket
+		if what == sql.ShowTables {
+			wantKind = catalog.KindTable
+		}
+		rel := storage.NewRelation(catalog.NewSchema(
+			catalog.Column{Name: "name", Type: vector.String},
+			catalog.Column{Name: "tuples", Type: vector.Int64},
+		))
+		for _, name := range e.cat.Names() {
+			entry, err := e.cat.Lookup(name)
+			if err != nil || entry.Kind != wantKind {
+				continue
+			}
+			n := 0
+			if cols := entry.Source.Snapshot(); len(cols) > 0 {
+				n = cols[0].Len()
+			}
+			rel.AppendRow([]vector.Value{
+				vector.NewString(entry.Name),
+				vector.NewInt(int64(n)),
+			})
+		}
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("datacell: unsupported SHOW")
+	}
+}
+
 func (e *Engine) drop(name string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := e.streams[key]; ok {
+		for _, q := range e.queries {
+			if strings.ToLower(q.stream) == key {
+				e.mu.Unlock()
+				return fmt.Errorf("%w: %q is read by %q", ErrStreamInUse, name, q.Name)
+			}
+		}
+		for _, c := range e.cascades {
+			if strings.ToLower(c.stream) == key {
+				e.mu.Unlock()
+				return fmt.Errorf("%w: %q is read by cascade %q", ErrStreamInUse, name, c.Name)
+			}
+		}
 		delete(e.streams, key)
+		e.mu.Unlock()
 		return e.cat.Drop(name)
 	}
 	if _, ok := e.tables[key]; ok {
 		delete(e.tables, key)
+		e.mu.Unlock()
 		return e.cat.Drop(name)
 	}
-	return fmt.Errorf("datacell: unknown table or stream %q", name)
+	e.mu.Unlock()
+	return fmt.Errorf("%w: no table or stream %q", ErrUnknownStream, name)
 }
 
-func (e *Engine) insert(ins *sql.InsertStmt) error {
+func (e *Engine) insert(ctx context.Context, ins *sql.InsertStmt) error {
 	entry, err := e.cat.Lookup(ins.Table)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %q", ErrUnknownStream, ins.Table)
 	}
 	userW := entry.Source.Schema().Len()
 	if entry.Kind == catalog.KindBasket {
@@ -344,7 +594,7 @@ func (e *Engine) insert(ins *sql.InsertStmt) error {
 		rows = append(rows, row)
 	}
 	if entry.Kind == catalog.KindBasket {
-		return e.Ingest(ins.Table, rows)
+		return e.Ingest(ctx, ins.Table, rows)
 	}
 	e.mu.Lock()
 	tbl := e.tables[strings.ToLower(ins.Table)]
@@ -424,7 +674,7 @@ func (e *Engine) Query(name string) (*Query, error) {
 	defer e.mu.Unlock()
 	q, ok := e.queries[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("datacell: unknown continuous query %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownQuery, name)
 	}
 	return q, nil
 }

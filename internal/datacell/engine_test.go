@@ -1,6 +1,7 @@
 package datacell
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func newEngine(t *testing.T) (*Engine, *metrics.ManualClock) {
 	t.Helper()
 	clk := metrics.NewManualClock(1_000_000)
 	e := New(Config{Clock: clk})
-	if _, err := e.Exec("CREATE BASKET R (a INT, b INT)"); err != nil {
+	if _, err := e.Exec(context.Background(), "CREATE BASKET R (a INT, b INT)"); err != nil {
 		t.Fatal(err)
 	}
 	return e, clk
@@ -28,7 +29,7 @@ func ingestPairs(t *testing.T, e *Engine, stream string, pairs [][2]int64) {
 	for i, p := range pairs {
 		rows[i] = []vector.Value{vector.NewInt(p[0]), vector.NewInt(p[1])}
 	}
-	if err := e.Ingest(stream, rows); err != nil {
+	if err := e.Ingest(context.Background(), stream, rows); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,7 +38,7 @@ func collect(q *Query) []*storage.Relation {
 	var out []*storage.Relation
 	for {
 		select {
-		case rel := <-q.Results():
+		case rel := <-q.Subscription().C():
 			out = append(out, rel)
 		default:
 			return out
@@ -55,13 +56,13 @@ func countRows(rels []*storage.Relation) int {
 
 func TestDDLAndOneTimeQuery(t *testing.T) {
 	e, _ := newEngine(t)
-	if _, err := e.Exec("CREATE TABLE static (k INT, v VARCHAR)"); err != nil {
+	if _, err := e.Exec(context.Background(), "CREATE TABLE static (k INT, v VARCHAR)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec("INSERT INTO static VALUES (1, 'one'), (2, 'two')"); err != nil {
+	if _, err := e.Exec(context.Background(), "INSERT INTO static VALUES (1, 'one'), (2, 'two')"); err != nil {
 		t.Fatal(err)
 	}
-	rel, err := e.Exec("SELECT v FROM static WHERE k = 2")
+	rel, err := e.Exec(context.Background(), "SELECT v FROM static WHERE k = 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,13 +73,13 @@ func TestDDLAndOneTimeQuery(t *testing.T) {
 
 func TestInsertIntoBasketRoutesAsIngest(t *testing.T) {
 	e, _ := newEngine(t)
-	if _, err := e.Exec("INSERT INTO R VALUES (1, 10), (2, 20)"); err != nil {
+	if _, err := e.Exec(context.Background(), "INSERT INTO R VALUES (1, 10), (2, 20)"); err != nil {
 		t.Fatal(err)
 	}
 	if e.Ingested("R") != 2 {
 		t.Errorf("ingested = %d", e.Ingested("R"))
 	}
-	rel, err := e.Exec("SELECT a FROM R WHERE b >= 20")
+	rel, err := e.Exec(context.Background(), "SELECT a FROM R WHERE b >= 20")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,20 +90,20 @@ func TestInsertIntoBasketRoutesAsIngest(t *testing.T) {
 
 func TestInsertLiteralCoercion(t *testing.T) {
 	e, _ := newEngine(t)
-	if _, err := e.Exec("CREATE TABLE m (f DOUBLE, i INT, ts TIMESTAMP)"); err != nil {
+	if _, err := e.Exec(context.Background(), "CREATE TABLE m (f DOUBLE, i INT, ts TIMESTAMP)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec("INSERT INTO m VALUES (1, 2.0, 3)"); err != nil {
+	if _, err := e.Exec(context.Background(), "INSERT INTO m VALUES (1, 2.0, 3)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec("INSERT INTO m VALUES (-1.5, -2, NULL)"); err != nil {
+	if _, err := e.Exec(context.Background(), "INSERT INTO m VALUES (-1.5, -2, NULL)"); err != nil {
 		t.Fatal(err)
 	}
-	rel, _ := e.Exec("SELECT f, i, ts FROM m ORDER BY f")
+	rel, _ := e.Exec(context.Background(), "SELECT f, i, ts FROM m ORDER BY f")
 	if rel.Cols[0].Get(0).F != -1.5 || rel.Cols[1].Get(0).I != -2 || !rel.Cols[2].Get(0).Null {
 		t.Errorf("row0 = %v", rel.Row(0))
 	}
-	if _, err := e.Exec("INSERT INTO m VALUES ('x', 1, 1)"); err == nil {
+	if _, err := e.Exec(context.Background(), "INSERT INTO m VALUES ('x', 1, 1)"); err == nil {
 		t.Error("string into double should fail")
 	}
 }
@@ -117,7 +118,7 @@ func TestExecErrors(t *testing.T) {
 		"CREATE BASKET R (a INT, b INT)",       // duplicate
 		"DROP TABLE nosuch",                    // unknown drop
 	} {
-		if _, err := e.Exec(q); err == nil {
+		if _, err := e.Exec(context.Background(), q); err == nil {
 			t.Errorf("Exec(%q) should fail", q)
 		}
 	}
@@ -244,7 +245,7 @@ func TestResultBasketQueryableViaSQL(t *testing.T) {
 	ingestPairs(t, e, "R", [][2]int64{{7, 70}})
 	e.Drain()
 	// Consume results via one-time SQL over the output basket.
-	rel, err := e.Exec("SELECT a, b FROM q_out")
+	rel, err := e.Exec(context.Background(), "SELECT a, b FROM q_out")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestCascadeStrategy(t *testing.T) {
 		got := 0
 		for {
 			select {
-			case rel := <-c.Results(i):
+			case rel := <-c.Subscription(i).C():
 				got += rel.NumRows()
 			default:
 				goto done
@@ -405,7 +406,7 @@ func TestUnregisterContinuous(t *testing.T) {
 	}
 	// Replicas are detached: ingest doesn't fail and nothing leaks.
 	ingestPairs(t, e, "R", [][2]int64{{1, 1}})
-	if _, err := e.Exec("SELECT * FROM tmp_out"); err == nil {
+	if _, err := e.Exec(context.Background(), "SELECT * FROM tmp_out"); err == nil {
 		t.Error("output basket should be dropped")
 	}
 }
@@ -436,22 +437,24 @@ func TestConcurrentModeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Start()
-	defer e.Stop()
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop(context.Background())
 	go func() {
 		for i := int64(0); i < 2000; i += 100 {
 			rows := make([][]vector.Value, 100)
 			for j := range rows {
 				rows[j] = []vector.Value{vector.NewInt(i + int64(j))}
 			}
-			_ = e.Ingest("s", rows)
+			_ = e.Ingest(context.Background(), "s", rows)
 		}
 	}()
 	got := 0
 	deadline := time.After(10 * time.Second)
 	for got < 1000 {
 		select {
-		case rel := <-q.Results():
+		case rel := <-q.Subscription().C():
 			got += rel.NumRows()
 		case <-deadline:
 			t.Fatalf("timeout: got %d of 1000", got)

@@ -1,0 +1,39 @@
+package datacell
+
+import "errors"
+
+// Sentinel errors of the engine API. Engine methods wrap them with detail
+// (names, positions) via fmt.Errorf("%w: ..."), so callers branch with
+// errors.Is and never parse message strings. Parse failures additionally
+// carry a position and are asserted with errors.As against *sql.ParseError.
+var (
+	// ErrUnknownStream is returned when a statement or Ingest references a
+	// stream that was never created.
+	ErrUnknownStream = errors.New("datacell: unknown stream")
+	// ErrUnknownQuery is returned when a name does not resolve to a
+	// registered continuous query.
+	ErrUnknownQuery = errors.New("datacell: unknown continuous query")
+	// ErrDuplicateQuery is returned when a continuous query name is
+	// already taken.
+	ErrDuplicateQuery = errors.New("datacell: continuous query already exists")
+	// ErrDuplicateName is returned when a CREATE collides with an existing
+	// table, stream, or basket.
+	ErrDuplicateName = errors.New("datacell: name already exists")
+	// ErrEngineStopped is returned by every entry point after Stop.
+	ErrEngineStopped = errors.New("datacell: engine stopped")
+	// ErrNotContinuous is returned when continuous-query registration is
+	// attempted on a query without a basket expression.
+	ErrNotContinuous = errors.New("datacell: query has no basket expression")
+	// ErrContinuousViaExec is returned when a continuous SELECT is passed
+	// to Exec directly instead of through CREATE CONTINUOUS QUERY.
+	ErrContinuousViaExec = errors.New("datacell: continuous query; use CREATE CONTINUOUS QUERY name AS ...")
+	// ErrStreamInUse is returned when DROP targets a stream that standing
+	// queries still read.
+	ErrStreamInUse = errors.New("datacell: stream is read by continuous queries")
+	// ErrSubscriptionClosed is returned by Recv after the subscription was
+	// closed (explicitly, or because its query was dropped).
+	ErrSubscriptionClosed = errors.New("datacell: subscription closed")
+	// ErrInvalidOption is returned for an unknown or malformed WITH option
+	// in CREATE CONTINUOUS QUERY (and the option helpers).
+	ErrInvalidOption = errors.New("datacell: invalid query option")
+)

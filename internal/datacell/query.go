@@ -2,6 +2,7 @@ package datacell
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/adapters"
@@ -11,7 +12,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/sql"
-	"repro/internal/storage"
 	"repro/internal/window"
 )
 
@@ -26,14 +26,15 @@ type Query struct {
 	stream  string // the stream the basket expression reads
 	fact    *factory.Factory
 	out     *basket.Basket
-	emitter *adapters.ChannelEmitter
+	sub     *Subscription  // nil when the query polls via SQL
 	replica *basket.Basket // separate strategy only
 	engine  *Engine
 }
 
-// Results returns the subscription channel delivering one relation per
-// result batch (the output basket's schema, including its delivery ts).
-func (q *Query) Results() <-chan *storage.Relation { return q.emitter.C() }
+// Subscription returns the query's result subscription, or nil when the
+// query was registered for SQL polling (results then accumulate in the
+// <name>_out basket until a one-time SELECT consumes them).
+func (q *Query) Subscription() *Subscription { return q.sub }
 
 // Out returns the query's output basket (queryable by one-time SQL under
 // the name <query>_out).
@@ -80,6 +81,7 @@ type queryConfig struct {
 	subDepth   int
 	priority   int
 	shedAt     int
+	policy     Backpressure
 }
 
 // WithStrategy selects the basket arrangement (default SeparateBaskets,
@@ -127,12 +129,107 @@ func WithLoadShedding(n int) QueryOption {
 	return func(c *queryConfig) { c.shedAt = n }
 }
 
-// RegisterContinuous compiles and installs a continuous query. The query
-// must contain exactly one basket expression (the paper's continuous
-// marker); the referenced basket must be a stream created with
+// WithBackpressure selects what the subscription does when its consumer
+// falls behind (default BackpressureBlock).
+func WithBackpressure(p Backpressure) QueryOption {
+	return func(c *queryConfig) { c.policy = p }
+}
+
+// optionsFromSpecs translates a DDL WITH (...) list into QueryOptions —
+// the bridge that lets CREATE CONTINUOUS QUERY express everything the Go
+// option API can.
+func optionsFromSpecs(specs []sql.OptionSpec) ([]QueryOption, error) {
+	var opts []QueryOption
+	intOpt := func(s sql.OptionSpec, f func(int) QueryOption) error {
+		n, err := strconv.Atoi(s.Val)
+		if err != nil {
+			return fmt.Errorf("%w: %s = %q wants an integer", ErrInvalidOption, s.Key, s.Val)
+		}
+		opts = append(opts, f(n))
+		return nil
+	}
+	for _, s := range specs {
+		key := strings.ToLower(s.Key)
+		val := strings.ToLower(s.Val)
+		switch key {
+		case "strategy":
+			switch val {
+			case "separate":
+				opts = append(opts, WithStrategy(SeparateBaskets))
+			case "shared":
+				opts = append(opts, WithStrategy(SharedBaskets))
+			default:
+				return nil, fmt.Errorf("%w: strategy = %q (want separate or shared)", ErrInvalidOption, s.Val)
+			}
+		case "min_tuples":
+			if err := intOpt(s, WithMinTuples); err != nil {
+				return nil, err
+			}
+		case "window_mode":
+			switch val {
+			case "incremental":
+				opts = append(opts, WithWindowMode(window.Incremental))
+			case "reeval", "re_evaluate", "reevaluate":
+				opts = append(opts, WithWindowMode(window.ReEvaluate))
+			default:
+				return nil, fmt.Errorf("%w: window_mode = %q (want incremental or reeval)", ErrInvalidOption, s.Val)
+			}
+		case "priority":
+			if err := intOpt(s, WithPriority); err != nil {
+				return nil, err
+			}
+		case "shed_limit":
+			if err := intOpt(s, WithLoadShedding); err != nil {
+				return nil, err
+			}
+		case "depth", "subscription_depth":
+			if err := intOpt(s, WithSubscriptionDepth); err != nil {
+				return nil, err
+			}
+		case "polling":
+			switch val {
+			case "true":
+				opts = append(opts, WithSQLPolling())
+			case "false":
+			default:
+				return nil, fmt.Errorf("%w: polling = %q (want true or false)", ErrInvalidOption, s.Val)
+			}
+		case "backpressure":
+			switch val {
+			case "block":
+				opts = append(opts, WithBackpressure(BackpressureBlock))
+			case "drop_oldest":
+				opts = append(opts, WithBackpressure(BackpressureDropOldest))
+			default:
+				return nil, fmt.Errorf("%w: backpressure = %q (want block or drop_oldest)", ErrInvalidOption, s.Val)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown option %q", ErrInvalidOption, s.Key)
+		}
+	}
+	return opts, nil
+}
+
+// RegisterContinuous compiles and installs a continuous query — the Go
+// equivalent of CREATE CONTINUOUS QUERY (both run the same registration
+// path). The query must contain exactly one basket expression (the paper's
+// continuous marker); the referenced basket must be a stream created with
 // CreateStream. The query's results land in a basket named <name>_out and
-// on the subscription channel.
+// on the subscription.
 func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Query, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.registerParsed(name, text, sel, opts...)
+}
+
+// registerParsed is the single registration path behind both
+// RegisterContinuous and CREATE CONTINUOUS QUERY.
+func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...QueryOption) (*Query, error) {
+	if err := e.guard(nil); err != nil {
+		return nil, err
+	}
 	cfg := queryConfig{strategy: SeparateBaskets, minTuples: 1, subDepth: 64}
 	for _, o := range opts {
 		o(&cfg)
@@ -141,16 +238,12 @@ func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Qu
 	e.mu.Lock()
 	if _, dup := e.queries[key]; dup {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("datacell: query %q already registered", name)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateQuery, name)
 	}
 	e.mu.Unlock()
 
-	sel, err := sql.ParseSelect(text)
-	if err != nil {
-		return nil, err
-	}
 	if !sel.IsContinuous() {
-		return nil, fmt.Errorf("datacell: %q has no basket expression; run it with Exec", name)
+		return nil, fmt.Errorf("%w: %q; run it with Exec", ErrNotContinuous, name)
 	}
 	streamName, err := basketExprStream(sel)
 	if err != nil {
@@ -167,11 +260,11 @@ func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Qu
 	if !isStream {
 		entry, err := e.cat.Lookup(streamName)
 		if err != nil {
-			return nil, fmt.Errorf("datacell: basket expression reads %q, which is neither a stream nor a basket", streamName)
+			return nil, fmt.Errorf("%w: basket expression reads %q, which is neither a stream nor a basket", ErrUnknownStream, streamName)
 		}
 		b, ok := entry.Source.(*basket.Basket)
 		if !ok || entry.Kind != catalog.KindBasket {
-			return nil, fmt.Errorf("datacell: basket expression over %q, which is a %s", streamName, entry.Kind)
+			return nil, fmt.Errorf("%w: basket expression over %q, which is a %s", ErrUnknownStream, streamName, entry.Kind)
 		}
 		chained = b
 	}
@@ -210,7 +303,7 @@ func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Qu
 	out := basket.New(name+"_out", p.Schema(), e.clock)
 	out.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
 	}
 
 	fopts := []factory.Option{
@@ -229,12 +322,6 @@ func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Qu
 		return nil, err
 	}
 
-	depth := cfg.subDepth
-	if depth < 1 {
-		depth = 1
-	}
-	emitter := adapters.NewChannelEmitter(name+"_emit", out, depth)
-
 	q := &Query{
 		Name:     name,
 		SQL:      text,
@@ -242,16 +329,19 @@ func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Qu
 		stream:   streamName,
 		fact:     fact,
 		out:      out,
-		emitter:  emitter,
 		replica:  replica,
 		engine:   e,
+	}
+	if cfg.subDepth > 0 {
+		emitter := adapters.NewChannelEmitter(name+"_emit", out, cfg.subDepth, cfg.policy)
+		q.sub = newSubscription(e, emitter)
 	}
 	e.mu.Lock()
 	e.queries[key] = q
 	e.mu.Unlock()
 	e.sched.AddWithPriority(fact, cfg.priority)
-	if cfg.subDepth > 0 {
-		e.sched.AddWithPriority(emitter, cfg.priority)
+	if q.sub != nil {
+		e.sched.AddWithPriority(q.sub.em, cfg.priority)
 	}
 	return q, nil
 }
@@ -283,14 +373,17 @@ func (e *Engine) buildWindowRunner(p plan.Node, bufSchema *catalog.Schema, sourc
 	return window.NewRunner(spec, mode, reEval, nil, bufSchema)
 }
 
-// UnregisterContinuous removes a continuous query and its private baskets.
+// UnregisterContinuous removes a continuous query — the Go equivalent of
+// DROP CONTINUOUS QUERY. The factory detaches from the scheduler, shared
+// readers release their watermarks, the private replica and output basket
+// are freed, and the subscription closes.
 func (e *Engine) UnregisterContinuous(name string) error {
 	key := strings.ToLower(name)
 	e.mu.Lock()
 	q, ok := e.queries[key]
 	if !ok {
 		e.mu.Unlock()
-		return fmt.Errorf("datacell: unknown continuous query %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownQuery, name)
 	}
 	delete(e.queries, key)
 	if s := e.streams[strings.ToLower(q.stream)]; q.replica != nil && s != nil {
@@ -303,8 +396,10 @@ func (e *Engine) UnregisterContinuous(name string) error {
 	}
 	e.mu.Unlock()
 	e.sched.Remove(q.fact.Name())
-	e.sched.Remove(q.emitter.Name())
 	q.fact.Close()
+	if q.sub != nil {
+		q.sub.closeWith(ErrSubscriptionClosed)
+	}
 	return e.cat.Drop(name + "_out")
 }
 

@@ -1,6 +1,7 @@
 package datacell
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -91,13 +92,15 @@ func TestAutoFlushClosesTimeWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Start()
-	defer e.Stop()
-	if err := e.Ingest("m", [][]vector.Value{{vector.NewInt(1)}, {vector.NewInt(2)}}); err != nil {
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop(context.Background())
+	if err := e.Ingest(context.Background(), "m", [][]vector.Value{{vector.NewInt(1)}, {vector.NewInt(2)}}); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case rel := <-q.Results():
+	case rel := <-q.Subscription().C():
 		if rel.Cols[0].Get(0).I != 2 {
 			t.Errorf("window count = %v", rel.Row(0))
 		}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -115,7 +116,7 @@ func F1(scale Scale) (*Table, error) {
 		if end > total {
 			end = total
 		}
-		if err := eng.Ingest("s", rows[i:end]); err != nil {
+		if err := eng.Ingest(context.Background(), "s", rows[i:end]); err != nil {
 			return nil, err
 		}
 		eng.Drain()
@@ -188,7 +189,7 @@ func e1Run(strategy datacell.Strategy, nq, total int) (time.Duration, error) {
 		if end > total {
 			end = total
 		}
-		if err := eng.Ingest("s", rows[i:end]); err != nil {
+		if err := eng.Ingest(context.Background(), "s", rows[i:end]); err != nil {
 			return 0, err
 		}
 		eng.Drain()
@@ -251,7 +252,7 @@ func E2(scale Scale) (*Table, error) {
 			if end > total {
 				end = total
 			}
-			if err := eng.IngestColumns("s", []*vector.Vector{col.Window(i, end)}); err != nil {
+			if err := eng.IngestColumns(context.Background(), "s", []*vector.Vector{col.Window(i, end)}); err != nil {
 				return nil, err
 			}
 			eng.Drain()
@@ -269,7 +270,7 @@ func E2(scale Scale) (*Table, error) {
 }
 
 func mustSQL(eng *datacell.Engine, stmt string) error {
-	_, err := eng.Exec(stmt)
+	_, err := eng.Exec(context.Background(), stmt)
 	return err
 }
 

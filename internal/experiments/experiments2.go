@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,7 +40,7 @@ func E3(scale Scale) (*Table, error) {
 			}
 		}
 		start := time.Now()
-		if err := eng.Ingest("s", rows); err != nil {
+		if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 			return nil, err
 		}
 		eng.Drain()
@@ -71,7 +72,7 @@ func E3(scale Scale) (*Table, error) {
 		return nil, err
 	}
 	start := time.Now()
-	if err := eng.Ingest("s", rows); err != nil {
+	if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 		return nil, err
 	}
 	eng.Drain()
@@ -139,7 +140,7 @@ func e4Run(mode window.Mode, w, slide, total int) (time.Duration, error) {
 		if end > total {
 			end = total
 		}
-		if err := eng.Ingest("s", rows[i:end]); err != nil {
+		if err := eng.Ingest(context.Background(), "s", rows[i:end]); err != nil {
 			return 0, err
 		}
 		eng.Drain()
@@ -232,8 +233,10 @@ func e6Run(rate int) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng.Start()
-	defer eng.Stop()
+	if err := eng.Start(context.Background()); err != nil {
+		return nil, err
+	}
+	defer eng.Stop(context.Background())
 
 	const runFor = 400 * time.Millisecond
 	const tick = 5 * time.Millisecond
@@ -246,7 +249,7 @@ func e6Run(rate int) ([]string, error) {
 	start := time.Now()
 	for time.Since(start) < runFor {
 		tickStart := time.Now()
-		if err := eng.Ingest("s", rows); err != nil {
+		if err := eng.Ingest(context.Background(), "s", rows); err != nil {
 			return nil, err
 		}
 		sent += perTick
@@ -303,13 +306,13 @@ func E7(scale Scale) (*Table, error) {
 	for r := 0; r < rounds; r++ {
 		rows := intStream(perRound, 1000)
 		t1 := time.Now()
-		if err := e1.Ingest("s", rows); err != nil {
+		if err := e1.Ingest(context.Background(), "s", rows); err != nil {
 			return nil, err
 		}
 		e1.Drain()
 		d1 := time.Since(t1)
 		t2 := time.Now()
-		if err := e2.Ingest("s", rows); err != nil {
+		if err := e2.Ingest(context.Background(), "s", rows); err != nil {
 			return nil, err
 		}
 		e2.Drain()

@@ -1,6 +1,7 @@
 package linearroad
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -113,7 +114,7 @@ func (s *System) Feed(t int64, batch []Record) error {
 				vector.NewInt(r.Seg), vector.NewInt(r.Pos),
 			}
 		}
-		if err := s.eng.Ingest("pos", rows); err != nil {
+		if err := s.eng.Ingest(context.Background(), "pos", rows); err != nil {
 			return err
 		}
 		if err := s.proc.posIn.AppendRows(rows); err != nil {

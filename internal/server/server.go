@@ -6,6 +6,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -15,6 +16,7 @@ import (
 	datacell "repro"
 	"repro/internal/adapters"
 	"repro/internal/catalog"
+	"repro/internal/sql"
 )
 
 // Server wires one engine to its listeners.
@@ -36,38 +38,21 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// RunScript executes a statement script: semicolon-separated SQL, where
-// the extension form `CONTINUOUS <name> <select>` registers a continuous
-// query.
-func (s *Server) RunScript(script string) error {
-	for _, stmt := range strings.Split(script, ";") {
-		stmt = strings.TrimSpace(stmt)
-		if stmt == "" {
-			continue
-		}
-		if rest, ok := cutKeyword(stmt, "CONTINUOUS"); ok {
-			parts := strings.SplitN(rest, " ", 2)
-			if len(parts) != 2 {
-				return fmt.Errorf("server: CONTINUOUS needs a name and a query: %q", stmt)
-			}
-			if _, err := s.eng.RegisterContinuous(parts[0], strings.TrimSpace(parts[1])); err != nil {
-				return err
-			}
-			continue
-		}
-		if _, err := s.eng.Exec(stmt); err != nil {
+// RunScript executes a statement script: semicolon-separated SQL, split
+// by the lexer (string literals and comments are respected) and executed
+// through Engine.Exec — continuous queries are ordinary CREATE CONTINUOUS
+// QUERY statements, the same code path as every other front end.
+func (s *Server) RunScript(ctx context.Context, script string) error {
+	stmts, err := sql.SplitStatements(script)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if _, err := s.eng.Exec(ctx, stmt); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func cutKeyword(stmt, kw string) (string, bool) {
-	if len(stmt) > len(kw) && strings.EqualFold(stmt[:len(kw)], kw) &&
-		(stmt[len(kw)] == ' ' || stmt[len(kw)] == '\t' || stmt[len(kw)] == '\n') {
-		return strings.TrimSpace(stmt[len(kw):]), true
-	}
-	return "", false
 }
 
 // ListenIngest starts the stream-ingestion listener and returns its bound
@@ -139,7 +124,7 @@ func (s *Server) ServeIngest(conn io.ReadWriteCloser) {
 	var pending [][]datacell.Value
 	flush := func() {
 		if len(pending) > 0 {
-			if err := s.eng.Ingest(streamName, pending); err != nil {
+			if err := s.eng.Ingest(context.Background(), streamName, pending); err != nil {
 				s.logf("ingest %s: %v", streamName, err)
 			}
 			pending = pending[:0]
@@ -176,8 +161,13 @@ func (s *Server) ServeResults(conn io.ReadWriteCloser) {
 		fmt.Fprintf(conn, "ERR %v\n", err)
 		return
 	}
+	sub := q.Subscription()
+	if sub == nil {
+		fmt.Fprintf(conn, "ERR query %q has no subscription (polling mode)\n", q.Name)
+		return
+	}
 	w := bufio.NewWriter(conn)
-	for rel := range q.Results() {
+	for rel := range sub.C() {
 		userW := rel.Schema.Len()
 		if rel.Schema.Index(catalog.TimestampColumn) == userW-1 {
 			userW-- // strip the output basket's delivery timestamp
@@ -205,7 +195,7 @@ func (s *Server) ServeSQL(conn io.ReadWriteCloser) {
 		if stmt == "" {
 			continue
 		}
-		rel, err := s.eng.Exec(stmt)
+		rel, err := s.eng.Exec(context.Background(), stmt)
 		switch {
 		case err != nil:
 			fmt.Fprintf(w, "ERR %v\n", err)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -13,18 +14,25 @@ import (
 
 func newServer(t *testing.T) (*Server, *datacell.Engine) {
 	t.Helper()
-	eng := datacell.New(datacell.Config{Workers: 2})
+	ctx := context.Background()
+	eng, err := datacell.Open(ctx, datacell.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := New(eng)
-	if err := s.RunScript(`
+	if err := s.RunScript(ctx, `
 		CREATE BASKET sensors (id INT, temp DOUBLE);
-		CONTINUOUS hot SELECT * FROM [SELECT * FROM sensors] AS x WHERE x.temp > 30.0;
+		CREATE CONTINUOUS QUERY hot AS
+			SELECT * FROM [SELECT * FROM sensors] AS x WHERE x.temp > 30.0;
 	`); err != nil {
 		t.Fatal(err)
 	}
-	eng.Start()
+	if err := eng.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		s.Close()
-		eng.Stop()
+		_ = eng.Stop(ctx)
 	})
 	return s, eng
 }
@@ -40,16 +48,24 @@ func dial(t *testing.T, addr net.Addr) net.Conn {
 }
 
 func TestRunScriptErrors(t *testing.T) {
+	ctx := context.Background()
 	eng := datacell.New(datacell.Config{})
 	s := New(eng)
-	if err := s.RunScript("CONTINUOUS justaname"); err == nil {
-		t.Error("CONTINUOUS without query should fail")
+	if err := s.RunScript(ctx, "CREATE CONTINUOUS QUERY justaname"); err == nil {
+		t.Error("CREATE CONTINUOUS QUERY without AS select should fail")
 	}
-	if err := s.RunScript("BOGUS SQL"); err == nil {
+	if err := s.RunScript(ctx, "BOGUS SQL"); err == nil {
 		t.Error("bad SQL should fail")
 	}
-	if err := s.RunScript("  ;;  ;"); err != nil {
+	if err := s.RunScript(ctx, "  ;;  ;"); err != nil {
 		t.Errorf("empty statements should be skipped: %v", err)
+	}
+	// A semicolon inside a string literal is not a statement boundary.
+	if err := s.RunScript(ctx, "CREATE TABLE t1 (v VARCHAR); INSERT INTO t1 VALUES ('a;b')"); err != nil {
+		t.Errorf("semicolon in literal: %v", err)
+	}
+	if rel, err := eng.Exec(ctx, "SELECT COUNT(*) FROM t1"); err != nil || rel.Cols[0].Get(0).I != 1 {
+		t.Errorf("literal row lost: %v %v", rel, err)
 	}
 }
 
@@ -161,8 +177,55 @@ func TestDDLOverSQLPort(t *testing.T) {
 	if !r.Scan() || r.Text() != "OK" {
 		t.Fatalf("insert: %q", r.Text())
 	}
-	rel, err := eng.Exec("SELECT v FROM ref WHERE k = 1")
+	rel, err := eng.Exec(context.Background(), "SELECT v FROM ref WHERE k = 1")
 	if err != nil || rel.NumRows() != 1 {
 		t.Fatalf("rel = %v err = %v", rel, err)
+	}
+}
+
+// TestContinuousDDLOverSQLPort verifies the one-code-path criterion: the
+// continuous-query lifecycle works over the TCP control listener exactly
+// as it does via Engine.Exec and RunScript.
+func TestContinuousDDLOverSQLPort(t *testing.T) {
+	s, eng := newServer(t)
+	sqlAddr, err := s.ListenSQL("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := dial(t, sqlAddr)
+	r := bufio.NewScanner(ctl)
+
+	fmt.Fprintln(ctl, "CREATE CONTINUOUS QUERY cold WITH (strategy = shared, polling = true) AS SELECT * FROM [SELECT * FROM sensors] AS x WHERE x.temp < 0.0")
+	if !r.Scan() || r.Text() != "OK" {
+		t.Fatalf("create continuous: %q", r.Text())
+	}
+	if q, err := eng.Query("cold"); err != nil || q.Strategy != datacell.SharedBaskets {
+		t.Fatalf("query not registered via TCP: %v", err)
+	}
+
+	// SHOW QUERIES over the wire lists both standing queries.
+	fmt.Fprintln(ctl, "SHOW QUERIES")
+	var show []string
+	for r.Scan() {
+		show = append(show, r.Text())
+		if r.Text() == "OK" || strings.HasPrefix(r.Text(), "ERR") {
+			break
+		}
+	}
+	joined := strings.Join(show, "\n")
+	if !strings.Contains(joined, "cold") || !strings.Contains(joined, "hot") {
+		t.Errorf("SHOW QUERIES = %q", joined)
+	}
+
+	fmt.Fprintln(ctl, "DROP CONTINUOUS QUERY cold")
+	if !r.Scan() || r.Text() != "OK" {
+		t.Fatalf("drop continuous: %q", r.Text())
+	}
+	if _, err := eng.Query("cold"); err == nil {
+		t.Error("query survived DROP over TCP")
+	}
+	fmt.Fprintln(ctl, "DROP CONTINUOUS QUERY cold")
+	if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
+		t.Errorf("double drop should ERR, got %q", r.Text())
 	}
 }

@@ -33,6 +33,69 @@ type DropStmt struct {
 
 func (*DropStmt) stmt() {}
 
+// OptionSpec is one key = value pair of a WITH (...) option list. Values
+// keep their source spelling; the engine interprets them per key.
+type OptionSpec struct {
+	Key string
+	Val string
+}
+
+// CreateContinuousStmt is the continuous-query DDL:
+//
+//	CREATE CONTINUOUS QUERY <name>
+//	    [WITH (strategy = shared, min_tuples = 64, ...)]
+//	    AS SELECT ...
+//
+// Select is the parsed standing query; SelectText is its original source
+// text (kept so the engine can record the query verbatim).
+type CreateContinuousStmt struct {
+	Name       string
+	Options    []OptionSpec
+	Select     *SelectStmt
+	SelectText string
+}
+
+func (*CreateContinuousStmt) stmt() {}
+
+// DropContinuousStmt is DROP CONTINUOUS QUERY <name>.
+type DropContinuousStmt struct {
+	Name string
+}
+
+func (*DropContinuousStmt) stmt() {}
+
+// ShowKind enumerates the SHOW introspection statements.
+type ShowKind uint8
+
+// SHOW targets.
+const (
+	ShowQueries ShowKind = iota
+	ShowBaskets
+	ShowTables
+	ShowStreams
+)
+
+// String names the target.
+func (k ShowKind) String() string {
+	switch k {
+	case ShowBaskets:
+		return "BASKETS"
+	case ShowTables:
+		return "TABLES"
+	case ShowStreams:
+		return "STREAMS"
+	default:
+		return "QUERIES"
+	}
+}
+
+// ShowStmt is SHOW QUERIES / SHOW BASKETS / SHOW TABLES / SHOW STREAMS.
+type ShowStmt struct {
+	What ShowKind
+}
+
+func (*ShowStmt) stmt() {}
+
 // InsertStmt is INSERT INTO t VALUES (...), (...).
 type InsertStmt struct {
 	Table string
@@ -240,6 +303,12 @@ func StmtString(s Statement) string {
 		return fmt.Sprintf("INSERT INTO %s (%d rows)", x.Table, len(x.Rows))
 	case *DropStmt:
 		return fmt.Sprintf("DROP %s", x.Name)
+	case *CreateContinuousStmt:
+		return fmt.Sprintf("CREATE CONTINUOUS QUERY %s", x.Name)
+	case *DropContinuousStmt:
+		return fmt.Sprintf("DROP CONTINUOUS QUERY %s", x.Name)
+	case *ShowStmt:
+		return fmt.Sprintf("SHOW %s", x.What)
 	default:
 		return "?"
 	}

@@ -1,0 +1,158 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseCreateContinuous(t *testing.T) {
+	st, err := Parse(`CREATE CONTINUOUS QUERY hot
+		WITH (strategy = shared, min_tuples = 64, priority = -2, polling = true)
+		AS SELECT * FROM [SELECT * FROM sensors] AS x WHERE x.temp > 30.0;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, ok := st.(*CreateContinuousStmt)
+	if !ok {
+		t.Fatalf("statement = %T", st)
+	}
+	if cc.Name != "hot" {
+		t.Errorf("name = %q", cc.Name)
+	}
+	want := []OptionSpec{
+		{Key: "strategy", Val: "shared"},
+		{Key: "min_tuples", Val: "64"},
+		{Key: "priority", Val: "-2"},
+		{Key: "polling", Val: "true"},
+	}
+	if len(cc.Options) != len(want) {
+		t.Fatalf("options = %v", cc.Options)
+	}
+	for i, w := range want {
+		if cc.Options[i] != w {
+			t.Errorf("option %d = %v, want %v", i, cc.Options[i], w)
+		}
+	}
+	if cc.Select == nil || !cc.Select.IsContinuous() {
+		t.Error("select not parsed as continuous")
+	}
+	if !strings.HasPrefix(cc.SelectText, "SELECT") || strings.HasSuffix(cc.SelectText, ";") {
+		t.Errorf("select text = %q", cc.SelectText)
+	}
+}
+
+func TestParseCreateContinuousNoOptions(t *testing.T) {
+	st, err := Parse("CREATE CONTINUOUS QUERY q AS SELECT * FROM [SELECT * FROM s] AS x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := st.(*CreateContinuousStmt)
+	if len(cc.Options) != 0 || cc.SelectText != "SELECT * FROM [SELECT * FROM s] AS x" {
+		t.Errorf("parsed = %+v", cc)
+	}
+}
+
+func TestParseDropContinuous(t *testing.T) {
+	st, err := Parse("DROP CONTINUOUS QUERY hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc, ok := st.(*DropContinuousStmt); !ok || dc.Name != "hot" {
+		t.Errorf("statement = %#v", st)
+	}
+}
+
+func TestParseShow(t *testing.T) {
+	for text, want := range map[string]ShowKind{
+		"SHOW QUERIES": ShowQueries,
+		"SHOW BASKETS": ShowBaskets,
+		"SHOW TABLES":  ShowTables,
+		"SHOW STREAMS": ShowStreams,
+	} {
+		st, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if sh, ok := st.(*ShowStmt); !ok || sh.What != want {
+			t.Errorf("%s = %#v", text, st)
+		}
+	}
+	if _, err := Parse("SHOW NOTHING"); err == nil {
+		t.Error("SHOW NOTHING should fail")
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	for _, text := range []string{
+		"CREATE CONTINUOUS",
+		"CREATE CONTINUOUS QUERY",
+		"CREATE CONTINUOUS QUERY q",
+		"CREATE CONTINUOUS QUERY q AS",
+		"CREATE CONTINUOUS QUERY q WITH () AS SELECT * FROM s",
+		"CREATE CONTINUOUS QUERY q WITH (k = ) AS SELECT * FROM s",
+		"CREATE CONTINUOUS QUERY q WITH (k = -x) AS SELECT * FROM s",
+		"DROP CONTINUOUS q",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) should fail", text)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("SELECT a\nFROM t\nWHERE >")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("not a *ParseError: %T %v", err, err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if pe.Col != 7 {
+		t.Errorf("col = %d, want 7", pe.Col)
+	}
+
+	// Lexer failures carry positions too.
+	_, err = Parse("SELECT 'unterminated")
+	if !errors.As(err, &pe) {
+		t.Fatalf("lex error not a *ParseError: %v", err)
+	}
+	if pe.Line != 1 || pe.Col != 8 {
+		t.Errorf("lex position = line %d col %d", pe.Line, pe.Col)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	stmts, err := SplitStatements(`
+		CREATE BASKET s (v INT);
+		-- a comment; with a semicolon
+		INSERT INTO s VALUES ('a;b');
+
+		SELECT * FROM s
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d: %q", len(stmts), stmts)
+	}
+	if !strings.Contains(stmts[1], "'a;b'") {
+		t.Errorf("literal split: %q", stmts[1])
+	}
+	if _, err := SplitStatements("SELECT 'oops"); err == nil {
+		t.Error("lex error should surface")
+	}
+	// Comment-only segments are not statements.
+	stmts, err = SplitStatements("CREATE BASKET b (v INT); -- done\n")
+	if err != nil || len(stmts) != 1 {
+		t.Errorf("trailing comment: %q, %v", stmts, err)
+	}
+	stmts, err = SplitStatements("-- header only")
+	if err != nil || len(stmts) != 0 {
+		t.Errorf("comment-only script: %q, %v", stmts, err)
+	}
+}

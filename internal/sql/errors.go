@@ -1,0 +1,34 @@
+package sql
+
+import "fmt"
+
+// ParseError is a lexer or parser failure carrying the source position of
+// the offending token. Callers assert it with errors.As.
+type ParseError struct {
+	Msg  string
+	Pos  int // byte offset in the input
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: %s (line %d, column %d)", e.Msg, e.Line, e.Col)
+}
+
+// newParseError locates pos within src and builds the error.
+func newParseError(src string, pos int, msg string) *ParseError {
+	if pos > len(src) {
+		pos = len(src)
+	}
+	line, col := 1, 1
+	for i := 0; i < pos; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &ParseError{Msg: msg, Pos: pos, Line: line, Col: col}
+}

@@ -42,7 +42,9 @@ var keywords = map[string]bool{
 	"INTO": true, "VALUES": true, "DROP": true, "JOIN": true, "INNER": true,
 	"ON": true, "DISTINCT": true, "COUNT": true, "SUM": true, "MIN": true,
 	"MAX": true, "AVG": true, "DELETE": true, "WINDOW": true, "SLIDE": true,
-	"RANGE": true, "ROWS": true, "EVERY": true,
+	"RANGE": true, "ROWS": true, "EVERY": true, "CONTINUOUS": true,
+	"QUERY": true, "WITH": true, "SHOW": true, "QUERIES": true,
+	"BASKETS": true, "TABLES": true, "STREAMS": true,
 }
 
 // Lex tokenizes the input. It returns an error for unterminated strings or
@@ -103,7 +105,7 @@ func Lex(input string) ([]Token, error) {
 				i++
 			}
 			if !closed {
-				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				return nil, newParseError(input, start, "unterminated string")
 			}
 			toks = append(toks, Token{Kind: TString, Text: sb.String(), Pos: start})
 		case isIdentStart(c):
@@ -142,13 +144,13 @@ func Lex(input string) ([]Token, error) {
 				toks = append(toks, Token{Kind: TOp, Text: "<>", Pos: i})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+				return nil, newParseError(input, i, "unexpected '!'")
 			}
 		case strings.ContainsRune("+-*/%=.,", rune(c)):
 			toks = append(toks, Token{Kind: TOp, Text: string(c), Pos: i})
 			i++
 		default:
-			return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, i)
+			return nil, newParseError(input, i, fmt.Sprintf("illegal character %q", c))
 		}
 	}
 	toks = append(toks, Token{Kind: TEOF, Pos: n})

@@ -48,7 +48,7 @@ type parser struct {
 func (p *parser) peek() Token { return p.toks[p.pos] }
 func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+	return newParseError(p.src, p.peek().Pos, fmt.Sprintf(format, args...))
 }
 
 // accept consumes the next token if it matches kind and (case-sensitive on
@@ -97,8 +97,28 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case t.Kind == TKeyword && t.Text == "DROP":
 		return p.parseDrop()
+	case t.Kind == TKeyword && t.Text == "SHOW":
+		return p.parseShow()
 	default:
 		return nil, p.errorf("expected statement, found %q", t.Text)
+	}
+}
+
+func (p *parser) parseShow() (Statement, error) {
+	if err := p.expectKeyword("SHOW"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("QUERIES"):
+		return &ShowStmt{What: ShowQueries}, nil
+	case p.acceptKeyword("BASKETS"):
+		return &ShowStmt{What: ShowBaskets}, nil
+	case p.acceptKeyword("TABLES"):
+		return &ShowStmt{What: ShowTables}, nil
+	case p.acceptKeyword("STREAMS"):
+		return &ShowStmt{What: ShowStreams}, nil
+	default:
+		return nil, p.errorf("expected QUERIES, BASKETS, TABLES, or STREAMS after SHOW")
 	}
 }
 
@@ -111,8 +131,10 @@ func (p *parser) parseCreate() (Statement, error) {
 	case p.acceptKeyword("TABLE"):
 	case p.acceptKeyword("BASKET"):
 		basket = true
+	case p.peek().Kind == TKeyword && p.peek().Text == "CONTINUOUS":
+		return p.parseCreateContinuous()
 	default:
-		return nil, p.errorf("expected TABLE or BASKET")
+		return nil, p.errorf("expected TABLE, BASKET, or CONTINUOUS QUERY")
 	}
 	name, err := p.expectIdent()
 	if err != nil {
@@ -157,14 +179,136 @@ func (p *parser) parseDrop() (Statement, error) {
 	case p.acceptKeyword("TABLE"):
 	case p.acceptKeyword("BASKET"):
 		basket = true
+	case p.acceptKeyword("CONTINUOUS"):
+		if err := p.expectKeyword("QUERY"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropContinuousStmt{Name: name}, nil
 	default:
-		return nil, p.errorf("expected TABLE or BASKET")
+		return nil, p.errorf("expected TABLE, BASKET, or CONTINUOUS QUERY")
 	}
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
 	}
 	return &DropStmt{Name: name, Basket: basket}, nil
+}
+
+// parseCreateContinuous parses the continuous-query DDL. CREATE is already
+// consumed:
+//
+//	CONTINUOUS QUERY <name> [WITH (key = value, ...)] AS <select>
+func (p *parser) parseCreateContinuous() (Statement, error) {
+	if err := p.expectKeyword("CONTINUOUS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("QUERY"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateContinuousStmt{Name: name}
+	if p.acceptKeyword("WITH") {
+		if err := p.expect(TPunct, "("); err != nil {
+			return nil, err
+		}
+		for {
+			opt, err := p.parseOption()
+			if err != nil {
+				return nil, err
+			}
+			st.Options = append(st.Options, *opt)
+			if p.accept(TOp, ",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(TPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	selStart := p.peek().Pos
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	st.Select = sel
+	st.SelectText = strings.TrimRight(strings.TrimSpace(p.src[selStart:]), "; \t\n\r")
+	return st, nil
+}
+
+// parseOption parses one key = value pair of a WITH list. Values are kept
+// as their source spelling: an identifier, a string, a boolean, or a
+// (possibly negative) number.
+func (p *parser) parseOption() (*OptionSpec, error) {
+	key, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TOp, "="); err != nil {
+		return nil, err
+	}
+	neg := p.accept(TOp, "-")
+	t := p.peek()
+	switch {
+	case t.Kind == TNumber:
+		p.pos++
+		val := t.Text
+		if neg {
+			val = "-" + val
+		}
+		return &OptionSpec{Key: key, Val: val}, nil
+	case neg:
+		return nil, p.errorf("expected number after '-' in option %s", key)
+	case t.Kind == TIdent || t.Kind == TString:
+		p.pos++
+		return &OptionSpec{Key: key, Val: t.Text}, nil
+	case t.Kind == TKeyword && (t.Text == "TRUE" || t.Text == "FALSE"):
+		p.pos++
+		return &OptionSpec{Key: key, Val: strings.ToLower(t.Text)}, nil
+	default:
+		return nil, p.errorf("expected option value, found %q", t.Text)
+	}
+}
+
+// SplitStatements cuts a script into statements at top-level semicolons,
+// respecting string literals and comments (it tokenizes the whole script
+// first). Whitespace-only statements are dropped.
+func SplitStatements(script string) ([]string, error) {
+	toks, err := Lex(script)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	start := 0
+	seen := false // any real token since the last boundary (comments lex to nothing)
+	flush := func(end int) {
+		if seen {
+			if s := strings.TrimSpace(script[start:end]); s != "" {
+				out = append(out, s)
+			}
+		}
+		seen = false
+	}
+	for _, t := range toks {
+		if t.Kind == TPunct && t.Text == ";" {
+			flush(t.Pos)
+			start = t.Pos + 1
+		} else if t.Kind != TEOF {
+			seen = true
+		}
+	}
+	flush(len(script))
+	return out, nil
 }
 
 func (p *parser) parseInsert() (Statement, error) {
