@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build test vet fmt bench check
+.PHONY: build test race vet fmt bench bench-go check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -16,7 +19,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# bench measures the ingest→fire→emit hot path and the storage-level
+# consumption primitives at several basket depths, writing the perf
+# trajectory (with the pre-chunking baseline) to BENCH_results.json.
 bench:
+	$(GO) run ./cmd/hotpathbench -o BENCH_results.json
+
+# bench-go runs the paper-experiment testing.B benchmarks once each.
+bench-go:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 check: build vet fmt test

@@ -1,0 +1,306 @@
+// Command hotpathbench measures the basket hot path — ingest → fire →
+// emit — and the storage-level consumption primitives behind it, at
+// several basket depths. It writes BENCH_results.json so every PR leaves
+// a perf trajectory behind (`make bench`).
+//
+// The scenarios are chosen to expose the cost model of basket
+// consumption:
+//
+//   - drop_prefix: a steady-state queue at depth D — every op appends a
+//     batch and drops an equally sized prefix. With suffix-copying
+//     storage the cost is O(D) per op; with chunked storage it is O(1)
+//     amortized (whole consumed chunks are released).
+//   - remove_tail: a predicate-window shape — every op appends a batch
+//     and removes exactly those tuples again from the end, leaving a
+//     permanent backlog of D retained tuples. Suffix-copying storage
+//     rewrites all D survivors per op.
+//   - ingest_emit_window: the full engine path for a §2.6 predicate
+//     window over a basket holding D retained (non-qualifying) tuples:
+//     Ingest → factory firing → subscription delivery.
+//   - ingest_emit_all: headline end-to-end throughput of a consume-all
+//     continuous filter (no retained backlog).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	datacell "repro"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// batch is the per-op ingest size; depths grow 10× per step so the
+// depth-proportionality (or flatness) of consumption cost is visible.
+const batch = 256
+
+var depths = []int{1_000, 10_000, 100_000}
+
+// Result is one measured scenario.
+type Result struct {
+	Name         string  `json:"name"`
+	Depth        int     `json:"depth,omitempty"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+}
+
+// Report is the BENCH_results.json document: the numbers measured by
+// this run plus the recorded pre-refactor baseline for comparison.
+type Report struct {
+	Note     string   `json:"note"`
+	GoOS     string   `json:"goos"`
+	GoArch   string   `json:"goarch"`
+	Baseline []Result `json:"before_chunked_storage"`
+	Current  []Result `json:"current"`
+}
+
+// baseline holds the numbers measured on the flat (suffix-copying)
+// storage layer immediately before the chunked refactor (commit
+// f207497, same harness, same machine class). Kept in-source so `make
+// bench` always emits the before/after pair.
+var baseline = []Result{
+	{Name: "drop_prefix", Depth: 1_000, NsPerOp: 2947, AllocsPerOp: 2, BytesPerOp: 20607, TuplesPerSec: 86.9e6},
+	{Name: "drop_prefix", Depth: 10_000, NsPerOp: 16193, AllocsPerOp: 2, BytesPerOp: 188542, TuplesPerSec: 15.8e6},
+	{Name: "drop_prefix", Depth: 100_000, NsPerOp: 78805, AllocsPerOp: 2, BytesPerOp: 802944, TuplesPerSec: 3.2e6},
+	{Name: "remove_tail", Depth: 1_000, NsPerOp: 7742, AllocsPerOp: 4, BytesPerOp: 41087, TuplesPerSec: 33.1e6},
+	{Name: "remove_tail", Depth: 10_000, NsPerOp: 60853, AllocsPerOp: 4, BytesPerOp: 368762, TuplesPerSec: 4.2e6},
+	{Name: "remove_tail", Depth: 100_000, NsPerOp: 628252, AllocsPerOp: 4, BytesPerOp: 3415659, TuplesPerSec: 0.41e6},
+	{Name: "ingest_emit_window", Depth: 1_000, NsPerOp: 24905, AllocsPerOp: 50, BytesPerOp: 99087, TuplesPerSec: 10.3e6},
+	{Name: "ingest_emit_window", Depth: 10_000, NsPerOp: 152292, AllocsPerOp: 50, BytesPerOp: 754413, TuplesPerSec: 1.7e6},
+	{Name: "ingest_emit_window", Depth: 100_000, NsPerOp: 1411593, AllocsPerOp: 50, BytesPerOp: 6846749, TuplesPerSec: 0.18e6},
+	{Name: "ingest_emit_all", NsPerOp: 12149, AllocsPerOp: 51, BytesPerOp: 31542, TuplesPerSec: 21.1e6},
+}
+
+func measure(name string, depth int, tuplesPerOp int, fn func(b *testing.B)) Result {
+	res := testing.Benchmark(fn)
+	r := Result{
+		Name:        name,
+		Depth:       depth,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if tuplesPerOp > 0 && res.T > 0 {
+		r.TuplesPerSec = float64(tuplesPerOp) * float64(res.N) / res.T.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "%-20s depth=%-7d %12.0f ns/op %8d allocs/op %12d B/op\n",
+		name, depth, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	return r
+}
+
+// intBatch builds one append batch whose values are all v.
+func intBatch(n int, v int64) []*vector.Vector {
+	col := vector.NewWithCap(vector.Int64, n)
+	for i := 0; i < n; i++ {
+		col.AppendInt(v)
+	}
+	return []*vector.Vector{col}
+}
+
+func newIntTable(depth int) *storage.Table {
+	schema := catalog.NewSchema(catalog.Column{Name: "v", Type: vector.Int64})
+	t := storage.NewTable("bench", schema)
+	for filled := 0; filled < depth; filled += batch {
+		n := batch
+		if depth-filled < n {
+			n = depth - filled
+		}
+		if err := t.AppendBatch(intBatch(n, 900)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return t
+}
+
+// benchDropPrefix: steady-state queue at the given depth.
+func benchDropPrefix(depth int) Result {
+	return measure("drop_prefix", depth, batch, func(b *testing.B) {
+		t := newIntTable(depth)
+		in := intBatch(batch, 900)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := t.AppendBatch(in); err != nil {
+				b.Fatal(err)
+			}
+			t.DropPrefix(batch)
+		}
+		if t.NumRows() != depth {
+			b.Fatalf("depth drifted to %d", t.NumRows())
+		}
+	})
+}
+
+// benchRemoveTail: predicate-window shape — D permanently retained
+// tuples, each op's arrivals removed again from the end.
+func benchRemoveTail(depth int) Result {
+	return measure("remove_tail", depth, batch, func(b *testing.B) {
+		t := newIntTable(depth)
+		in := intBatch(batch, 100)
+		pos := make([]int, batch)
+		for i := range pos {
+			pos[i] = depth + i
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := t.AppendBatch(in); err != nil {
+				b.Fatal(err)
+			}
+			t.Remove(pos)
+		}
+		if t.NumRows() != depth {
+			b.Fatalf("depth drifted to %d", t.NumRows())
+		}
+	})
+}
+
+func mustEngine(stmts ...string) *datacell.Engine {
+	eng := datacell.New(datacell.Config{})
+	for _, s := range stmts {
+		if _, err := eng.Exec(context.Background(), s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return eng
+}
+
+func intRows(n int, v int64) [][]datacell.Value {
+	rows := make([][]datacell.Value, n)
+	for i := range rows {
+		rows[i] = []datacell.Value{datacell.Int(v)}
+	}
+	return rows
+}
+
+// benchIngestEmitWindow: full engine path with a predicate window whose
+// basket permanently retains depth non-qualifying tuples.
+func benchIngestEmitWindow(depth int) Result {
+	return measure("ingest_emit_window", depth, batch, func(b *testing.B) {
+		eng := mustEngine("CREATE BASKET s (v INT)")
+		q, err := eng.RegisterContinuous("q",
+			"SELECT * FROM [SELECT * FROM s WHERE v < 500] AS x",
+			datacell.WithBackpressure(datacell.BackpressureDropOldest),
+			datacell.WithSubscriptionDepth(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		drain := func() {
+			for {
+				select {
+				case <-q.Subscription().C():
+					continue
+				default:
+				}
+				return
+			}
+		}
+		// Retained backlog: non-qualifying tuples stay in the basket.
+		ctx := context.Background()
+		for filled := 0; filled < depth; filled += batch {
+			n := batch
+			if depth-filled < n {
+				n = depth - filled
+			}
+			if err := eng.Ingest(ctx, "s", intRows(n, 900)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		eng.Drain()
+		drain()
+		rows := intRows(batch, 100)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Ingest(ctx, "s", rows); err != nil {
+				b.Fatal(err)
+			}
+			eng.Drain()
+			drain()
+		}
+	})
+}
+
+// benchIngestEmitAll: consume-all continuous filter, headline throughput.
+func benchIngestEmitAll() Result {
+	return measure("ingest_emit_all", 0, batch, func(b *testing.B) {
+		eng := mustEngine("CREATE BASKET s (v INT)")
+		q, err := eng.RegisterContinuous("q",
+			"SELECT * FROM [SELECT * FROM s] AS x WHERE x.v < 500",
+			datacell.WithBackpressure(datacell.BackpressureDropOldest),
+			datacell.WithSubscriptionDepth(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		drain := func() {
+			for {
+				select {
+				case <-q.Subscription().C():
+					continue
+				default:
+				}
+				return
+			}
+		}
+		rows := intRows(batch, 100)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Ingest(ctx, "s", rows); err != nil {
+				b.Fatal(err)
+			}
+			eng.Drain()
+			drain()
+		}
+	})
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	var results []Result
+	for _, d := range depths {
+		results = append(results, benchDropPrefix(d))
+	}
+	for _, d := range depths {
+		results = append(results, benchRemoveTail(d))
+	}
+	for _, d := range depths {
+		results = append(results, benchIngestEmitWindow(d))
+	}
+	results = append(results, benchIngestEmitAll())
+
+	rep := Report{
+		Note: "basket hot-path trajectory: 'before_chunked_storage' was measured on the flat " +
+			"suffix-copying storage layer (commit f207497); 'current' is this checkout. " +
+			"batch=256 rows/op; depth is the resident basket backlog during the op.",
+		GoOS:     runtime.GOOS,
+		GoArch:   runtime.GOARCH,
+		Baseline: baseline,
+		Current:  results,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -191,7 +191,7 @@ func (e *Emitter) Delivered() int64 {
 // tuple (without the implicit ts column) to the client.
 func (e *Emitter) Fire() error {
 	e.source.Lock()
-	cols, n := e.source.LockedSnapshot()
+	view, n := e.source.LockedSnapshot()
 	e.source.LockedDropPrefix(n)
 	e.source.Unlock()
 	if n == 0 {
@@ -200,12 +200,14 @@ func (e *Emitter) Fire() error {
 	userW := e.source.UserWidth()
 	var b strings.Builder
 	row := make([]vector.Value, userW)
-	for i := 0; i < n; i++ {
-		for c := 0; c < userW; c++ {
-			row[c] = cols[c].Get(i)
+	for _, ch := range view.Chunks {
+		for i := 0; i < ch.Len(); i++ {
+			for c := 0; c < userW; c++ {
+				row[c] = ch.Cols[c].Get(i)
+			}
+			b.WriteString(FormatTuple(row))
+			b.WriteByte('\n')
 		}
-		b.WriteString(FormatTuple(row))
-		b.WriteByte('\n')
 	}
 	e.mu.Lock()
 	e.delivered += int64(n)
@@ -313,13 +315,13 @@ func (e *ChannelEmitter) Close() {
 // Fire implements scheduler.Transition.
 func (e *ChannelEmitter) Fire() error {
 	e.source.Lock()
-	cols, n := e.source.LockedSnapshot()
+	view, n := e.source.LockedSnapshot()
 	e.source.LockedDropPrefix(n)
 	e.source.Unlock()
 	if n == 0 {
 		return nil
 	}
-	rel := &storage.Relation{Schema: e.source.Schema(), Cols: cols}
+	rel := &storage.Relation{Schema: e.source.Schema(), Cols: view.Columns()}
 	e.sendMu.Lock()
 	defer e.sendMu.Unlock()
 	if e.closed {

@@ -142,6 +142,14 @@ func (b *Basket) Append(cols []*vector.Vector) error {
 	return nil
 }
 
+// SetChunkTarget overrides the storage layer's chunk sealing threshold
+// (tests and tuning).
+func (b *Basket) SetChunkTarget(n int) {
+	b.mu.Lock()
+	b.table.SetChunkTarget(n)
+	b.mu.Unlock()
+}
+
 // SetCapacity bounds the basket to n tuples (0 disables shedding).
 func (b *Basket) SetCapacity(n int) {
 	b.mu.Lock()
@@ -188,18 +196,28 @@ func (b *Basket) AppendRelation(r *storage.Relation) error {
 }
 
 // Snapshot implements catalog.Source.
-func (b *Basket) Snapshot() []*vector.Vector {
+func (b *Basket) Snapshot() bat.View {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.table.Snapshot()
 }
 
-// SnapshotAt returns the columns, the head OID, and the length of the
-// current content in one consistent view.
-func (b *Basket) SnapshotAt() (cols []*vector.Vector, hseq bat.OID, n int) {
+// SnapshotAt returns the chunked view, the head OID, and the length of
+// the current content in one consistent view.
+func (b *Basket) SnapshotAt() (view bat.View, hseq bat.OID, n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.table.Snapshot(), b.table.Hseq(), b.table.NumRows()
+}
+
+// Stats reports the physical layout of the basket: resident chunk count,
+// live (retained) tuples, cumulative tuples consumed from the front, and
+// the subset of those evicted by load shedding.
+func (b *Basket) Stats() (chunks, resident int, dropped, shed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	chunks, resident, dropped = b.table.Stats()
+	return chunks, resident, dropped, b.shed
 }
 
 // Lock acquires the basket exclusively — the paper's basket.lock() used by
@@ -209,9 +227,9 @@ func (b *Basket) Lock() { b.mu.Lock() }
 // Unlock releases the basket.
 func (b *Basket) Unlock() { b.mu.Unlock() }
 
-// LockedSnapshot returns the current columns and length; the caller must
-// hold Lock.
-func (b *Basket) LockedSnapshot() (cols []*vector.Vector, n int) {
+// LockedSnapshot returns the current chunked view and length; the caller
+// must hold Lock.
+func (b *Basket) LockedSnapshot() (view bat.View, n int) {
 	return b.table.Snapshot(), b.table.NumRows()
 }
 

@@ -53,9 +53,9 @@ func TestAppendStampsTimestamps(t *testing.T) {
 	if b.Len() != 3 {
 		t.Fatalf("Len = %d", b.Len())
 	}
-	cols := b.Snapshot()
-	if cols[2].Get(0).I != 1000 || cols[2].Get(2).I != 1500 {
-		t.Errorf("timestamps: %v", cols[2])
+	view := b.Snapshot()
+	if view.Get(2, 0).I != 1000 || view.Get(2, 2).I != 1500 {
+		t.Errorf("timestamps: %v", view.Column(2))
 	}
 }
 
@@ -86,7 +86,7 @@ func TestOwnedConsumption(t *testing.T) {
 		_ = b.AppendRows([][]vector.Value{{vector.NewInt(i), vector.NewFloat(float64(i))}})
 	}
 	b.Lock()
-	cols, n := b.LockedSnapshot()
+	view, n := b.LockedSnapshot()
 	if n != 5 {
 		t.Fatalf("n = %d", n)
 	}
@@ -96,13 +96,13 @@ func TestOwnedConsumption(t *testing.T) {
 		t.Fatalf("Len after remove = %d", b.Len())
 	}
 	// The pre-removal snapshot stays intact.
-	if cols[0].Len() != 5 || cols[0].Get(0).I != 0 {
+	if view.NumRows() != 5 || view.Get(0, 0).I != 0 {
 		t.Error("snapshot corrupted by removal")
 	}
 	// Survivors are ids 1 and 3.
 	after := b.Snapshot()
-	if after[0].Get(0).I != 1 || after[0].Get(1).I != 3 {
-		t.Errorf("survivors: %v", after[0])
+	if after.Get(0, 0).I != 1 || after.Get(0, 1).I != 3 {
+		t.Errorf("survivors: %v", after.Column(0))
 	}
 }
 
@@ -114,7 +114,7 @@ func TestLockedDropPrefix(t *testing.T) {
 	b.Lock()
 	b.LockedDropPrefix(3)
 	b.Unlock()
-	if b.Len() != 1 || b.Snapshot()[0].Get(0).I != 3 {
+	if b.Len() != 1 || b.Snapshot().Get(0, 0).I != 3 {
 		t.Errorf("after drop: len=%d", b.Len())
 	}
 	if b.Hseq() != 3 {
@@ -215,13 +215,13 @@ func TestAppendRelationDropsForeignTS(t *testing.T) {
 	_ = other.AppendRows([][]vector.Value{{vector.NewInt(7), vector.NewFloat(7)}})
 	clk.Set(9999)
 	// A relation carrying a ts column (3 cols) gets fresh stamps.
-	rel := &storage.Relation{Schema: other.Schema(), Cols: other.Snapshot()}
+	rel := &storage.Relation{Schema: other.Schema(), Cols: other.Snapshot().Columns()}
 	if err := b.AppendRelation(rel); err != nil {
 		t.Fatal(err)
 	}
 	got := b.Snapshot()
-	if got[2].Get(0).I != 9999 {
-		t.Errorf("ts = %d, want fresh 9999", got[2].Get(0).I)
+	if got.Get(2, 0).I != 9999 {
+		t.Errorf("ts = %d, want fresh 9999", got.Get(2, 0).I)
 	}
 }
 

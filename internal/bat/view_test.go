@@ -1,0 +1,140 @@
+package bat
+
+import (
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// chunked builds a 3-chunk view over the values 0..9 (chunks of 4, 4, 2)
+// with head OID 100.
+func chunked() View {
+	mk := func(vals ...int64) Chunk {
+		return Chunk{Cols: []*vector.Vector{vector.FromInts(vals)}}
+	}
+	v := View{Hseq: 100, Chunks: []Chunk{
+		mk(0, 1, 2, 3), mk(4, 5, 6, 7), mk(8, 9),
+	}}
+	base := v.Hseq
+	for i := range v.Chunks {
+		v.Chunks[i].Base = base
+		base += OID(v.Chunks[i].Len())
+	}
+	return v
+}
+
+func TestViewCounts(t *testing.T) {
+	v := chunked()
+	if v.NumRows() != 10 || v.NumCols() != 1 {
+		t.Fatalf("rows=%d cols=%d", v.NumRows(), v.NumCols())
+	}
+	if (View{}).NumRows() != 0 || (View{}).NumCols() != 0 {
+		t.Error("empty view should be 0x0")
+	}
+}
+
+func TestViewGet(t *testing.T) {
+	v := chunked()
+	for i := int64(0); i < 10; i++ {
+		if got := v.Get(0, int(i)).I; got != i {
+			t.Errorf("Get(0, %d) = %d", i, got)
+		}
+	}
+}
+
+func TestViewSlice(t *testing.T) {
+	v := chunked()
+	s := v.Slice(3, 9) // spans all three chunks
+	if s.NumRows() != 6 || s.Hseq != 103 {
+		t.Fatalf("rows=%d hseq=%d", s.NumRows(), s.Hseq)
+	}
+	for i := 0; i < 6; i++ {
+		if got := s.Get(0, i).I; got != int64(3+i) {
+			t.Errorf("slice[%d] = %d", i, got)
+		}
+	}
+	// The middle chunk must be shared, not rewindowed.
+	if s.Chunks[1].Cols[0] != v.Chunks[1].Cols[0] {
+		t.Error("fully covered chunk should be shared by reference")
+	}
+	if s.Chunks[1].Base != 104 {
+		t.Errorf("middle chunk base = %d, want 104", s.Chunks[1].Base)
+	}
+}
+
+func TestViewSliceEmptyKeepsLayout(t *testing.T) {
+	v := chunked()
+	s := v.Slice(4, 4)
+	if s.NumRows() != 0 {
+		t.Fatalf("rows = %d", s.NumRows())
+	}
+	if s.NumCols() != 1 {
+		t.Error("empty slice must keep the column layout")
+	}
+}
+
+func TestViewColumnAndClone(t *testing.T) {
+	v := chunked()
+	col := v.Column(0)
+	if col.Len() != 10 || col.Get(7).I != 7 {
+		t.Fatalf("flattened: %v", col)
+	}
+	single := View{Chunks: v.Chunks[:1]}
+	if single.Column(0) != v.Chunks[0].Cols[0] {
+		t.Error("single-chunk Column should be zero-copy")
+	}
+	clone := v.CloneColumns()
+	if len(clone) != 1 || clone[0].Len() != 10 || clone[0].Get(9).I != 9 {
+		t.Fatalf("clone: %v", clone)
+	}
+}
+
+func TestViewTakeColumn(t *testing.T) {
+	v := chunked()
+	got := v.TakeColumn(0, Candidates{0, 3, 4, 7, 9})
+	want := []int64{0, 3, 4, 7, 9}
+	if got.Len() != len(want) {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i, w := range want {
+		if got.Get(i).I != w {
+			t.Errorf("take[%d] = %d, want %d", i, got.Get(i).I, w)
+		}
+	}
+	if v.TakeColumn(0, nil).Len() != 0 {
+		t.Error("empty take should be empty")
+	}
+}
+
+func TestViewTakeColumnNulls(t *testing.T) {
+	a := vector.New(vector.Int64)
+	a.AppendInt(1)
+	a.AppendNull()
+	b := vector.New(vector.Int64)
+	b.AppendNull()
+	b.AppendInt(4)
+	v := View{Chunks: []Chunk{{Cols: []*vector.Vector{a}}, {Base: 2, Cols: []*vector.Vector{b}}}}
+	got := v.TakeColumn(0, Candidates{1, 2, 3})
+	if !got.IsNull(0) || !got.IsNull(1) || got.IsNull(2) || got.Get(2).I != 4 {
+		t.Errorf("null take: %v", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got := Complement(0, 6, Candidates{1, 4})
+	want := Candidates{0, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Complement: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Complement: %v, want %v", got, want)
+		}
+	}
+	if got := Complement(2, 5, Candidates{3}); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("offset Complement: %v", got)
+	}
+	if got := Complement(0, 3, nil); len(got) != 3 {
+		t.Errorf("Complement of nothing: %v", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/bat"
 	"repro/internal/vector"
 )
 
@@ -101,11 +102,12 @@ func (k SourceKind) String() string {
 }
 
 // Source is anything the planner can scan: a static table or a basket.
-// Snapshot must return stable, read-only column views aligned with the
-// source's schema.
+// Snapshot must return a stable, read-only chunked view aligned with the
+// source's schema; the view must stay valid across later appends and
+// consumption (sources never mutate a published chunk in place).
 type Source interface {
 	Schema() *Schema
-	Snapshot() []*vector.Vector
+	Snapshot() bat.View
 }
 
 // Entry is one catalog registration.

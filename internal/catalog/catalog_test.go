@@ -3,13 +3,14 @@ package catalog
 import (
 	"testing"
 
+	"repro/internal/bat"
 	"repro/internal/vector"
 )
 
 type fakeSource struct{ s *Schema }
 
-func (f *fakeSource) Schema() *Schema            { return f.s }
-func (f *fakeSource) Snapshot() []*vector.Vector { return nil }
+func (f *fakeSource) Schema() *Schema    { return f.s }
+func (f *fakeSource) Snapshot() bat.View { return bat.View{} }
 
 func twoCol() *Schema {
 	return NewSchema(

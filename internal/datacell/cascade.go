@@ -79,9 +79,12 @@ func (s *cascadeStage) Name() string { return s.name }
 func (s *cascadeStage) Ready() bool { return s.in.Len() > 0 }
 
 // Fire implements scheduler.Transition: one bulk select-and-split step.
+// The drained view is processed chunk by chunk: the range select runs on
+// each chunk's column segment and the split relations are gathered with
+// chunk-local takes — no flat copy of the basket is materialized.
 func (s *cascadeStage) Fire() error {
 	s.in.Lock()
-	cols, n := s.in.LockedSnapshot()
+	view, n := s.in.LockedSnapshot()
 	s.in.LockedDropPrefix(n)
 	s.in.Unlock()
 	if n == 0 {
@@ -89,29 +92,38 @@ func (s *cascadeStage) Fire() error {
 	}
 	s.processed.Add(int64(n))
 
-	matched := algebra.RangeSelect(cols[s.attrIdx], nil, s.pred.Lo, s.pred.Hi, true, false)
-	rest := bat.Difference(bat.All(n), matched)
+	matched := make(bat.Candidates, 0, n)
+	base := 0
+	for _, ch := range view.Chunks {
+		cn := ch.Len()
+		if cn == 0 {
+			continue
+		}
+		for _, p := range algebra.RangeSelect(ch.Cols[s.attrIdx], nil, s.pred.Lo, s.pred.Hi, true, false) {
+			matched = append(matched, base+p)
+		}
+		base += cn
+	}
+	rest := bat.Complement(0, n, matched)
 
 	userW := s.in.UserWidth()
-	if len(matched) > 0 {
+	split := func(pos bat.Candidates, dst *basket.Basket) error {
+		if dst == nil || len(pos) == 0 {
+			return nil
+		}
 		rel := &storage.Relation{Cols: make([]*vector.Vector, userW)}
 		for c := 0; c < userW; c++ {
-			rel.Cols[c] = cols[c].Take(matched)
+			rel.Cols[c] = view.TakeColumn(c, pos)
 		}
-		if err := s.out.AppendRelation(rel); err != nil {
+		if err := dst.AppendRelation(rel); err != nil {
 			return fmt.Errorf("cascade %s: %w", s.name, err)
 		}
+		return nil
 	}
-	if s.next != nil && len(rest) > 0 {
-		rel := &storage.Relation{Cols: make([]*vector.Vector, userW)}
-		for c := 0; c < userW; c++ {
-			rel.Cols[c] = cols[c].Take(rest)
-		}
-		if err := s.next.AppendRelation(rel); err != nil {
-			return fmt.Errorf("cascade %s: %w", s.name, err)
-		}
+	if err := split(matched, s.out); err != nil {
+		return err
 	}
-	return nil
+	return split(rest, s.next)
 }
 
 // RegisterCascade installs the cascade strategy for k disjoint range
@@ -170,7 +182,8 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 	}
 
 	e.mu.Lock()
-	s.replicas = append(s.replicas, head)
+	// Copy-on-write: see registerParsed.
+	s.replicas = append(append([]*basket.Basket(nil), s.replicas...), head)
 	e.cascades[key] = c
 	e.mu.Unlock()
 	for _, st := range c.stages {

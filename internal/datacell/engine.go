@@ -339,33 +339,22 @@ func (e *Engine) Stream(name string) (*basket.Basket, error) {
 // Ingest routes rows into a stream: to the primary basket when shared
 // consumers (or no queries at all) read it, and to every private replica
 // created by separate-strategy queries — the receptor's replication step.
-// It honors ctx cancellation and fails after Stop.
+// It honors ctx cancellation and fails after Stop. Rows are transposed to
+// columns once, then fanned out (appending copies, so targets never share
+// storage).
 func (e *Engine) Ingest(ctx context.Context, streamName string, rows [][]vector.Value) error {
 	if err := e.guard(ctx); err != nil {
 		return err
 	}
-	e.mu.Lock()
-	s, ok := e.streams[strings.ToLower(streamName)]
-	if !ok {
-		e.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownStream, streamName)
+	s, err := e.lookupStream(streamName)
+	if err != nil {
+		return err
 	}
-	s.ingested += int64(len(rows))
-	primary := s.primary
-	replicas := append([]*basket.Basket(nil), s.replicas...)
-	e.mu.Unlock()
-
-	if primary.Readers() > 0 || len(replicas) == 0 {
-		if err := primary.AppendRows(rows); err != nil {
-			return err
-		}
+	cols, err := rowsToCols(s.schema, rows)
+	if err != nil {
+		return fmt.Errorf("basket %s: %w", streamName, err)
 	}
-	for _, r := range replicas {
-		if err := r.AppendRows(rows); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.fanout(s, len(rows), cols)
 }
 
 // IngestColumns is the bulk variant of Ingest.
@@ -373,19 +362,38 @@ func (e *Engine) IngestColumns(ctx context.Context, streamName string, cols []*v
 	if err := e.guard(ctx); err != nil {
 		return err
 	}
-	e.mu.Lock()
-	s, ok := e.streams[strings.ToLower(streamName)]
-	if !ok {
-		e.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownStream, streamName)
+	s, err := e.lookupStream(streamName)
+	if err != nil {
+		return err
 	}
 	n := 0
 	if len(cols) > 0 {
 		n = cols[0].Len()
 	}
+	return e.fanout(s, n, cols)
+}
+
+func (e *Engine) lookupStream(name string) (*stream, error) {
+	e.mu.Lock()
+	s, ok := e.streams[strings.ToLower(name)]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStream, name)
+	}
+	return s, nil
+}
+
+// fanout is the shared receptor step behind Ingest and IngestColumns: it
+// charges the stream's arrival counter and appends the batch to the
+// primary basket (when shared consumers, or nobody, read it) and to every
+// separate-strategy replica. The replica slice is copy-on-write (see
+// registerParsed), so the snapshot taken under e.mu is used as-is instead
+// of being recloned on every call.
+func (e *Engine) fanout(s *stream, n int, cols []*vector.Vector) error {
+	e.mu.Lock()
 	s.ingested += int64(n)
 	primary := s.primary
-	replicas := append([]*basket.Basket(nil), s.replicas...)
+	replicas := s.replicas
 	e.mu.Unlock()
 
 	if primary.Readers() > 0 || len(replicas) == 0 {
@@ -399,6 +407,25 @@ func (e *Engine) IngestColumns(ctx context.Context, streamName string, cols []*v
 		}
 	}
 	return nil
+}
+
+// rowsToCols transposes user rows into per-column vectors of the stream's
+// user schema (no ts column).
+func rowsToCols(schema *catalog.Schema, rows [][]vector.Value) ([]*vector.Vector, error) {
+	w := schema.Len()
+	cols := make([]*vector.Vector, w)
+	for i := 0; i < w; i++ {
+		cols[i] = vector.NewWithCap(schema.Columns[i].Type, len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != w {
+			return nil, fmt.Errorf("row has %d values, want %d", len(row), w)
+		}
+		for i, v := range row {
+			cols[i].AppendValue(v)
+		}
+	}
+	return cols, nil
 }
 
 // Ingested returns the number of tuples routed into the stream so far.
@@ -510,27 +537,49 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			})
 		}
 		return rel, nil
-	case sql.ShowBaskets, sql.ShowTables:
-		wantKind := catalog.KindBasket
-		if what == sql.ShowTables {
-			wantKind = catalog.KindTable
+	case sql.ShowBaskets:
+		// Per-basket physical layout from the chunked storage layer:
+		// resident tuples and chunks, plus the cumulative consumption
+		// counters (dropped includes shed).
+		rel := storage.NewRelation(catalog.NewSchema(
+			catalog.Column{Name: "name", Type: vector.String},
+			catalog.Column{Name: "tuples", Type: vector.Int64},
+			catalog.Column{Name: "chunks", Type: vector.Int64},
+			catalog.Column{Name: "dropped", Type: vector.Int64},
+			catalog.Column{Name: "shed", Type: vector.Int64},
+		))
+		for _, name := range e.cat.Names() {
+			entry, err := e.cat.Lookup(name)
+			if err != nil || entry.Kind != catalog.KindBasket {
+				continue
+			}
+			b, ok := entry.Source.(*basket.Basket)
+			if !ok {
+				continue
+			}
+			chunks, resident, dropped, shed := b.Stats()
+			rel.AppendRow([]vector.Value{
+				vector.NewString(entry.Name),
+				vector.NewInt(int64(resident)),
+				vector.NewInt(int64(chunks)),
+				vector.NewInt(dropped),
+				vector.NewInt(shed),
+			})
 		}
+		return rel, nil
+	case sql.ShowTables:
 		rel := storage.NewRelation(catalog.NewSchema(
 			catalog.Column{Name: "name", Type: vector.String},
 			catalog.Column{Name: "tuples", Type: vector.Int64},
 		))
 		for _, name := range e.cat.Names() {
 			entry, err := e.cat.Lookup(name)
-			if err != nil || entry.Kind != wantKind {
+			if err != nil || entry.Kind != catalog.KindTable {
 				continue
-			}
-			n := 0
-			if cols := entry.Source.Snapshot(); len(cols) > 0 {
-				n = cols[0].Len()
 			}
 			rel.AppendRow([]vector.Value{
 				vector.NewString(entry.Name),
-				vector.NewInt(int64(n)),
+				vector.NewInt(int64(entry.Source.Snapshot().NumRows())),
 			})
 		}
 		return rel, nil

@@ -294,7 +294,9 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		}
 		in = factory.Input{Basket: replica, Mode: factory.Owned, Bind: streamName}
 		e.mu.Lock()
-		s.replicas = append(s.replicas, replica)
+		// Copy-on-write: Ingest's fan-out reads the slice outside e.mu, so
+		// published slices are never extended or reordered in place.
+		s.replicas = append(append([]*basket.Basket(nil), s.replicas...), replica)
 		e.mu.Unlock()
 	}
 
@@ -387,12 +389,14 @@ func (e *Engine) UnregisterContinuous(name string) error {
 	}
 	delete(e.queries, key)
 	if s := e.streams[strings.ToLower(q.stream)]; q.replica != nil && s != nil {
-		for i, r := range s.replicas {
-			if r == q.replica {
-				s.replicas = append(s.replicas[:i], s.replicas[i+1:]...)
-				break
+		// Copy-on-write removal (see registerParsed).
+		next := make([]*basket.Basket, 0, len(s.replicas))
+		for _, r := range s.replicas {
+			if r != q.replica {
+				next = append(next, r)
 			}
 		}
+		s.replicas = next
 	}
 	e.mu.Unlock()
 	e.sched.Remove(q.fact.Name())

@@ -22,10 +22,11 @@ import (
 type Context struct {
 	// Catalog resolves scan sources.
 	Catalog *catalog.Catalog
-	// Overrides, when set, pin a scan source to fixed columns instead of a
-	// live catalog snapshot. Keys are lower-case source names. Factories
-	// use this to run a plan against the snapshot they locked.
-	Overrides map[string][]*vector.Vector
+	// Overrides, when set, pin a scan source to a fixed chunked view
+	// instead of a live catalog snapshot. Keys are lower-case source
+	// names. Factories use this to run a plan against the snapshot they
+	// locked; wrap flat columns with bat.ViewOf.
+	Overrides map[string]bat.View
 	// Consumed collects, per basket, the snapshot positions referenced by
 	// consuming scans. The caller applies the removal (§2.6: "all tuples
 	// referenced in a basket expression are removed … automatically").
@@ -36,7 +37,7 @@ type Context struct {
 func NewContext(cat *catalog.Catalog) *Context {
 	return &Context{
 		Catalog:   cat,
-		Overrides: map[string][]*vector.Vector{},
+		Overrides: map[string]bat.View{},
 		Consumed:  map[string]bat.Candidates{},
 	}
 }
@@ -63,13 +64,13 @@ func Run(n plan.Node, ctx *Context) (*storage.Relation, error) {
 	}
 }
 
-func sourceColumns(name string, ctx *Context) ([]*vector.Vector, error) {
-	if cols, ok := ctx.Overrides[strings.ToLower(name)]; ok {
-		return cols, nil
+func sourceView(name string, ctx *Context) (bat.View, error) {
+	if view, ok := ctx.Overrides[strings.ToLower(name)]; ok {
+		return view, nil
 	}
 	entry, err := ctx.Catalog.Lookup(name)
 	if err != nil {
-		return nil, err
+		return bat.View{}, err
 	}
 	return entry.Source.Snapshot(), nil
 }
@@ -144,36 +145,49 @@ func flip(op algebra.CmpOp) algebra.CmpOp {
 	}
 }
 
+// runScan reads a source one chunk at a time: the filter runs per chunk
+// (chunk-local candidate lists shifted by the chunk's base offset into
+// view positions) so no flat copy of the source is ever materialized.
 func runScan(s *plan.Scan, ctx *Context) (*storage.Relation, error) {
-	cols, err := sourceColumns(s.Source, ctx)
+	view, err := sourceView(s.Source, ctx)
 	if err != nil {
 		return nil, err
 	}
-	if len(cols) != s.Src.Len() {
-		return nil, fmt.Errorf("exec: %s has %d columns, plan expects %d", s.Source, len(cols), s.Src.Len())
+	if view.NumCols() != s.Src.Len() {
+		return nil, fmt.Errorf("exec: %s has %d columns, plan expects %d", s.Source, view.NumCols(), s.Src.Len())
 	}
-	n := 0
-	if len(cols) > 0 {
-		n = cols[0].Len()
-	}
+	n := view.NumRows()
 	var cands bat.Candidates
 	if s.Filter != nil {
-		cands, err = filterCandidates(s.Filter, cols, n)
-		if err != nil {
-			return nil, err
-		}
-		if cands == nil {
-			cands = bat.All(n)
+		// Non-nil even when nothing matches (nil means "no filter"); grown
+		// by append so the allocation tracks matches, not source depth.
+		cands = bat.Candidates{}
+		base := 0
+		for _, ch := range view.Chunks {
+			cn := ch.Len()
+			if cn == 0 {
+				continue
+			}
+			cc, err := filterCandidates(s.Filter, ch.Cols, cn)
+			if err != nil {
+				return nil, err
+			}
+			if cc == nil {
+				for p := 0; p < cn; p++ {
+					cands = append(cands, base+p)
+				}
+			} else {
+				for _, p := range cc {
+					cands = append(cands, base+p)
+				}
+			}
+			base += cn
 		}
 	}
 	if s.Consuming {
 		key := strings.ToLower(s.Source)
 		consumed := cands
 		if consumed == nil {
-			n := 0
-			if len(cols) > 0 {
-				n = cols[0].Len()
-			}
 			consumed = bat.All(n)
 		}
 		ctx.Consumed[key] = bat.Union(ctx.Consumed[key], consumed)
@@ -181,9 +195,9 @@ func runScan(s *plan.Scan, ctx *Context) (*storage.Relation, error) {
 	out := &storage.Relation{Schema: s.Out, Cols: make([]*vector.Vector, len(s.Cols))}
 	for i, src := range s.Cols {
 		if cands == nil {
-			out.Cols[i] = cols[src]
+			out.Cols[i] = view.Column(src)
 		} else {
-			out.Cols[i] = cols[src].Take(cands)
+			out.Cols[i] = view.TakeColumn(src, cands)
 		}
 	}
 	return out, nil

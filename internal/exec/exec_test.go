@@ -3,6 +3,7 @@ package exec
 import (
 	"testing"
 
+	"repro/internal/bat"
 	"repro/internal/catalog"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -375,11 +376,11 @@ func TestOverrides(t *testing.T) {
 	}
 	ctx := NewContext(cat)
 	// Pin the scan to a tiny snapshot.
-	ctx.Overrides["events"] = []*vector.Vector{
+	ctx.Overrides["events"] = bat.ViewOf(
 		vector.FromInts([]int64{100}),
 		vector.FromInts([]int64{200}),
 		vector.FromTimestamps([]int64{5}),
-	}
+	)
 	rel, err := Run(p, ctx)
 	if err != nil {
 		t.Fatal(err)

@@ -57,7 +57,7 @@ func TestPropFilterMatchesBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		snap := tbl.Snapshot()
+		snap := tbl.Snapshot().Columns()
 		want := 0
 		for i := 0; i < tbl.NumRows(); i++ {
 			a := snap[0].Get(i).I
@@ -88,7 +88,7 @@ func TestPropGroupByMatchesBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		snap := tbl.Snapshot()
+		snap := tbl.Snapshot().Columns()
 		type agg struct{ n, s int64 }
 		ref := map[int64]*agg{}
 		for i := 0; i < tbl.NumRows(); i++ {
@@ -134,7 +134,7 @@ func TestPropJoinMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ls, rs := l.Snapshot(), r.Snapshot()
+		ls, rs := l.Snapshot().Columns(), r.Snapshot().Columns()
 		want := 0
 		for i := 0; i < l.NumRows(); i++ {
 			for j := 0; j < r.NumRows(); j++ {
@@ -166,7 +166,7 @@ func TestPropOrderByLimitMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		snap := tbl.Snapshot()
+		snap := tbl.Snapshot().Columns()
 		type pair struct{ a, b int64 }
 		var all []pair
 		for i := 0; i < tbl.NumRows(); i++ {

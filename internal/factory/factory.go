@@ -22,7 +22,6 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
-	"repro/internal/vector"
 	"repro/internal/window"
 )
 
@@ -218,9 +217,9 @@ func (f *Factory) available(i int) int {
 // pinned is a consistent view of one input basket captured under its lock.
 type pinned struct {
 	in     Input
-	cols   []*vector.Vector // unseen window of the snapshot
-	offset int              // shared mode: first unseen row of the snapshot
-	n      int              // snapshot length
+	view   bat.View // unseen window of the snapshot (chunk refs, no copy)
+	offset int      // shared mode: first unseen row of the snapshot
+	n      int      // snapshot length
 	hseq   bat.OID
 }
 
@@ -245,15 +244,11 @@ func (f *Factory) Fire() error {
 	pins := make([]pinned, len(f.inputs))
 	total := 0
 	for i, in := range f.inputs {
-		cols, n := in.Basket.LockedSnapshot()
-		p := pinned{in: in, cols: cols, n: n, hseq: in.Basket.LockedHseq()}
+		view, n := in.Basket.LockedSnapshot()
+		p := pinned{in: in, view: view, n: n, hseq: in.Basket.LockedHseq()}
 		if in.Mode == Shared {
 			p.offset, _ = in.Basket.UnseenLocked(in.ReaderID)
-			views := make([]*vector.Vector, len(cols))
-			for c, col := range cols {
-				views[c] = col.Window(p.offset, n)
-			}
-			p.cols = views
+			p.view = view.Slice(p.offset, n)
 			total += p.n - p.offset
 		} else {
 			f.mu.Lock()
@@ -279,7 +274,7 @@ func (f *Factory) Fire() error {
 
 	ctx := exec.NewContext(f.catalog)
 	for _, p := range pins {
-		ctx.Overrides[p.in.Bind] = p.cols
+		ctx.Overrides[p.in.Bind] = p.view
 	}
 	rel, err := exec.Run(f.plan, ctx)
 	if err != nil {
@@ -292,7 +287,7 @@ func (f *Factory) Fire() error {
 	maxTS := int64(0)
 	for _, p := range pins {
 		if tsIdx := p.in.Basket.Schema().Index(catalog.TimestampColumn); tsIdx >= 0 && p.n-p.offset > 0 {
-			last := p.cols[tsIdx].Get(p.n - p.offset - 1).I
+			last := p.view.Get(tsIdx, p.n-p.offset-1).I
 			if last > maxTS {
 				maxTS = last
 			}
@@ -322,10 +317,7 @@ func (f *Factory) Fire() error {
 // before consumption so basket compaction cannot disturb it.
 func (f *Factory) fireWindowed(p pinned, unlock func()) error {
 	rows := p.n - p.offset
-	batch := &storage.Relation{Schema: p.in.Basket.Schema(), Cols: make([]*vector.Vector, len(p.cols))}
-	for i, c := range p.cols {
-		batch.Cols[i] = c.Clone()
-	}
+	batch := &storage.Relation{Schema: p.in.Basket.Schema(), Cols: p.view.CloneColumns()}
 	switch p.in.Mode {
 	case Owned:
 		p.in.Basket.LockedDropPrefix(p.n)

@@ -136,8 +136,8 @@ func TestFactoryMinTuples(t *testing.T) {
 		t.Errorf("out rows = %d", e.out.Len())
 	}
 	snap := e.out.Snapshot()
-	if snap[0].Get(0).I != 5 {
-		t.Errorf("count = %v", snap[0].Get(0))
+	if snap.Get(0, 0).I != 5 {
+		t.Errorf("count = %v", snap.Get(0, 0))
 	}
 }
 
@@ -244,7 +244,7 @@ func TestFactoryWindowed(t *testing.T) {
 	if e.out.Len() != 1 {
 		t.Fatalf("windows = %d", e.out.Len())
 	}
-	if got := e.out.Snapshot()[0].Get(0).I; got != 6 {
+	if got := e.out.Snapshot().Get(0, 0).I; got != 6 {
 		t.Errorf("window sum = %d", got)
 	}
 }

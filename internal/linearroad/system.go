@@ -190,36 +190,42 @@ func (p *tollProcessor) Ready() bool {
 func (p *tollProcessor) Fire() error {
 	// 1. Absorb new statistics rows (xway, dir, seg, cnt, avgspd, mintime, ts).
 	p.statsIn.Lock()
-	cols, n := p.statsIn.LockedSnapshot()
+	view, n := p.statsIn.LockedSnapshot()
 	p.statsIn.LockedDropPrefix(n)
 	p.statsIn.Unlock()
-	for i := 0; i < n; i++ {
-		sk := segKey{cols[0].Get(i).I, cols[1].Get(i).I, cols[2].Get(i).I}
-		perMin := p.stats[sk]
-		if perMin == nil {
-			perMin = map[int64]sqlStat{}
-			p.stats[sk] = perMin
+	for _, ch := range view.Chunks {
+		cols := ch.Cols
+		for i := 0; i < ch.Len(); i++ {
+			sk := segKey{cols[0].Get(i).I, cols[1].Get(i).I, cols[2].Get(i).I}
+			perMin := p.stats[sk]
+			if perMin == nil {
+				perMin = map[int64]sqlStat{}
+				p.stats[sk] = perMin
+			}
+			minute := cols[5].Get(i).I / 60
+			perMin[minute] = sqlStat{cnt: cols[3].Get(i).I, avg: cols[4].Get(i).F}
 		}
-		minute := cols[5].Get(i).I / 60
-		perMin[minute] = sqlStat{cnt: cols[3].Get(i).I, avg: cols[4].Get(i).F}
 	}
 
 	// 2. Process position reports in arrival order.
 	p.posIn.Lock()
-	cols, n = p.posIn.LockedSnapshot()
+	view, n = p.posIn.LockedSnapshot()
 	p.posIn.LockedDropPrefix(n)
 	p.posIn.Unlock()
-	for i := 0; i < n; i++ {
-		r := Record{
-			Time: cols[0].Get(i).I, VID: cols[1].Get(i).I, Speed: cols[2].Get(i).I,
-			XWay: cols[3].Get(i).I, Lane: cols[4].Get(i).I, Dir: cols[5].Get(i).I,
-			Seg: cols[6].Get(i).I, Pos: cols[7].Get(i).I,
-		}
-		if p.logic.observe(r) {
-			note := p.logic.charge(r, p.lookup)
-			p.mu.Lock()
-			p.notifications = append(p.notifications, note)
-			p.mu.Unlock()
+	for _, ch := range view.Chunks {
+		cols := ch.Cols
+		for i := 0; i < ch.Len(); i++ {
+			r := Record{
+				Time: cols[0].Get(i).I, VID: cols[1].Get(i).I, Speed: cols[2].Get(i).I,
+				XWay: cols[3].Get(i).I, Lane: cols[4].Get(i).I, Dir: cols[5].Get(i).I,
+				Seg: cols[6].Get(i).I, Pos: cols[7].Get(i).I,
+			}
+			if p.logic.observe(r) {
+				note := p.logic.charge(r, p.lookup)
+				p.mu.Lock()
+				p.notifications = append(p.notifications, note)
+				p.mu.Unlock()
+			}
 		}
 	}
 	return nil

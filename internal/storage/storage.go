@@ -89,26 +89,73 @@ func (r *Relation) String() string {
 	return b.String()
 }
 
-// Table is a named, concurrency-safe column table. It implements
-// catalog.Source.
+// DefaultChunkTarget is the sealing threshold: the active tail chunk is
+// frozen once it reaches this many rows. It bounds both the granularity
+// of O(1) consumption (DropPrefix releases whole sealed chunks) and the
+// work Retain redoes when a chunk is partially rewritten.
+const DefaultChunkTarget = 4096
+
+// sealedChunk is one frozen run of rows. Its vectors are never mutated
+// after sealing, so snapshots may share them without copying.
+type sealedChunk struct {
+	cols []*vector.Vector
+	n    int
+}
+
+// Table is a named, concurrency-safe column table implementing
+// catalog.Source. Storage is chunked: appends fill an active tail chunk
+// that is sealed (frozen) at chunkTarget rows; consumption releases whole
+// sealed chunks in O(1) and rewrites only the chunks it actually touches.
+// Snapshots share chunk references, so they cost no tuple copying and
+// stay valid across later appends and consumption.
 type Table struct {
 	name   string
 	schema *catalog.Schema
 
-	mu   sync.RWMutex
-	cols []*vector.Vector
-	// dropped counts tuples compacted away from the front; it keeps the
-	// table's OID sequence stable across consumption (see bat.DropPrefix).
-	dropped int64
+	mu     sync.RWMutex
+	sealed []sealedChunk
+	// tail is the active chunk: append-only vectors holding tailRows rows.
+	// Snapshots window it (appends past the window's capped length never
+	// disturb published views).
+	tail     []*vector.Vector
+	tailRows int
+	// rows is the total live count across sealed chunks and the tail.
+	rows int
+	// dropped counts tuples consumed from the front so far; it is the OID
+	// of the oldest live tuple, keeping the table's OID sequence stable
+	// across consumption (see bat.View).
+	dropped     int64
+	chunkTarget int
 }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema *catalog.Schema) *Table {
-	cols := make([]*vector.Vector, schema.Len())
-	for i, c := range schema.Columns {
+	t := &Table{name: name, schema: schema, chunkTarget: DefaultChunkTarget}
+	t.tail = t.freshCols()
+	return t
+}
+
+func (t *Table) freshCols() []*vector.Vector {
+	cols := make([]*vector.Vector, t.schema.Len())
+	for i, c := range t.schema.Columns {
 		cols[i] = vector.New(c.Type)
 	}
-	return &Table{name: name, schema: schema, cols: cols}
+	return cols
+}
+
+// SetChunkTarget overrides the sealing threshold (tests and tuning). A
+// tail already at or past the new threshold is sealed immediately so
+// later appends never see negative headroom.
+func (t *Table) SetChunkTarget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.chunkTarget = n
+	if t.tailRows >= n {
+		t.seal()
+	}
+	t.mu.Unlock()
 }
 
 // Name returns the table name.
@@ -121,10 +168,7 @@ func (t *Table) Schema() *catalog.Schema { return t.schema }
 func (t *Table) NumRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if len(t.cols) == 0 {
-		return 0
-	}
-	return t.cols[0].Len()
+	return t.rows
 }
 
 // Hseq returns the OID of the first live tuple (tuples dropped so far).
@@ -134,24 +178,54 @@ func (t *Table) Hseq() bat.OID {
 	return bat.OID(t.dropped)
 }
 
+// Stats reports the physical layout: resident chunk count (sealed plus a
+// non-empty tail), live rows, and the cumulative count of tuples consumed
+// from the front over the table's lifetime.
+func (t *Table) Stats() (chunks, rows int, dropped int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	chunks = len(t.sealed)
+	if t.tailRows > 0 {
+		chunks++
+	}
+	return chunks, t.rows, t.dropped
+}
+
+// seal freezes the tail as a sealed chunk and starts a fresh one. The
+// caller must hold mu.
+func (t *Table) seal() {
+	if t.tailRows == 0 {
+		return
+	}
+	t.sealed = append(t.sealed, sealedChunk{cols: t.tail, n: t.tailRows})
+	t.tail = t.freshCols()
+	t.tailRows = 0
+}
+
 // AppendRow appends one row. The row must match the schema.
 func (t *Table) AppendRow(row []vector.Value) error {
-	if len(row) != len(t.cols) {
-		return fmt.Errorf("storage: %s expects %d values, got %d", t.name, len(t.cols), len(row))
+	if len(row) != t.schema.Len() {
+		return fmt.Errorf("storage: %s expects %d values, got %d", t.name, t.schema.Len(), len(row))
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, col := range t.cols {
+	for i, col := range t.tail {
 		col.AppendValue(row[i])
+	}
+	t.tailRows++
+	t.rows++
+	if t.tailRows >= t.chunkTarget {
+		t.seal()
 	}
 	return nil
 }
 
-// AppendBatch appends whole column chunks; all must have equal length and
-// match the schema's types.
+// AppendBatch appends whole column batches; all must have equal length
+// and match the schema's types. Large batches are split so no chunk
+// exceeds the sealing threshold.
 func (t *Table) AppendBatch(cols []*vector.Vector) error {
-	if len(cols) != len(t.cols) {
-		return fmt.Errorf("storage: %s expects %d columns, got %d", t.name, len(t.cols), len(cols))
+	if len(cols) != t.schema.Len() {
+		return fmt.Errorf("storage: %s expects %d columns, got %d", t.name, t.schema.Len(), len(cols))
 	}
 	n := -1
 	for i, c := range cols {
@@ -165,10 +239,31 @@ func (t *Table) AppendBatch(cols []*vector.Vector) error {
 			return fmt.Errorf("storage: ragged batch for %s", t.name)
 		}
 	}
+	if n <= 0 {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, col := range t.cols {
-		col.AppendVector(cols[i])
+	for off := 0; off < n; {
+		take := t.chunkTarget - t.tailRows
+		if take > n-off {
+			take = n - off
+		}
+		if off == 0 && take == n {
+			for i, col := range t.tail {
+				col.AppendVector(cols[i])
+			}
+		} else {
+			for i, col := range t.tail {
+				col.AppendVector(cols[i].Window(off, off+take))
+			}
+		}
+		t.tailRows += take
+		t.rows += take
+		off += take
+		if t.tailRows >= t.chunkTarget {
+			t.seal()
+		}
 	}
 	return nil
 }
@@ -176,65 +271,163 @@ func (t *Table) AppendBatch(cols []*vector.Vector) error {
 // AppendRelation appends all rows of a relation (types must match).
 func (t *Table) AppendRelation(r *Relation) error { return t.AppendBatch(r.Cols) }
 
-// Snapshot implements catalog.Source: it returns read-only views of the
-// current columns. Views stay valid across later appends (appends may
-// reallocate, never mutate shared prefixes).
-func (t *Table) Snapshot() []*vector.Vector {
+// Snapshot implements catalog.Source: a chunked view sharing the sealed
+// chunks by reference. Only the tail is windowed (its vectors keep
+// growing); sealed chunks cost nothing per snapshot. The view always
+// carries at least one chunk so scans see the column layout even when the
+// table is empty.
+func (t *Table) Snapshot() bat.View {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]*vector.Vector, len(t.cols))
-	for i, col := range t.cols {
-		out[i] = col.Window(0, col.Len())
+	chunks := make([]bat.Chunk, 0, len(t.sealed)+1)
+	base := bat.OID(t.dropped)
+	for _, c := range t.sealed {
+		chunks = append(chunks, bat.Chunk{Base: base, Cols: c.cols})
+		base += bat.OID(c.n)
 	}
-	return out
+	tcols := make([]*vector.Vector, len(t.tail))
+	for i, col := range t.tail {
+		tcols[i] = col.Window(0, t.tailRows)
+	}
+	chunks = append(chunks, bat.Chunk{Base: base, Cols: tcols})
+	return bat.View{Hseq: bat.OID(t.dropped), Chunks: chunks}
 }
 
-// SnapshotRelation bundles Snapshot with the schema.
+// SnapshotRelation bundles the snapshot's columns with the schema.
 func (t *Table) SnapshotRelation() *Relation {
-	return &Relation{Schema: t.schema, Cols: t.Snapshot()}
+	return &Relation{Schema: t.schema, Cols: t.Snapshot().Columns()}
 }
 
-// DropPrefix removes the first n tuples (consumed stream data). The
-// surviving suffix is copied into fresh columns so snapshots taken before
-// the call stay valid.
+// DropPrefix removes the first n tuples (consumed stream data). Whole
+// sealed chunks are released in O(1); only the boundary chunk is trimmed
+// (by re-windowing — still no copying). Snapshots taken before the call
+// stay valid: they hold their own chunk references.
 func (t *Table) DropPrefix(n int) {
+	if n <= 0 {
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, col := range t.cols {
-		t.cols[i] = col.Window(n, col.Len()).Clone()
+	if n > t.rows {
+		n = t.rows
 	}
+	rem := n
+	for len(t.sealed) > 0 && rem >= t.sealed[0].n {
+		rem -= t.sealed[0].n
+		t.sealed[0] = sealedChunk{} // release the vectors
+		t.sealed = t.sealed[1:]
+	}
+	if rem > 0 && len(t.sealed) > 0 {
+		c := t.sealed[0]
+		w := make([]*vector.Vector, len(c.cols))
+		for i, col := range c.cols {
+			w[i] = col.Window(rem, c.n)
+		}
+		t.sealed[0] = sealedChunk{cols: w, n: c.n - rem}
+		rem = 0
+	}
+	if rem > 0 {
+		// The drop reaches into the tail: freeze the surviving suffix as a
+		// windowed sealed chunk and start a fresh tail. No tuple copying.
+		if rem < t.tailRows {
+			w := make([]*vector.Vector, len(t.tail))
+			for i, col := range t.tail {
+				w[i] = col.Window(rem, t.tailRows)
+			}
+			t.sealed = append(t.sealed, sealedChunk{cols: w, n: t.tailRows - rem})
+		}
+		t.tail = t.freshCols()
+		t.tailRows = 0
+	}
+	t.rows -= n
 	t.dropped += int64(n)
 }
 
 // Retain keeps only the rows at the given sorted positions — the basket
-// expression's "remove everything I referenced" side effect inverted. The
-// survivors are copied into fresh columns so prior snapshots stay valid.
+// expression's "remove everything I referenced" side effect inverted.
+// Chunks with no removals are shared untouched; chunks losing rows are
+// rewritten in isolation, so prior snapshots stay valid and the cost is
+// proportional to the chunks touched, not the table depth.
 func (t *Table) Retain(pos []int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := 0
-	if len(t.cols) > 0 {
-		n = t.cols[0].Len()
+	n := t.rows
+	newSealed := t.sealed[:0:0]
+	i, base := 0, 0
+	for _, c := range t.sealed {
+		// Fast path: the chunk's whole position range is present (positions
+		// are sorted and unique, so checking the two endpoints suffices).
+		if i+c.n <= len(pos) && pos[i] == base && pos[i+c.n-1] == base+c.n-1 {
+			newSealed = append(newSealed, c)
+			i, base = i+c.n, base+c.n
+			continue
+		}
+		j := i
+		for j < len(pos) && pos[j] < base+c.n {
+			j++
+		}
+		if kept := j - i; kept > 0 {
+			newSealed = append(newSealed, sealedChunk{cols: takeCols(c.cols, pos[i:j], base), n: kept})
+		}
+		i, base = j, base+c.n
 	}
-	for i, col := range t.cols {
-		t.cols[i] = col.Take(pos)
+	t.sealed = newSealed
+	// The tail is rewritten (into fresh, still-appendable vectors) only
+	// when it loses rows.
+	if kept := len(pos) - i; kept != t.tailRows {
+		t.tail = takeCols(t.tail, pos[i:], base)
+		t.tailRows = kept
 	}
+	t.rows = len(pos)
 	t.dropped += int64(n - len(pos))
 }
 
-// Remove deletes the rows at the given sorted positions.
+// takeCols gathers the rows at the given global positions (shifted down
+// by base) out of every column into fresh vectors.
+func takeCols(cols []*vector.Vector, pos []int, base int) []*vector.Vector {
+	out := make([]*vector.Vector, len(cols))
+	for i, col := range cols {
+		out[i] = vector.NewWithCap(col.Type(), len(pos))
+		out[i].AppendTake(col, pos, base)
+	}
+	return out
+}
+
+// Remove deletes the rows at the given sorted positions. It is the dual
+// of Retain driven by the (usually much shorter) drop list: chunks with
+// no dropped rows are shared untouched, so the cost is proportional to
+// the drop list and the chunks it lands in — not the table depth.
 func (t *Table) Remove(pos []int) {
 	if len(pos) == 0 {
 		return
 	}
 	t.mu.Lock()
-	n := 0
-	if len(t.cols) > 0 {
-		n = t.cols[0].Len()
+	defer t.mu.Unlock()
+	n := t.rows
+	newSealed := t.sealed[:0:0]
+	i, base := 0, 0
+	for _, c := range t.sealed {
+		j := i
+		for j < len(pos) && pos[j] < base+c.n {
+			j++
+		}
+		switch dropped := j - i; {
+		case dropped == 0:
+			newSealed = append(newSealed, c)
+		case dropped < c.n:
+			keep := bat.Complement(base, base+c.n, pos[i:j])
+			newSealed = append(newSealed, sealedChunk{cols: takeCols(c.cols, keep, base), n: len(keep)})
+		}
+		i, base = j, base+c.n
 	}
-	t.mu.Unlock()
-	keep := bat.Difference(bat.All(n), bat.Candidates(pos))
-	t.Retain(keep)
+	t.sealed = newSealed
+	if td := len(pos) - i; td > 0 {
+		keep := bat.Complement(base, base+t.tailRows, pos[i:])
+		t.tail = takeCols(t.tail, keep, base)
+		t.tailRows = len(keep)
+	}
+	t.rows = n - len(pos)
+	t.dropped += int64(len(pos))
 }
 
 // Truncate removes all rows, advancing the OID base as if every tuple had
@@ -242,12 +435,9 @@ func (t *Table) Remove(pos []int) {
 func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.cols) == 0 {
-		return
-	}
-	n := t.cols[0].Len()
-	for i := range t.cols {
-		t.cols[i] = vector.New(t.schema.Columns[i].Type)
-	}
-	t.dropped += int64(n)
+	t.sealed = nil
+	t.tail = t.freshCols()
+	t.tailRows = 0
+	t.dropped += int64(t.rows)
+	t.rows = 0
 }

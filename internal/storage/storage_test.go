@@ -30,7 +30,7 @@ func TestAppendRowAndSnapshot(t *testing.T) {
 	if tb.NumRows() != 2 {
 		t.Fatalf("NumRows = %d", tb.NumRows())
 	}
-	snap := tb.Snapshot()
+	snap := tb.Snapshot().Columns()
 	if snap[0].Get(1).I != 2 || snap[1].Get(0).S != "x" {
 		t.Errorf("snapshot: %v %v", snap[0], snap[1])
 	}
@@ -66,7 +66,7 @@ func TestAppendBatchTypeError(t *testing.T) {
 func TestSnapshotStableAcrossAppends(t *testing.T) {
 	tb := NewTable("t", schemaAB())
 	_ = tb.AppendRow(rowIS(1, "x"))
-	snap := tb.Snapshot()
+	snap := tb.Snapshot().Columns()
 	for i := 0; i < 100; i++ {
 		_ = tb.AppendRow(rowIS(int64(i), "later"))
 	}
@@ -87,7 +87,7 @@ func TestDropPrefixAdvancesHseq(t *testing.T) {
 	if tb.Hseq() != 3 {
 		t.Errorf("Hseq = %d, want 3", tb.Hseq())
 	}
-	if tb.Snapshot()[0].Get(0).I != 3 {
+	if tb.Snapshot().Get(0, 0).I != 3 {
 		t.Error("wrong survivor")
 	}
 }
@@ -104,12 +104,12 @@ func TestRemoveAndRetain(t *testing.T) {
 	snap := tb.Snapshot()
 	want := []int64{0, 2, 4}
 	for i, w := range want {
-		if snap[0].Get(i).I != w {
-			t.Errorf("row %d = %d, want %d", i, snap[0].Get(i).I, w)
+		if snap.Get(0, i).I != w {
+			t.Errorf("row %d = %d, want %d", i, snap.Get(0, i).I, w)
 		}
 	}
 	tb.Retain([]int{2})
-	if tb.NumRows() != 1 || tb.Snapshot()[0].Get(0).I != 4 {
+	if tb.NumRows() != 1 || tb.Snapshot().Get(0, 0).I != 4 {
 		t.Error("Retain failed")
 	}
 	tb.Remove(nil) // no-op
@@ -149,10 +149,16 @@ func TestConcurrentAppendAndSnapshot(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				snap := tb.Snapshot()
-				if len(snap) != 2 || snap[0].Len() != snap[1].Len() {
-					t.Error("ragged snapshot")
+				view := tb.Snapshot()
+				if view.NumCols() != 2 {
+					t.Error("wrong column count")
 					return
+				}
+				for _, ch := range view.Chunks {
+					if ch.Cols[0].Len() != ch.Cols[1].Len() {
+						t.Error("ragged snapshot chunk")
+						return
+					}
 				}
 			}
 		}()

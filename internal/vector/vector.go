@@ -530,6 +530,40 @@ func (v *Vector) Take(pos []int) *Vector {
 	return out
 }
 
+// AppendTake appends src's elements at the given positions, each shifted
+// down by base — the chunk-local form of Take used when gathering a
+// candidate list that spans several column segments. Positions must
+// satisfy base <= p < base+src.Len().
+func (v *Vector) AppendTake(src *Vector, pos []int, base int) {
+	switch v.typ {
+	case Int64, Timestamp:
+		for _, p := range pos {
+			v.ints = append(v.ints, src.ints[p-base])
+		}
+	case Float64:
+		for _, p := range pos {
+			v.flts = append(v.flts, src.flts[p-base])
+		}
+	case Bool:
+		for _, p := range pos {
+			v.bools = append(v.bools, src.bools[p-base])
+		}
+	case String:
+		for _, p := range pos {
+			v.strs = append(v.strs, src.strs[p-base])
+		}
+	}
+	if src.nulls != nil || v.nulls != nil {
+		v.ensureNulls()
+		if src.nulls != nil {
+			tail := v.nulls[v.Len()-len(pos):]
+			for i, p := range pos {
+				tail[i] = src.nulls[p-base]
+			}
+		}
+	}
+}
+
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
 	out := &Vector{typ: v.typ}

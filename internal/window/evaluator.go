@@ -28,7 +28,7 @@ type PlanEvaluator struct {
 // Eval implements Evaluator.
 func (p *PlanEvaluator) Eval(win *storage.Relation) (*storage.Relation, error) {
 	ctx := exec.NewContext(p.Catalog)
-	ctx.Overrides[strings.ToLower(p.Source)] = win.Cols
+	ctx.Overrides[strings.ToLower(p.Source)] = bat.ViewOf(win.Cols...)
 	return exec.Run(p.Plan, ctx)
 }
 

@@ -3,6 +3,7 @@ package window
 import (
 	"testing"
 
+	"repro/internal/bat"
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/plan"
@@ -335,7 +336,7 @@ func TestPlanEvaluatorMatchesDirectExec(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := exec.NewContext(cat)
-	ctx.Overrides["s"] = win.Cols
+	ctx.Overrides["s"] = bat.ViewOf(win.Cols...)
 	want, err := exec.Run(p, ctx)
 	if err != nil {
 		t.Fatal(err)
