@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-go check
+.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke check
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,23 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# bench measures the ingest→fire→emit hot path and the storage-level
-# consumption primitives at several basket depths, writing the perf
-# trajectory (with the pre-chunking baseline) to BENCH_results.json.
+# bench measures the ingest→fire→emit hot path, the storage-level
+# consumption primitives at several basket depths, and the partitioned
+# single-query throughput at GOMAXPROCS 1/2/4 and 1/2/4 shards, writing
+# the perf trajectory (with the pre-chunking baseline) to
+# BENCH_results.json.
 bench:
 	$(GO) run ./cmd/hotpathbench -o BENCH_results.json
+
+# bench-partitioned runs only the partitioned-throughput scenario at
+# -cpus 1,2,4 (full workload) and prints the report to stdout.
+bench-partitioned:
+	$(GO) run ./cmd/hotpathbench -scenario partitioned -cpus 1,2,4 -o -
+
+# bench-partitioned-smoke is the CI sanity run: tiny workload, still
+# exercising the sharded ingest → shard pipelines → merge path.
+bench-partitioned-smoke:
+	$(GO) run ./cmd/hotpathbench -scenario partitioned -smoke -cpus 1,2,4 -o -
 
 # bench-go runs the paper-experiment testing.B benchmarks once each.
 bench-go:

@@ -19,6 +19,11 @@
 //     Ingest → factory firing → subscription delivery.
 //   - ingest_emit_all: headline end-to-end throughput of a consume-all
 //     continuous filter (no retained backlog).
+//   - partitioned_throughput: one grouped continuous query over a
+//     hash-partitioned stream, driven by the concurrent scheduler at
+//     several GOMAXPROCS settings (-cpus) and shard counts — the
+//     multicore scaling the partition subsystem buys. Single-query
+//     ingest-to-merge throughput is reported per (cpus, shards) pair.
 package main
 
 import (
@@ -29,7 +34,10 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	datacell "repro"
 	"repro/internal/catalog"
@@ -53,14 +61,28 @@ type Result struct {
 	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
 }
 
+// PartResult is one partitioned-throughput measurement: a single
+// grouped continuous query over a stream sharded Shards ways, executed
+// by the concurrent scheduler at GOMAXPROCS = Cpus.
+type PartResult struct {
+	Name         string  `json:"name"`
+	Cpus         int     `json:"cpus"`
+	Shards       int     `json:"shards"`
+	Tuples       int     `json:"tuples"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	NsPerTuple   float64 `json:"ns_per_tuple"`
+}
+
 // Report is the BENCH_results.json document: the numbers measured by
 // this run plus the recorded pre-refactor baseline for comparison.
 type Report struct {
-	Note     string   `json:"note"`
-	GoOS     string   `json:"goos"`
-	GoArch   string   `json:"goarch"`
-	Baseline []Result `json:"before_chunked_storage"`
-	Current  []Result `json:"current"`
+	Note        string       `json:"note"`
+	GoOS        string       `json:"goos"`
+	GoArch      string       `json:"goarch"`
+	NumCPU      int          `json:"num_cpu"`
+	Baseline    []Result     `json:"before_chunked_storage"`
+	Current     []Result     `json:"current"`
+	Partitioned []PartResult `json:"partitioned,omitempty"`
 }
 
 // baseline holds the numbers measured on the flat (suffix-copying)
@@ -265,30 +287,150 @@ func benchIngestEmitAll() Result {
 	})
 }
 
+// benchPartitioned measures single-query ingest-to-merge throughput of
+// a grouped continuous query over a stream sharded `shards` ways, with
+// the concurrent scheduler pool at GOMAXPROCS = cpus. The query groups
+// by the partition column, so shard pipelines aggregate independently
+// and the merge stage concatenates — the partition-aligned fast path.
+func benchPartitioned(cpus, shards, tuples int) PartResult {
+	prev := runtime.GOMAXPROCS(cpus)
+	defer runtime.GOMAXPROCS(prev)
+	ctx := context.Background()
+
+	eng := datacell.New(datacell.Config{Workers: cpus})
+	ddl := fmt.Sprintf("CREATE BASKET p (k INT, v INT) WITH (partitions = %d, partition_by = k)", shards)
+	if _, err := eng.Exec(ctx, ddl); err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.RegisterContinuous("agg",
+		"SELECT x.k, COUNT(*) AS c, SUM(x.v) AS sv FROM [SELECT * FROM p] AS x GROUP BY x.k",
+		datacell.WithBackpressure(datacell.BackpressureDropOldest),
+		datacell.WithSubscriptionDepth(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shards > 1 && q.Shards() != shards {
+		log.Fatalf("query fell back to %d shard(s), want %d", q.Shards(), shards)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range q.Subscription().C() {
+		}
+	}()
+	if err := eng.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-build ingest batches: 4096 distinct group keys spread across
+	// shards by hash, so the ingest loop measures routing + pipelines, not
+	// row construction.
+	const batchRows, groups, nBatches = 4096, 4096, 8
+	batches := make([][]*vector.Vector, nBatches)
+	for b := range batches {
+		k := vector.NewWithCap(vector.Int64, batchRows)
+		v := vector.NewWithCap(vector.Int64, batchRows)
+		for i := 0; i < batchRows; i++ {
+			k.AppendInt(int64((b*batchRows + i*7) % groups))
+			v.AppendInt(int64(i))
+		}
+		batches[b] = []*vector.Vector{k, v}
+	}
+
+	start := time.Now()
+	sent := 0
+	for b := 0; sent < tuples; b++ {
+		if err := eng.IngestColumns(ctx, "p", batches[b%nBatches]); err != nil {
+			log.Fatal(err)
+		}
+		sent += batchRows
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for q.Stats().TuplesIn < int64(sent) || q.MergeLag() > 0 {
+		if time.Now().After(deadline) {
+			log.Fatalf("partitioned bench stalled: %d of %d consumed, merge lag %d",
+				q.Stats().TuplesIn, sent, q.MergeLag())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	if err := eng.Stop(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+
+	r := PartResult{
+		Name:         "partitioned_throughput",
+		Cpus:         cpus,
+		Shards:       shards,
+		Tuples:       sent,
+		TuplesPerSec: float64(sent) / elapsed.Seconds(),
+		NsPerTuple:   float64(elapsed.Nanoseconds()) / float64(sent),
+	}
+	fmt.Fprintf(os.Stderr, "%-22s cpus=%d shards=%d %12.0f tuples/s %8.1f ns/tuple\n",
+		r.Name, cpus, shards, r.TuplesPerSec, r.NsPerTuple)
+	return r
+}
+
+func parseCpus(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -cpus entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output file ('-' for stdout)")
+	scenario := flag.String("scenario", "all", "hotpath, partitioned, or all")
+	cpusFlag := flag.String("cpus", "1,2,4", "GOMAXPROCS settings for the partitioned scenario")
+	smoke := flag.Bool("smoke", false, "tiny partitioned workload (CI sanity run)")
 	flag.Parse()
 
 	var results []Result
-	for _, d := range depths {
-		results = append(results, benchDropPrefix(d))
+	if *scenario == "all" || *scenario == "hotpath" {
+		for _, d := range depths {
+			results = append(results, benchDropPrefix(d))
+		}
+		for _, d := range depths {
+			results = append(results, benchRemoveTail(d))
+		}
+		for _, d := range depths {
+			results = append(results, benchIngestEmitWindow(d))
+		}
+		results = append(results, benchIngestEmitAll())
 	}
-	for _, d := range depths {
-		results = append(results, benchRemoveTail(d))
+
+	var part []PartResult
+	if *scenario == "all" || *scenario == "partitioned" {
+		tuples := 1 << 19
+		if *smoke {
+			tuples = 1 << 14
+		}
+		for _, c := range parseCpus(*cpusFlag) {
+			for _, shards := range []int{1, 2, 4} {
+				part = append(part, benchPartitioned(c, shards, tuples))
+			}
+		}
 	}
-	for _, d := range depths {
-		results = append(results, benchIngestEmitWindow(d))
-	}
-	results = append(results, benchIngestEmitAll())
 
 	rep := Report{
 		Note: "basket hot-path trajectory: 'before_chunked_storage' was measured on the flat " +
 			"suffix-copying storage layer (commit f207497); 'current' is this checkout. " +
-			"batch=256 rows/op; depth is the resident basket backlog during the op.",
-		GoOS:     runtime.GOOS,
-		GoArch:   runtime.GOARCH,
-		Baseline: baseline,
-		Current:  results,
+			"batch=256 rows/op; depth is the resident basket backlog during the op. " +
+			"'partitioned' is single-query ingest-to-merge throughput of a grouped continuous " +
+			"query at GOMAXPROCS=cpus with the stream hash-sharded `shards` ways (4096-row " +
+			"batches, 4096 groups); shard scaling needs num_cpu >= shards to materialize.",
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Baseline:    baseline,
+		Current:     results,
+		Partitioned: part,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

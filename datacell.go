@@ -69,6 +69,7 @@ import (
 	"repro/internal/catalog"
 	idc "repro/internal/datacell"
 	"repro/internal/metrics"
+	"repro/internal/partition"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/vector"
@@ -106,6 +107,13 @@ const (
 	// retained until every query has seen them.
 	SharedBaskets = idc.SharedBaskets
 )
+
+// PartitionSpec declares stream sharding — the Go equivalent of CREATE
+// BASKET ... WITH (partitions = N, partition_by = col), accepted by
+// Engine.CreatePartitionedStream. Partitionable continuous queries over
+// a sharded stream run as N parallel shard pipelines whose emissions a
+// merge transition recombines (see Query.Shards and Query.MergeLag).
+type PartitionSpec = partition.Spec
 
 // Backpressure selects what a subscription does when its consumer falls
 // behind.

@@ -110,11 +110,23 @@ type Source interface {
 	Snapshot() bat.View
 }
 
-// Entry is one catalog registration.
+// Entry is one catalog registration. Partitioned streams carry their
+// sharding declaration (Partitions/PartitionBy); the shard baskets
+// themselves register as separate entries with Shard >= 0 pointing back
+// at the parent.
 type Entry struct {
 	Name   string
 	Kind   SourceKind
 	Source Source
+	// Partitions is the declared shard count of a partitioned source (0
+	// for unpartitioned entries).
+	Partitions int
+	// PartitionBy is the hash-routing column ("" = round-robin).
+	PartitionBy string
+	// Shard is this entry's shard index within Parent, or -1.
+	Shard int
+	// Parent names the partitioned source a shard entry belongs to.
+	Parent string
 }
 
 // Catalog is a concurrency-safe name → source registry.
@@ -131,13 +143,30 @@ func New() *Catalog {
 // Register adds a source under the given name. Names are case-insensitive
 // and must be unique across tables and baskets.
 func (c *Catalog) Register(name string, kind SourceKind, src Source) error {
-	key := strings.ToLower(name)
+	return c.register(&Entry{Name: name, Kind: kind, Source: src, Shard: -1})
+}
+
+// RegisterPartitioned adds a partitioned source: the entry records the
+// shard count and routing column so introspection can report them.
+func (c *Catalog) RegisterPartitioned(name string, kind SourceKind, src Source, partitions int, by string) error {
+	return c.register(&Entry{Name: name, Kind: kind, Source: src,
+		Partitions: partitions, PartitionBy: by, Shard: -1})
+}
+
+// RegisterShard adds shard number shard of the partitioned source parent.
+func (c *Catalog) RegisterShard(name string, kind SourceKind, src Source, parent string, shard int) error {
+	return c.register(&Entry{Name: name, Kind: kind, Source: src,
+		Shard: shard, Parent: parent})
+}
+
+func (c *Catalog) register(e *Entry) error {
+	key := strings.ToLower(e.Name)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, exists := c.entries[key]; exists {
-		return fmt.Errorf("catalog: %q already exists", name)
+		return fmt.Errorf("catalog: %q already exists", e.Name)
 	}
-	c.entries[key] = &Entry{Name: name, Kind: kind, Source: src}
+	c.entries[key] = e
 	return nil
 }
 

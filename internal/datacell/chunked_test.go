@@ -41,7 +41,7 @@ func TestShowBasketsChunkStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCols := []string{"name", "tuples", "chunks", "dropped", "shed"}
+	wantCols := []string{"name", "shard", "tuples", "chunks", "dropped", "shed"}
 	for i, w := range wantCols {
 		if rel.Schema.Columns[i].Name != w {
 			t.Fatalf("SHOW BASKETS column %d = %s, want %s", i, rel.Schema.Columns[i].Name, w)
@@ -50,7 +50,10 @@ func TestShowBasketsChunkStats(t *testing.T) {
 	stats := map[string][]int64{}
 	for i := 0; i < rel.NumRows(); i++ {
 		row := rel.Row(i)
-		stats[row[0].S] = []int64{row[1].I, row[2].I, row[3].I, row[4].I}
+		if !row[1].Null {
+			t.Errorf("%s: unsharded basket has shard = %v", row[0].S, row[1])
+		}
+		stats[row[0].S] = []int64{row[2].I, row[3].I, row[4].I, row[5].I}
 	}
 	// The shared input basket was fully consumed: nothing resident, all 10
 	// dropped, none shed.

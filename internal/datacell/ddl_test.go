@@ -117,6 +117,28 @@ func TestDDLSeparateReplicaFreedOnDrop(t *testing.T) {
 	}
 }
 
+// TestFailedRegisterLeavesNoReplica: when registration fails after the
+// private replica was published (here: the <name>_out name is taken),
+// the replica must be withdrawn from the fan-out — an orphaned replica
+// would absorb every future ingest batch with nothing consuming it.
+func TestFailedRegisterLeavesNoReplica(t *testing.T) {
+	ctx := context.Background()
+	e, _ := newEngine(t)
+	if _, err := e.Exec(ctx, "CREATE BASKET q_out (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ctx, `CREATE CONTINUOUS QUERY q AS
+		SELECT * FROM [SELECT * FROM R] AS S`); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("err = %v, want ErrDuplicateName", err)
+	}
+	e.mu.Lock()
+	replicas := len(e.streams["r"].replicas)
+	e.mu.Unlock()
+	if replicas != 0 {
+		t.Errorf("failed registration leaked %d replica(s)", replicas)
+	}
+}
+
 func TestDDLShowStreamsAndTables(t *testing.T) {
 	ctx := context.Background()
 	e, _ := newEngine(t)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/partition"
 	"repro/internal/plan"
 	"repro/internal/scheduler"
 	"repro/internal/sql"
@@ -87,13 +88,23 @@ type Engine struct {
 }
 
 // stream is one ingestion point: the primary (shared) basket plus the
-// private replicas created by separate-strategy queries.
+// private replicas created by separate-strategy queries. A partitioned
+// stream additionally owns N shard baskets; the fan-out routes each
+// tuple to exactly one of them (hash of the partition column, or
+// round-robin) once at least one partitioned query reads them.
 type stream struct {
 	name     string
 	schema   *catalog.Schema // user schema, no ts
 	primary  *basket.Basket
 	replicas []*basket.Basket
 	ingested int64
+
+	// Partitioned streams only. shardReaders counts the registered
+	// partitioned queries; routing is skipped while it is zero so shard
+	// baskets do not accumulate unread tuples.
+	router       *partition.Router
+	shards       []*basket.Basket
+	shardReaders int
 }
 
 // New creates an engine. Prefer Open, which validates the configuration
@@ -298,6 +309,30 @@ func (e *Engine) Drain() int { return e.sched.Drain(1_000_000) }
 // CreateStream declares a stream: a named basket fed by Ingest. The schema
 // must not include the implicit ts column.
 func (e *Engine) CreateStream(name string, schema *catalog.Schema) error {
+	return e.CreatePartitionedStream(name, schema, partition.Spec{})
+}
+
+// CreatePartitionedStream declares a stream with a sharding declaration —
+// the Go equivalent of CREATE BASKET ... WITH (partitions = N,
+// partition_by = col). With spec.Shards > 1 the stream owns N shard
+// baskets (named <name>#i, visible in SHOW BASKETS) and the ingest
+// fan-out hash-routes each tuple to one of them; partitionable
+// continuous queries over the stream then run as N parallel shard
+// pipelines. A zero spec declares an ordinary stream.
+func (e *Engine) CreatePartitionedStream(name string, schema *catalog.Schema, spec partition.Spec) error {
+	// partition_by is validated even for the degenerate partitions = 1
+	// declaration, so a typo'd column never silently disables routing.
+	if spec.By != "" && schema.Index(spec.By) < 0 {
+		return fmt.Errorf("%w: partition_by column %q not in schema %s", ErrInvalidOption, spec.By, schema)
+	}
+	var router *partition.Router
+	if spec.Enabled() {
+		var err error
+		router, err = partition.NewRouter(schema, spec)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	key := strings.ToLower(name)
@@ -306,10 +341,34 @@ func (e *Engine) CreateStream(name string, schema *catalog.Schema) error {
 	}
 	b := basket.New(name, schema, e.clock)
 	b.OnAppend(e.sched.Notify)
-	if err := e.cat.Register(name, catalog.KindBasket, b); err != nil {
+	regErr := func() error {
+		if router == nil {
+			return e.cat.Register(name, catalog.KindBasket, b)
+		}
+		return e.cat.RegisterPartitioned(name, catalog.KindBasket, b, spec.Shards, spec.By)
+	}()
+	if regErr != nil {
 		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
 	}
-	e.streams[key] = &stream{name: name, schema: schema, primary: b}
+	s := &stream{name: name, schema: schema, primary: b, router: router}
+	if router != nil {
+		for i := 0; i < spec.Shards; i++ {
+			sh := basket.New(fmt.Sprintf("%s#%d", name, i), schema, e.clock)
+			sh.OnAppend(e.sched.Notify)
+			if err := e.cat.RegisterShard(sh.Name(), catalog.KindBasket, sh, name, i); err != nil {
+				// Roll back: '#' is not a legal identifier, so a collision
+				// means a previous partitioned stream's leftovers — impossible
+				// after the duplicate check above, but keep the catalog clean.
+				for j := 0; j < i; j++ {
+					_ = e.cat.Drop(fmt.Sprintf("%s#%d", name, j))
+				}
+				_ = e.cat.Drop(name)
+				return fmt.Errorf("%w: %q", ErrDuplicateName, sh.Name())
+			}
+			s.shards = append(s.shards, sh)
+		}
+	}
+	e.streams[key] = s
 	return nil
 }
 
@@ -385,18 +444,20 @@ func (e *Engine) lookupStream(name string) (*stream, error) {
 
 // fanout is the shared receptor step behind Ingest and IngestColumns: it
 // charges the stream's arrival counter and appends the batch to the
-// primary basket (when shared consumers, or nobody, read it) and to every
-// separate-strategy replica. The replica slice is copy-on-write (see
-// registerParsed), so the snapshot taken under e.mu is used as-is instead
-// of being recloned on every call.
+// primary basket (when shared consumers, or nobody, read it), to every
+// separate-strategy replica, and — on a partitioned stream with
+// registered shard readers — routes each tuple to its shard basket. The
+// replica slice is copy-on-write (see registerParsed), so the snapshot
+// taken under e.mu is used as-is instead of being recloned on every call.
 func (e *Engine) fanout(s *stream, n int, cols []*vector.Vector) error {
 	e.mu.Lock()
 	s.ingested += int64(n)
 	primary := s.primary
 	replicas := s.replicas
+	shardReaders := s.shardReaders
 	e.mu.Unlock()
 
-	if primary.Readers() > 0 || len(replicas) == 0 {
+	if primary.Readers() > 0 || (len(replicas) == 0 && shardReaders == 0) {
 		if err := primary.Append(cols); err != nil {
 			return err
 		}
@@ -404,6 +465,20 @@ func (e *Engine) fanout(s *stream, n int, cols []*vector.Vector) error {
 	for _, r := range replicas {
 		if err := r.Append(cols); err != nil {
 			return err
+		}
+	}
+	if shardReaders > 0 {
+		parts, err := s.router.Split(cols)
+		if err != nil {
+			return err
+		}
+		for i, part := range parts {
+			if part == nil {
+				continue
+			}
+			if err := s.shards[i].Append(part); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -458,8 +533,16 @@ func (e *Engine) Exec(ctx context.Context, text string) (*storage.Relation, erro
 			schema.Columns = append(schema.Columns, catalog.Column{Name: c.Name, Type: c.Type})
 		}
 		if x.Basket {
-			return nil, e.CreateStream(x.Name, schema)
+			spec, rest, err := partition.FromOptions(x.Options)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+			}
+			if len(rest) > 0 {
+				return nil, fmt.Errorf("%w: unknown option %q", ErrInvalidOption, rest[0].Key)
+			}
+			return nil, e.CreatePartitionedStream(x.Name, schema, spec)
 		}
+		// The parser rejects WITH on CREATE TABLE, so x.Options is empty here.
 		return nil, e.CreateTable(x.Name, schema)
 	case *sql.CreateContinuousStmt:
 		opts, err := optionsFromSpecs(x.Options)
@@ -495,17 +578,31 @@ func (e *Engine) Exec(ctx context.Context, text string) (*storage.Relation, erro
 func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 	switch what {
 	case sql.ShowQueries:
+		// shards is the query's pipeline fan-out (1 = unpartitioned);
+		// merge_lag counts shard emissions not yet merged into the output
+		// basket, so skew between shards is visible from the control port.
 		rel := storage.NewRelation(catalog.NewSchema(
 			catalog.Column{Name: "name", Type: vector.String},
 			catalog.Column{Name: "strategy", Type: vector.String},
+			catalog.Column{Name: "shards", Type: vector.Int64},
+			catalog.Column{Name: "merge_lag", Type: vector.Int64},
 			catalog.Column{Name: "sql", Type: vector.String},
 		))
 		qs := e.Queries()
 		sort.Slice(qs, func(i, j int) bool { return qs[i].Name < qs[j].Name })
 		for _, q := range qs {
+			// Partitioned queries consume the stream's shard baskets by
+			// watermark regardless of the declared strategy; report the
+			// arrangement actually in effect.
+			strat := q.Strategy.String()
+			if q.Partitioned() {
+				strat = "partitioned"
+			}
 			rel.AppendRow([]vector.Value{
 				vector.NewString(q.Name),
-				vector.NewString(q.Strategy.String()),
+				vector.NewString(strat),
+				vector.NewInt(int64(q.Shards())),
+				vector.NewInt(int64(q.MergeLag())),
 				vector.NewString(q.SQL),
 			})
 		}
@@ -540,9 +637,12 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 	case sql.ShowBaskets:
 		// Per-basket physical layout from the chunked storage layer:
 		// resident tuples and chunks, plus the cumulative consumption
-		// counters (dropped includes shed).
+		// counters (dropped includes shed). Shard baskets of partitioned
+		// streams and queries appear as their own rows with shard >= 0
+		// (NULL for unsharded baskets), so per-shard skew is visible.
 		rel := storage.NewRelation(catalog.NewSchema(
 			catalog.Column{Name: "name", Type: vector.String},
+			catalog.Column{Name: "shard", Type: vector.Int64},
 			catalog.Column{Name: "tuples", Type: vector.Int64},
 			catalog.Column{Name: "chunks", Type: vector.Int64},
 			catalog.Column{Name: "dropped", Type: vector.Int64},
@@ -557,9 +657,14 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			if !ok {
 				continue
 			}
+			shard := vector.NullValue(vector.Int64)
+			if entry.Shard >= 0 {
+				shard = vector.NewInt(int64(entry.Shard))
+			}
 			chunks, resident, dropped, shed := b.Stats()
 			rel.AppendRow([]vector.Value{
 				vector.NewString(entry.Name),
+				shard,
 				vector.NewInt(int64(resident)),
 				vector.NewInt(int64(chunks)),
 				vector.NewInt(dropped),
@@ -604,8 +709,12 @@ func (e *Engine) drop(name string) error {
 				return fmt.Errorf("%w: %q is read by cascade %q", ErrStreamInUse, name, c.Name)
 			}
 		}
+		s := e.streams[key]
 		delete(e.streams, key)
 		e.mu.Unlock()
+		for i := range s.shards {
+			_ = e.cat.Drop(fmt.Sprintf("%s#%d", s.name, i))
+		}
 		return e.cat.Drop(name)
 	}
 	if _, ok := e.tables[key]; ok {
@@ -732,8 +841,10 @@ func (e *Engine) Query(name string) (*Query, error) {
 // emitting time-based windows that closed without new arrivals.
 func (e *Engine) FlushWindows() error {
 	for _, q := range e.Queries() {
-		if err := q.fact.FlushWindows(); err != nil {
-			return err
+		for _, f := range q.facts {
+			if err := f.FlushWindows(); err != nil {
+				return err
+			}
 		}
 	}
 	e.sched.Notify()

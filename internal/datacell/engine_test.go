@@ -285,7 +285,7 @@ func TestWindowedContinuousQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.fact.Stats().Firings != 0 {
+	if q.Stats().Firings != 0 {
 		t.Fatal("no firings yet")
 	}
 	ingestPairs(t, e, "R", [][2]int64{{1, 1}, {2, 2}, {3, 3}})

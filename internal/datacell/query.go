@@ -10,25 +10,32 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/factory"
 	"repro/internal/metrics"
+	"repro/internal/partition"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/window"
 )
 
-// Query is a registered continuous query: a factory between an input
-// arrangement (per strategy) and an output basket with a subscription
-// emitter.
+// Query is a registered continuous query: one or more factories between
+// an input arrangement (per strategy) and an output basket with a
+// subscription emitter. On a partitioned stream a partitionable query
+// runs as N shard pipelines (facts) whose emissions a merge transition
+// recombines into the output basket; otherwise there is exactly one
+// factory.
 type Query struct {
 	Name     string
 	SQL      string
 	Strategy Strategy
 
-	stream  string // the stream the basket expression reads
-	fact    *factory.Factory
-	out     *basket.Basket
-	sub     *Subscription  // nil when the query polls via SQL
-	replica *basket.Basket // separate strategy only
-	engine  *Engine
+	stream    string // the stream the basket expression reads
+	facts     []*factory.Factory
+	merge     *partition.Merge // nil when unpartitioned
+	out       *basket.Basket
+	shardIns  []*basket.Basket // stream-owned shard baskets (partitioned only)
+	shardOuts []*basket.Basket // per-shard emission baskets (partitioned only)
+	sub       *Subscription    // nil when the query polls via SQL
+	replica   *basket.Basket   // separate strategy only
+	engine    *Engine
 }
 
 // Subscription returns the query's result subscription, or nil when the
@@ -40,11 +47,39 @@ func (q *Query) Subscription() *Subscription { return q.sub }
 // the name <query>_out).
 func (q *Query) Out() *basket.Basket { return q.out }
 
-// Stats returns the factory counters.
-func (q *Query) Stats() factory.Stats { return q.fact.Stats() }
+// Stats returns the factory counters, summed across shard pipelines.
+func (q *Query) Stats() factory.Stats {
+	var total factory.Stats
+	for _, f := range q.facts {
+		st := f.Stats()
+		total.Firings += st.Firings
+		total.TuplesIn += st.TuplesIn
+		total.TuplesOut += st.TuplesOut
+	}
+	return total
+}
 
-// Latency returns the factory's per-batch latency histogram.
-func (q *Query) Latency() *metrics.Histogram { return q.fact.Latency }
+// Latency returns the per-batch latency histogram. Shard pipelines of a
+// partitioned query share one histogram, so this is always the whole
+// query's distribution.
+func (q *Query) Latency() *metrics.Histogram { return q.facts[0].Latency }
+
+// Shards returns the number of parallel shard pipelines executing the
+// query (1 for an unpartitioned query).
+func (q *Query) Shards() int { return len(q.facts) }
+
+// Partitioned reports whether the query runs as shard pipelines with a
+// merge transition.
+func (q *Query) Partitioned() bool { return q.merge != nil }
+
+// MergeLag returns the number of shard-emitted tuples not yet merged
+// into the output basket (0 for unpartitioned queries).
+func (q *Query) MergeLag() int {
+	if q.merge == nil {
+		return 0
+	}
+	return q.merge.Lag()
+}
 
 // Shed returns the number of tuples load shedding evicted from this
 // query's private input basket.
@@ -57,11 +92,19 @@ func (q *Query) Shed() int64 {
 
 // InputBacklog returns the number of tuples currently buffered in the
 // query's input arrangement: the private replica under the separate
-// strategy, or the whole shared basket otherwise. Retained
-// predicate-window tuples show up here.
+// strategy, the stream's shard baskets when partitioned, or the whole
+// shared basket otherwise. Retained predicate-window tuples show up
+// here.
 func (q *Query) InputBacklog() int {
 	if q.replica != nil {
 		return q.replica.Len()
+	}
+	if len(q.shardIns) > 0 {
+		n := 0
+		for _, b := range q.shardIns {
+			n += b.Len()
+		}
+		return n
 	}
 	b, err := q.engine.Stream(q.stream)
 	if err != nil {
@@ -274,6 +317,18 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		return nil, err
 	}
 
+	// Partitioned path: on a partitioned stream, a partitionable query is
+	// cloned into one pipeline per shard with a merge transition
+	// recombining the emissions. Windowed queries stay single-pipeline
+	// (count- and time-based windows are defined over the whole stream's
+	// arrival order), as do queries with a private shedding bound (shard
+	// baskets are shared between the stream's partitioned queries).
+	if isStream && s.router != nil && sel.Window == nil && cfg.shedAt == 0 {
+		if an := partition.Analyze(p, streamName, s.router.Spec().By, name+"#partials"); an.OK {
+			return e.registerPartitioned(name, text, streamName, s, p, an, cfg)
+		}
+	}
+
 	// Input arrangement per strategy.
 	var in factory.Input
 	var replica *basket.Basket
@@ -300,11 +355,33 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		e.mu.Unlock()
 	}
 
+	// rollback undoes the replica publication (and, once registered, the
+	// output catalog entry) when a later registration step fails — an
+	// orphaned replica would keep receiving every future ingest batch
+	// with nothing consuming it.
+	rollback := func(dropOut bool) {
+		if replica != nil {
+			e.mu.Lock()
+			next := make([]*basket.Basket, 0, len(s.replicas))
+			for _, r := range s.replicas {
+				if r != replica {
+					next = append(next, r)
+				}
+			}
+			s.replicas = next
+			e.mu.Unlock()
+		}
+		if dropOut {
+			_ = e.cat.Drop(name + "_out")
+		}
+	}
+
 	// Output basket: the plan's schema (plus its own delivery ts), exposed
 	// in the catalog for one-time inspection.
 	out := basket.New(name+"_out", p.Schema(), e.clock)
 	out.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
+		rollback(false)
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
 	}
 
@@ -315,12 +392,14 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	if sel.Window != nil {
 		runner, err := e.buildWindowRunner(p, in.Basket.Schema(), streamName, sel.Window, cfg)
 		if err != nil {
+			rollback(true)
 			return nil, err
 		}
 		fopts = append(fopts, factory.WithWindow(runner))
 	}
 	fact, err := factory.New(name, p, e.cat, []factory.Input{in}, []*basket.Basket{out}, fopts...)
 	if err != nil {
+		rollback(true)
 		return nil, err
 	}
 
@@ -329,7 +408,7 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		SQL:      text,
 		Strategy: cfg.strategy,
 		stream:   streamName,
-		fact:     fact,
+		facts:    []*factory.Factory{fact},
 		out:      out,
 		replica:  replica,
 		engine:   e,
@@ -342,6 +421,87 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	e.queries[key] = q
 	e.mu.Unlock()
 	e.sched.AddWithPriority(fact, cfg.priority)
+	if q.sub != nil {
+		e.sched.AddWithPriority(q.sub.em, cfg.priority)
+	}
+	return q, nil
+}
+
+// registerPartitioned installs a continuous query as N shard pipelines
+// over the stream's shard baskets: per shard one factory running the
+// analysis' shard plan into a private emission basket (<name>_out#i),
+// plus a merge transition recombining the emissions into <name>_out —
+// order-preserving per shard, with a global distinct/re-aggregation
+// stage when the analysis requires one. Shard factories consume the
+// stream's shard baskets in shared (watermark) mode, so several
+// partitioned queries share one routed copy of the stream.
+func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p plan.Node, an partition.Analysis, cfg queryConfig) (*Query, error) {
+	key := strings.ToLower(name)
+	out := basket.New(name+"_out", p.Schema(), e.clock)
+	out.OnAppend(e.sched.Notify)
+	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
+	}
+	unregister := func(upTo int) {
+		for i := 0; i < upTo; i++ {
+			_ = e.cat.Drop(fmt.Sprintf("%s_out#%d", name, i))
+		}
+		_ = e.cat.Drop(name + "_out")
+	}
+
+	n := len(s.shards)
+	latency := metrics.NewHistogram()
+	facts := make([]*factory.Factory, 0, n)
+	shardOuts := make([]*basket.Basket, 0, n)
+	for i := 0; i < n; i++ {
+		so := basket.New(fmt.Sprintf("%s_out#%d", name, i), an.ShardPlan.Schema(), e.clock)
+		so.OnAppend(e.sched.Notify)
+		if err := e.cat.RegisterShard(so.Name(), catalog.KindBasket, so, name+"_out", i); err != nil {
+			unregister(i)
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, so.Name())
+		}
+		in := factory.Input{Basket: s.shards[i], Mode: factory.Shared, ReaderID: name, Bind: streamName}
+		f, err := factory.New(fmt.Sprintf("%s#%d", name, i), an.ShardPlan, e.cat,
+			[]factory.Input{in}, []*basket.Basket{so},
+			factory.WithMinTuples(cfg.minTuples),
+			factory.WithClock(e.clock),
+			factory.WithLatency(latency))
+		if err != nil {
+			unregister(i + 1)
+			for _, done := range facts {
+				done.Close()
+			}
+			return nil, err
+		}
+		facts = append(facts, f)
+		shardOuts = append(shardOuts, so)
+	}
+	merge := partition.NewMerge(name+"_merge", an.MergeSource, shardOuts, out, an.MergePlan, e.cat)
+
+	q := &Query{
+		Name:      name,
+		SQL:       text,
+		Strategy:  cfg.strategy,
+		stream:    streamName,
+		facts:     facts,
+		merge:     merge,
+		out:       out,
+		shardIns:  s.shards,
+		shardOuts: shardOuts,
+		engine:    e,
+	}
+	if cfg.subDepth > 0 {
+		emitter := adapters.NewChannelEmitter(name+"_emit", out, cfg.subDepth, cfg.policy)
+		q.sub = newSubscription(e, emitter)
+	}
+	e.mu.Lock()
+	e.queries[key] = q
+	s.shardReaders++
+	e.mu.Unlock()
+	for _, f := range facts {
+		e.sched.AddWithPriority(f, cfg.priority)
+	}
+	e.sched.AddWithPriority(merge, cfg.priority)
 	if q.sub != nil {
 		e.sched.AddWithPriority(q.sub.em, cfg.priority)
 	}
@@ -376,9 +536,10 @@ func (e *Engine) buildWindowRunner(p plan.Node, bufSchema *catalog.Schema, sourc
 }
 
 // UnregisterContinuous removes a continuous query — the Go equivalent of
-// DROP CONTINUOUS QUERY. The factory detaches from the scheduler, shared
-// readers release their watermarks, the private replica and output basket
-// are freed, and the subscription closes.
+// DROP CONTINUOUS QUERY. Every factory (all shard pipelines) detaches
+// from the scheduler, shared readers release their watermarks, the merge
+// transition and the private replica and output baskets are freed, and
+// the subscription closes.
 func (e *Engine) UnregisterContinuous(name string) error {
 	key := strings.ToLower(name)
 	e.mu.Lock()
@@ -388,7 +549,8 @@ func (e *Engine) UnregisterContinuous(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownQuery, name)
 	}
 	delete(e.queries, key)
-	if s := e.streams[strings.ToLower(q.stream)]; q.replica != nil && s != nil {
+	s := e.streams[strings.ToLower(q.stream)]
+	if q.replica != nil && s != nil {
 		// Copy-on-write removal (see registerParsed).
 		next := make([]*basket.Basket, 0, len(s.replicas))
 		for _, r := range s.replicas {
@@ -398,11 +560,24 @@ func (e *Engine) UnregisterContinuous(name string) error {
 		}
 		s.replicas = next
 	}
+	if q.merge != nil && s != nil {
+		s.shardReaders--
+	}
 	e.mu.Unlock()
-	e.sched.Remove(q.fact.Name())
-	q.fact.Close()
+	for _, f := range q.facts {
+		e.sched.Remove(f.Name())
+		// Close releases shared-reader watermarks, so shard (or shared)
+		// baskets compact tuples only this query was retaining.
+		f.Close()
+	}
+	if q.merge != nil {
+		e.sched.Remove(q.merge.Name())
+	}
 	if q.sub != nil {
 		q.sub.closeWith(ErrSubscriptionClosed)
+	}
+	for i := range q.shardOuts {
+		_ = e.cat.Drop(fmt.Sprintf("%s_out#%d", q.Name, i))
 	}
 	return e.cat.Drop(name + "_out")
 }

@@ -127,6 +127,17 @@ func WithClock(c metrics.Clock) Option {
 	return func(f *Factory) { f.clock = c }
 }
 
+// WithLatency shares a latency histogram across factories — the shard
+// pipelines of one partitioned query observe into a single histogram so
+// the query's latency profile stays one distribution.
+func WithLatency(h *metrics.Histogram) Option {
+	return func(f *Factory) {
+		if h != nil {
+			f.Latency = h
+		}
+	}
+}
+
 // New builds a factory around a compiled plan.
 func New(name string, p plan.Node, cat *catalog.Catalog, inputs []Input, outputs []*basket.Basket, opts ...Option) (*Factory, error) {
 	if len(inputs) == 0 {
@@ -377,11 +388,6 @@ func (f *Factory) FlushWindows() error {
 }
 
 func (f *Factory) deliver(rel *storage.Relation, maxTS int64, tuplesIn int) error {
-	f.mu.Lock()
-	f.stats.Firings++
-	f.stats.TuplesIn += int64(tuplesIn)
-	f.stats.TuplesOut += int64(rel.NumRows())
-	f.mu.Unlock()
 	if maxTS > 0 {
 		f.Latency.Observe(f.clock.Now() - maxTS)
 	}
@@ -390,6 +396,14 @@ func (f *Factory) deliver(rel *storage.Relation, maxTS int64, tuplesIn int) erro
 			return fmt.Errorf("factory %s: output %s: %w", f.name, out.Name(), err)
 		}
 	}
+	// Counters move only after the outputs hold the emission, so a reader
+	// observing TuplesIn == ingested knows every result has left the
+	// factory (completion detection in benches and drain monitors).
+	f.mu.Lock()
+	f.stats.Firings++
+	f.stats.TuplesIn += int64(tuplesIn)
+	f.stats.TuplesOut += int64(rel.NumRows())
+	f.mu.Unlock()
 	if f.onResult != nil && rel.NumRows() > 0 {
 		f.onResult(rel, maxTS)
 	}

@@ -1,0 +1,362 @@
+// Plan analysis and the merge transition: Analyze decides whether a
+// continuous query can run as N shard pipelines and what recombination
+// its emissions need; Merge is the Petri-net transition that drains the
+// shard output baskets into the query's final output basket.
+package partition
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/basket"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// MergeMode selects how shard emissions recombine.
+type MergeMode uint8
+
+// Merge modes.
+const (
+	// MergeConcat appends shard emissions as-is (row-preserving queries,
+	// and grouped queries whose keys are aligned with the partition key so
+	// every group lives wholly in one shard).
+	MergeConcat MergeMode = iota
+	// MergeDistinct re-deduplicates across shards (SELECT DISTINCT whose
+	// rows may collide across shards).
+	MergeDistinct
+	// MergeReagg runs a global aggregation stage over the shards' partial
+	// aggregates (grouping keys not aligned with the partition key).
+	MergeReagg
+)
+
+// String names the mode.
+func (m MergeMode) String() string {
+	switch m {
+	case MergeDistinct:
+		return "distinct"
+	case MergeReagg:
+		return "reaggregate"
+	default:
+		return "concat"
+	}
+}
+
+// Analysis is Analyze's verdict on one continuous query.
+type Analysis struct {
+	// OK reports whether the query can be partitioned; when false, Reason
+	// says why and the engine falls back to a single pipeline.
+	OK     bool
+	Reason string
+	Mode   MergeMode
+	// ShardPlan is what each shard factory executes. For MergeReagg it is
+	// the query's Aggregate subtree (shards emit partial aggregates); for
+	// the other modes it is the full plan.
+	ShardPlan plan.Node
+	// MergePlan, when non-nil, is run by the merge transition over the
+	// union of drained shard emissions (bound to MergeSource); nil means
+	// plain concatenation.
+	MergePlan plan.Node
+	// MergeSource is the scan-override key the merge plan reads.
+	MergeSource string
+}
+
+func notPartitionable(reason string) Analysis { return Analysis{Reason: reason} }
+
+// Analyze inspects a compiled continuous-query plan and decides the
+// shard/merge decomposition. p must be the optimized plan of a query
+// whose single basket expression reads stream; partitionBy is the
+// stream's partition column ("" for round-robin). mergeSource names the
+// override the merge plan scans (any stable, collision-free key).
+func Analyze(p plan.Node, stream, partitionBy, mergeSource string) Analysis {
+	var scans []*plan.Scan
+	var aggs []*plan.Aggregate
+	hasJoin, hasSort := false, false
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Scan:
+			scans = append(scans, x)
+		case *plan.Select:
+			walk(x.Child)
+		case *plan.Project:
+			walk(x.Child)
+		case *plan.Distinct:
+			walk(x.Child)
+		case *plan.Aggregate:
+			aggs = append(aggs, x)
+			walk(x.Child)
+		case *plan.Join:
+			hasJoin = true
+			walk(x.L)
+			walk(x.R)
+		case *plan.Sort:
+			hasSort = true
+			walk(x.Child)
+		}
+	}
+	walk(p)
+
+	switch {
+	case hasJoin:
+		return notPartitionable("joins need tuples from more than one shard")
+	case hasSort:
+		return notPartitionable("ORDER BY / LIMIT is a global order over all shards")
+	case len(scans) != 1:
+		return notPartitionable(fmt.Sprintf("plan has %d scans, want exactly the stream scan", len(scans)))
+	case len(aggs) > 1:
+		return notPartitionable("nested aggregation")
+	}
+	sc := scans[0]
+	if !sc.Consuming || !strings.EqualFold(sc.Source, stream) {
+		return notPartitionable(fmt.Sprintf("the single scan must consume stream %q", stream))
+	}
+
+	if len(aggs) == 0 {
+		if hasDistinct(p) {
+			return Analysis{OK: true, Mode: MergeDistinct, ShardPlan: p,
+				MergePlan: distinctMergePlan(p, mergeSource), MergeSource: mergeSource}
+		}
+		return Analysis{OK: true, Mode: MergeConcat, ShardPlan: p}
+	}
+
+	agg := aggs[0]
+	if aligned(agg, sc, partitionBy) {
+		// Every group lives wholly in one shard: per-shard results
+		// (including HAVING) are already final.
+		return Analysis{OK: true, Mode: MergeConcat, ShardPlan: p}
+	}
+	for _, a := range agg.Aggs {
+		switch a.Kind {
+		case algebra.AggCount, algebra.AggCountAll, algebra.AggSum, algebra.AggMin, algebra.AggMax:
+		default:
+			return notPartitionable(fmt.Sprintf("%s partials cannot be merged across shards", a.Kind))
+		}
+	}
+	mp, err := reaggMergePlan(p, agg, mergeSource)
+	if err != nil {
+		return notPartitionable(err.Error())
+	}
+	return Analysis{OK: true, Mode: MergeReagg, ShardPlan: agg, MergePlan: mp, MergeSource: mergeSource}
+}
+
+func hasDistinct(p plan.Node) bool {
+	for {
+		switch x := p.(type) {
+		case *plan.Distinct:
+			return true
+		case *plan.Project:
+			p = x.Child
+		case *plan.Select:
+			p = x.Child
+		default:
+			return false
+		}
+	}
+}
+
+// aligned reports whether one of the grouping keys is exactly the
+// partition column, so each group's rows all hash to the same shard. The
+// key indexes refer to the aggregate's child schema — the (possibly
+// column-pruned) scan output — so they are mapped back through Scan.Cols
+// to source-schema positions.
+func aligned(agg *plan.Aggregate, sc *plan.Scan, partitionBy string) bool {
+	if partitionBy == "" {
+		return false
+	}
+	srcIdx := sc.Src.Index(partitionBy)
+	if srcIdx < 0 {
+		return false
+	}
+	for _, k := range agg.Keys {
+		cr, ok := k.(*expr.ColRef)
+		if !ok {
+			continue
+		}
+		if cr.Index < len(sc.Cols) && sc.Cols[cr.Index] == srcIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// partialScan builds the merge plan's scan over the union of drained
+// shard emissions. The shard output baskets stamp an implicit ts column;
+// the scan reads through it and emits only the partial columns.
+func partialScan(partial *catalog.Schema, source string) *plan.Scan {
+	src := partial.WithTimestamp()
+	cols := make([]int, partial.Len())
+	for i := range cols {
+		cols[i] = i
+	}
+	return &plan.Scan{Source: source, Kind: catalog.KindBasket, Cols: cols, Src: src, Out: partial}
+}
+
+// distinctMergePlan re-deduplicates the union of shard emissions.
+func distinctMergePlan(p plan.Node, source string) plan.Node {
+	return &plan.Distinct{Child: partialScan(p.Schema(), source)}
+}
+
+// reaggMergePlan rebuilds the query's post-aggregation pipeline over a
+// global re-aggregation of the shards' partial aggregates: COUNT partials
+// are summed, SUM/MIN/MAX merge with themselves, then the original HAVING
+// filter and projection apply unchanged (the merged aggregate's output
+// schema is positionally identical to the per-shard one).
+func reaggMergePlan(p plan.Node, agg *plan.Aggregate, source string) (plan.Node, error) {
+	partial := agg.Out
+	mergeAgg := &plan.Aggregate{Child: partialScan(partial, source), Out: partial}
+	for i := range agg.Keys {
+		c := partial.Columns[i]
+		mergeAgg.Keys = append(mergeAgg.Keys, &expr.ColRef{Index: i, Name: c.Name, Typ: c.Type})
+	}
+	for j, a := range agg.Aggs {
+		idx := len(agg.Keys) + j
+		c := partial.Columns[idx]
+		kind := a.Kind
+		if kind == algebra.AggCount || kind == algebra.AggCountAll {
+			kind = algebra.AggSum
+		}
+		mergeAgg.Aggs = append(mergeAgg.Aggs, plan.AggSpec{
+			Kind: kind,
+			Arg:  &expr.ColRef{Index: idx, Name: c.Name, Typ: c.Type},
+			Name: a.Name,
+		})
+	}
+
+	// Rebuild the chain above the aggregate: [Distinct] Project [Select].
+	var distinct bool
+	top := p
+	if d, ok := top.(*plan.Distinct); ok {
+		distinct = true
+		top = d.Child
+	}
+	proj, ok := top.(*plan.Project)
+	if !ok {
+		return nil, fmt.Errorf("unexpected plan shape above aggregation (%T)", top)
+	}
+	inner := proj.Child
+	var root plan.Node = mergeAgg
+	switch x := inner.(type) {
+	case *plan.Aggregate:
+		// nothing between projection and aggregate
+	case *plan.Select:
+		if _, ok := x.Child.(*plan.Aggregate); !ok {
+			return nil, fmt.Errorf("unexpected plan shape under HAVING (%T)", x.Child)
+		}
+		root = &plan.Select{Child: root, Pred: x.Pred}
+	default:
+		return nil, fmt.Errorf("unexpected plan shape above aggregation (%T)", inner)
+	}
+	root = &plan.Project{Child: root, Exprs: proj.Exprs, Out: proj.Out}
+	if distinct {
+		root = &plan.Distinct{Child: root}
+	}
+	return root, nil
+}
+
+// Merge is the transition that recombines shard emissions into the
+// query's final output basket. It drains the shard output baskets in
+// shard order — preserving each shard's emission order — and either
+// appends the union directly (concat) or runs the merge plan over it
+// (global distinct / re-aggregation). It implements
+// scheduler.Transition; the scheduler's per-transition claim flag keeps
+// firings serial, so merged batches never interleave.
+type Merge struct {
+	name      string
+	source    string // merge-plan scan override key
+	shardOuts []*basket.Basket
+	out       *basket.Basket
+	plan      plan.Node // nil = concat
+	cat       *catalog.Catalog
+	merged    int64 // atomic: partial tuples drained so far
+}
+
+// NewMerge builds the merge transition. mergePlan may be nil for plain
+// concatenation; source must match the Analysis' MergeSource.
+func NewMerge(name, source string, shardOuts []*basket.Basket, out *basket.Basket, mergePlan plan.Node, cat *catalog.Catalog) *Merge {
+	return &Merge{name: name, source: source, shardOuts: shardOuts, out: out, plan: mergePlan, cat: cat}
+}
+
+// Name implements scheduler.Transition.
+func (m *Merge) Name() string { return m.name }
+
+// Ready implements scheduler.Transition: fire when any shard emitted.
+func (m *Merge) Ready() bool {
+	for _, b := range m.shardOuts {
+		if b.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Lag returns the number of shard-emitted tuples not yet merged — the
+// merge backlog surfaced by SHOW QUERIES.
+func (m *Merge) Lag() int {
+	n := 0
+	for _, b := range m.shardOuts {
+		n += b.Len()
+	}
+	return n
+}
+
+// Merged returns the cumulative number of partial tuples drained.
+func (m *Merge) Merged() int64 { return atomic.LoadInt64(&m.merged) }
+
+// Fire implements scheduler.Transition. It pins a snapshot of every
+// shard output, appends one merged batch to the output basket, and only
+// then consumes the snapshotted prefix — the factory convention: a
+// failed firing leaves its inputs in place for retry, losing nothing.
+// Snapshots stay valid across concurrent shard appends (tail chunks are
+// windowed out of a view), and later appends survive the prefix drop.
+func (m *Merge) Fire() error {
+	counts := make([]int, len(m.shardOuts))
+	var chunks []bat.Chunk
+	total := 0
+	for i, b := range m.shardOuts {
+		b.Lock()
+		view, n := b.LockedSnapshot()
+		b.Unlock()
+		counts[i] = n
+		total += n
+		chunks = append(chunks, view.Chunks...)
+	}
+	if total == 0 {
+		return nil
+	}
+	// The union in shard order: order-preserving per shard for concat,
+	// the partial-aggregate input for a merge plan.
+	union := bat.View{Chunks: chunks}
+
+	var rel *storage.Relation
+	if m.plan == nil {
+		rel = &storage.Relation{Schema: m.shardOuts[0].Schema(), Cols: union.Columns()}
+	} else {
+		ctx := exec.NewContext(m.cat)
+		ctx.Overrides[strings.ToLower(m.source)] = union
+		var err error
+		rel, err = exec.Run(m.plan, ctx)
+		if err != nil {
+			return fmt.Errorf("merge %s: %w", m.name, err)
+		}
+	}
+	if err := m.out.AppendRelation(rel); err != nil {
+		return fmt.Errorf("merge %s: %w", m.name, err)
+	}
+	for i, b := range m.shardOuts {
+		if counts[i] == 0 {
+			continue
+		}
+		b.Lock()
+		b.LockedDropPrefix(counts[i])
+		b.Unlock()
+	}
+	atomic.AddInt64(&m.merged, int64(total))
+	return nil
+}

@@ -16,11 +16,14 @@ type ColDef struct {
 	Type vector.Type
 }
 
-// CreateStmt is CREATE TABLE / CREATE BASKET.
+// CreateStmt is CREATE TABLE / CREATE BASKET. Baskets accept a trailing
+// WITH (...) option list (partitions, partition_by) declaring sharded
+// ingestion.
 type CreateStmt struct {
-	Name   string
-	Basket bool
-	Cols   []ColDef
+	Name    string
+	Basket  bool
+	Cols    []ColDef
+	Options []OptionSpec
 }
 
 func (*CreateStmt) stmt() {}

@@ -93,10 +93,43 @@ func TestParseDDLErrors(t *testing.T) {
 		"CREATE CONTINUOUS QUERY q WITH (k = ) AS SELECT * FROM s",
 		"CREATE CONTINUOUS QUERY q WITH (k = -x) AS SELECT * FROM s",
 		"DROP CONTINUOUS q",
+		"CREATE BASKET s (v INT) WITH",
+		"CREATE BASKET s (v INT) WITH ()",
+		"CREATE TABLE t (v INT) WITH (partitions = 4)",
 	} {
 		if _, err := Parse(text); err == nil {
 			t.Errorf("Parse(%q) should fail", text)
 		}
+	}
+}
+
+// TestParseCreateBasketWithOptions covers the partitioned-stream DDL:
+// CREATE BASKET ... WITH (partitions, partition_by).
+func TestParseCreateBasketWithOptions(t *testing.T) {
+	st, err := Parse("CREATE BASKET trades (sym VARCHAR, px DOUBLE) WITH (partitions = 8, partition_by = sym)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := st.(*CreateStmt)
+	if !ok || !cr.Basket {
+		t.Fatalf("statement = %#v", st)
+	}
+	want := []OptionSpec{{Key: "partitions", Val: "8"}, {Key: "partition_by", Val: "sym"}}
+	if len(cr.Options) != len(want) {
+		t.Fatalf("options = %v", cr.Options)
+	}
+	for i, w := range want {
+		if cr.Options[i] != w {
+			t.Errorf("option %d = %v, want %v", i, cr.Options[i], w)
+		}
+	}
+	// Plain CREATE BASKET keeps an empty option list.
+	st, err = Parse("CREATE BASKET plain (v INT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := st.(*CreateStmt); len(cr.Options) != 0 {
+		t.Errorf("options = %v", cr.Options)
 	}
 }
 

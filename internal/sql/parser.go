@@ -167,7 +167,42 @@ func (p *parser) parseCreate() (Statement, error) {
 	if err := p.expect(TPunct, ")"); err != nil {
 		return nil, err
 	}
-	return &CreateStmt{Name: name, Basket: basket, Cols: cols}, nil
+	st := &CreateStmt{Name: name, Basket: basket, Cols: cols}
+	if p.acceptKeyword("WITH") {
+		if !basket {
+			return nil, p.errorf("WITH options apply to CREATE BASKET only")
+		}
+		opts, err := p.parseOptionList()
+		if err != nil {
+			return nil, err
+		}
+		st.Options = opts
+	}
+	return st, nil
+}
+
+// parseOptionList parses a parenthesized key = value list (WITH is
+// already consumed).
+func (p *parser) parseOptionList() ([]OptionSpec, error) {
+	if err := p.expect(TPunct, "("); err != nil {
+		return nil, err
+	}
+	var out []OptionSpec
+	for {
+		opt, err := p.parseOption()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *opt)
+		if p.accept(TOp, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(TPunct, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (p *parser) parseDrop() (Statement, error) {
@@ -215,23 +250,11 @@ func (p *parser) parseCreateContinuous() (Statement, error) {
 	}
 	st := &CreateContinuousStmt{Name: name}
 	if p.acceptKeyword("WITH") {
-		if err := p.expect(TPunct, "("); err != nil {
+		opts, err := p.parseOptionList()
+		if err != nil {
 			return nil, err
 		}
-		for {
-			opt, err := p.parseOption()
-			if err != nil {
-				return nil, err
-			}
-			st.Options = append(st.Options, *opt)
-			if p.accept(TOp, ",") {
-				continue
-			}
-			break
-		}
-		if err := p.expect(TPunct, ")"); err != nil {
-			return nil, err
-		}
+		st.Options = opts
 	}
 	if err := p.expectKeyword("AS"); err != nil {
 		return nil, err
