@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke check
+.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke check
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ bench-partitioned:
 # exercising the sharded ingest → shard pipelines → merge path.
 bench-partitioned-smoke:
 	$(GO) run ./cmd/hotpathbench -scenario partitioned -smoke -cpus 1,2,4 -o -
+
+# bench-windowed runs the event-time windowed throughput scenario:
+# flat vs sharded, in-order vs 10%-disordered input.
+bench-windowed:
+	$(GO) run ./cmd/hotpathbench -scenario windowed -cpus 1,2,4 -o -
+
+# bench-windowed-smoke is the CI sanity run for the watermarked
+# windowed path (sharded window runners + window-aligned merge).
+bench-windowed-smoke:
+	$(GO) run ./cmd/hotpathbench -scenario windowed -smoke -cpus 1,2,4 -o -
 
 # bench-go runs the paper-experiment testing.B benchmarks once each.
 bench-go:

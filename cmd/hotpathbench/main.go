@@ -24,6 +24,11 @@
 //     several GOMAXPROCS settings (-cpus) and shard counts — the
 //     multicore scaling the partition subsystem buys. Single-query
 //     ingest-to-merge throughput is reported per (cpus, shards) pair.
+//   - windowed_throughput: one event-time windowed GROUP BY (aligned
+//     with the partition key) over the same sharded stream, with the
+//     input either in timestamp order or k% displaced within the
+//     declared lateness — the cost of watermarked out-of-order window
+//     maintenance, flat vs sharded.
 package main
 
 import (
@@ -73,16 +78,31 @@ type PartResult struct {
 	NsPerTuple   float64 `json:"ns_per_tuple"`
 }
 
+// WindowedResult is one windowed-throughput measurement: an event-time
+// windowed aligned GROUP BY over a stream sharded Shards ways, with
+// DisorderPct percent of the input displaced (within lateness).
+type WindowedResult struct {
+	Name         string  `json:"name"`
+	Cpus         int     `json:"cpus"`
+	Shards       int     `json:"shards"`
+	DisorderPct  int     `json:"disorder_pct"`
+	Tuples       int     `json:"tuples"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	NsPerTuple   float64 `json:"ns_per_tuple"`
+	LateTuples   int64   `json:"late_tuples"`
+}
+
 // Report is the BENCH_results.json document: the numbers measured by
 // this run plus the recorded pre-refactor baseline for comparison.
 type Report struct {
-	Note        string       `json:"note"`
-	GoOS        string       `json:"goos"`
-	GoArch      string       `json:"goarch"`
-	NumCPU      int          `json:"num_cpu"`
-	Baseline    []Result     `json:"before_chunked_storage"`
-	Current     []Result     `json:"current"`
-	Partitioned []PartResult `json:"partitioned,omitempty"`
+	Note        string           `json:"note"`
+	GoOS        string           `json:"goos"`
+	GoArch      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	Baseline    []Result         `json:"before_chunked_storage"`
+	Current     []Result         `json:"current"`
+	Partitioned []PartResult     `json:"partitioned,omitempty"`
+	Windowed    []WindowedResult `json:"windowed,omitempty"`
 }
 
 // baseline holds the numbers measured on the flat (suffix-copying)
@@ -372,6 +392,129 @@ func benchPartitioned(cpus, shards, tuples int) PartResult {
 	return r
 }
 
+// benchWindowed measures ingest-to-merge throughput of an event-time
+// windowed GROUP BY aligned with the partition key (tumbling 4096-tick
+// windows, lateness 512) over a stream sharded `shards` ways.
+// disorderPct percent of the tuples are displaced backward in event time
+// by up to the lateness bound, so the window runners exercise the
+// out-of-order insertion path without dropping anything as late.
+func benchWindowed(cpus, shards, disorderPct, tuples int) WindowedResult {
+	prev := runtime.GOMAXPROCS(cpus)
+	defer runtime.GOMAXPROCS(prev)
+	ctx := context.Background()
+
+	const lateness = 512
+	eng := datacell.New(datacell.Config{Workers: cpus})
+	ddl := fmt.Sprintf("CREATE BASKET w (k INT, v INT, et INT) WITH (partitions = %d, partition_by = k)", shards)
+	if _, err := eng.Exec(ctx, ddl); err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.RegisterContinuous("winagg",
+		"SELECT x.k, COUNT(*) AS c, SUM(x.v) AS sv FROM [SELECT * FROM w] AS x GROUP BY x.k WINDOW RANGE 4096 SLIDE 4096",
+		datacell.WithEventTimeColumn("et"),
+		datacell.WithLateness(lateness),
+		datacell.WithBackpressure(datacell.BackpressureDropOldest),
+		datacell.WithSubscriptionDepth(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shards > 1 && q.Shards() != shards {
+		log.Fatalf("windowed query fell back to %d shard(s), want %d", q.Shards(), shards)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range q.Subscription().C() {
+		}
+	}()
+	if err := eng.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-build the key/value columns; the event-time column is rebuilt
+	// per send because it must advance monotonically for the whole run
+	// (one tick per tuple, a disordered tuple pulled back by up to
+	// lateness/2 — within the declared bound, so nothing counts late).
+	const batchRows, groups, nBatches = 4096, 1024, 8
+	rng := newSplitmix(99)
+	batches := make([][]*vector.Vector, nBatches)
+	for b := range batches {
+		k := vector.NewWithCap(vector.Int64, batchRows)
+		v := vector.NewWithCap(vector.Int64, batchRows)
+		for i := 0; i < batchRows; i++ {
+			k.AppendInt(int64((b*batchRows + i*7) % groups))
+			v.AppendInt(int64(i))
+		}
+		batches[b] = []*vector.Vector{k, v}
+	}
+	et := int64(lateness) // start beyond the displacement range
+
+	start := time.Now()
+	sent := 0
+	for b := 0; sent < tuples; b++ {
+		e := vector.NewWithCap(vector.Int64, batchRows)
+		for i := 0; i < batchRows; i++ {
+			ts := et
+			if disorderPct > 0 && int(rng()%100) < disorderPct {
+				ts -= int64(rng() % (lateness / 2))
+			}
+			e.AppendInt(ts)
+			et++
+		}
+		kv := batches[b%nBatches]
+		if err := eng.IngestColumns(ctx, "w", []*vector.Vector{kv[0], kv[1], e}); err != nil {
+			log.Fatal(err)
+		}
+		sent += batchRows
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for q.Stats().TuplesIn < int64(sent) || q.MergeLag() > 0 {
+		if time.Now().After(deadline) {
+			log.Fatalf("windowed bench stalled: %d of %d consumed, merge lag %d",
+				q.Stats().TuplesIn, sent, q.MergeLag())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	late := q.LateTuples()
+	if late != 0 {
+		// Displacement stays strictly inside the lateness bound, so any
+		// late count is a watermark-correctness regression, not noise.
+		log.Fatalf("windowed bench dropped %d tuples as late under bounded disorder", late)
+	}
+	if err := eng.Stop(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+
+	r := WindowedResult{
+		Name:         "windowed_throughput",
+		Cpus:         cpus,
+		Shards:       shards,
+		DisorderPct:  disorderPct,
+		Tuples:       sent,
+		TuplesPerSec: float64(sent) / elapsed.Seconds(),
+		NsPerTuple:   float64(elapsed.Nanoseconds()) / float64(sent),
+		LateTuples:   late,
+	}
+	fmt.Fprintf(os.Stderr, "%-22s cpus=%d shards=%d disorder=%d%% %12.0f tuples/s %8.1f ns/tuple late=%d\n",
+		r.Name, cpus, shards, disorderPct, r.TuplesPerSec, r.NsPerTuple, late)
+	return r
+}
+
+// newSplitmix is a tiny deterministic PRNG so batch construction does
+// not depend on math/rand ordering across Go versions.
+func newSplitmix(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
 func parseCpus(s string) []int {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
@@ -386,9 +529,9 @@ func parseCpus(s string) []int {
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output file ('-' for stdout)")
-	scenario := flag.String("scenario", "all", "hotpath, partitioned, or all")
-	cpusFlag := flag.String("cpus", "1,2,4", "GOMAXPROCS settings for the partitioned scenario")
-	smoke := flag.Bool("smoke", false, "tiny partitioned workload (CI sanity run)")
+	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, or all")
+	cpusFlag := flag.String("cpus", "1,2,4", "GOMAXPROCS settings for the partitioned/windowed scenarios")
+	smoke := flag.Bool("smoke", false, "tiny partitioned/windowed workload (CI sanity run)")
 	flag.Parse()
 
 	var results []Result
@@ -418,19 +561,38 @@ func main() {
 		}
 	}
 
+	var win []WindowedResult
+	if *scenario == "all" || *scenario == "windowed" {
+		tuples := 1 << 19
+		if *smoke {
+			tuples = 1 << 14
+		}
+		for _, c := range parseCpus(*cpusFlag) {
+			for _, shards := range []int{1, 4} {
+				for _, disorder := range []int{0, 10} {
+					win = append(win, benchWindowed(c, shards, disorder, tuples))
+				}
+			}
+		}
+	}
+
 	rep := Report{
 		Note: "basket hot-path trajectory: 'before_chunked_storage' was measured on the flat " +
 			"suffix-copying storage layer (commit f207497); 'current' is this checkout. " +
 			"batch=256 rows/op; depth is the resident basket backlog during the op. " +
 			"'partitioned' is single-query ingest-to-merge throughput of a grouped continuous " +
 			"query at GOMAXPROCS=cpus with the stream hash-sharded `shards` ways (4096-row " +
-			"batches, 4096 groups); shard scaling needs num_cpu >= shards to materialize.",
+			"batches, 4096 groups); shard scaling needs num_cpu >= shards to materialize. " +
+			"'windowed' is an event-time tumbling-window GROUP BY aligned with the partition key " +
+			"(window 4096 ticks, lateness 512), flat vs sharded, with disorder_pct of the input " +
+			"displaced backward within the lateness bound — late_tuples must stay 0.",
 		GoOS:        runtime.GOOS,
 		GoArch:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
 		Baseline:    baseline,
 		Current:     results,
 		Partitioned: part,
+		Windowed:    win,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -266,6 +266,13 @@ var (
 	// WithLoadShedding bounds the query's private input basket, evicting
 	// the oldest tuples under overload (shed_limit = ...).
 	WithLoadShedding = idc.WithLoadShedding
+	// WithLateness sets the out-of-order tolerance of a time-based window
+	// (lateness = ...); the watermark trails the stream's maximum seen
+	// timestamp by this much.
+	WithLateness = idc.WithLateness
+	// WithEventTimeColumn slices a time-based window by a user column
+	// (timestamp = ...) instead of the implicit arrival stamp.
+	WithEventTimeColumn = idc.WithEventTimeColumn
 	// WithBackpressure selects the subscription overflow policy
 	// (backpressure = block | drop_oldest).
 	WithBackpressure = idc.WithBackpressure

@@ -581,11 +581,16 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 		// shards is the query's pipeline fan-out (1 = unpartitioned);
 		// merge_lag counts shard emissions not yet merged into the output
 		// basket, so skew between shards is visible from the control port.
+		// late_tuples counts arrivals dropped behind an emitted window
+		// boundary, watermark is the event-time frontier window content is
+		// final up to (NULL for unwindowed queries).
 		rel := storage.NewRelation(catalog.NewSchema(
 			catalog.Column{Name: "name", Type: vector.String},
 			catalog.Column{Name: "strategy", Type: vector.String},
 			catalog.Column{Name: "shards", Type: vector.Int64},
 			catalog.Column{Name: "merge_lag", Type: vector.Int64},
+			catalog.Column{Name: "late_tuples", Type: vector.Int64},
+			catalog.Column{Name: "watermark", Type: vector.Timestamp},
 			catalog.Column{Name: "sql", Type: vector.String},
 		))
 		qs := e.Queries()
@@ -598,11 +603,17 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			if q.Partitioned() {
 				strat = "partitioned"
 			}
+			watermark := vector.NullValue(vector.Timestamp)
+			if wm, ok := q.Watermark(); ok {
+				watermark = vector.NewTimestamp(wm)
+			}
 			rel.AppendRow([]vector.Value{
 				vector.NewString(q.Name),
 				vector.NewString(strat),
 				vector.NewInt(int64(q.Shards())),
 				vector.NewInt(int64(q.MergeLag())),
+				vector.NewInt(q.LateTuples()),
+				watermark,
 				vector.NewString(q.SQL),
 			})
 		}

@@ -2,8 +2,10 @@ package datacell
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/adapters"
 	"repro/internal/basket"
@@ -12,9 +14,19 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/plan"
+	"repro/internal/scheduler"
 	"repro/internal/sql"
+	"repro/internal/vector"
 	"repro/internal/window"
 )
+
+// mergeStage is the recombination transition of a partitioned query:
+// the plain concat/re-aggregation Merge, or the window-aligned
+// WindowedMerge for sharded time windows.
+type mergeStage interface {
+	scheduler.Transition
+	Lag() int
+}
 
 // Query is a registered continuous query: one or more factories between
 // an input arrangement (per strategy) and an output basket with a
@@ -29,7 +41,7 @@ type Query struct {
 
 	stream    string // the stream the basket expression reads
 	facts     []*factory.Factory
-	merge     *partition.Merge // nil when unpartitioned
+	merge     mergeStage // nil when unpartitioned
 	out       *basket.Basket
 	shardIns  []*basket.Basket // stream-owned shard baskets (partitioned only)
 	shardOuts []*basket.Basket // per-shard emission baskets (partitioned only)
@@ -48,6 +60,9 @@ func (q *Query) Subscription() *Subscription { return q.sub }
 func (q *Query) Out() *basket.Basket { return q.out }
 
 // Stats returns the factory counters, summed across shard pipelines.
+// Late additionally includes partials a windowed merge had to discard
+// because their window was already merged (stragglers beyond the
+// declared lateness).
 func (q *Query) Stats() factory.Stats {
 	var total factory.Stats
 	for _, f := range q.facts {
@@ -55,8 +70,35 @@ func (q *Query) Stats() factory.Stats {
 		total.Firings += st.Firings
 		total.TuplesIn += st.TuplesIn
 		total.TuplesOut += st.TuplesOut
+		total.Late += st.Late
+	}
+	if lm, ok := q.merge.(interface{ Late() int64 }); ok {
+		total.Late += lm.Late()
 	}
 	return total
+}
+
+// LateTuples returns the number of tuples dropped as too late across the
+// query's pipelines — arrivals behind an already-emitted window boundary
+// (and, for partitioned windowed queries, shard partials that surfaced
+// after their window was merged). 0 for unwindowed queries.
+func (q *Query) LateTuples() int64 { return q.Stats().Late }
+
+// Watermark returns the query's event-time watermark — the boundary up
+// to which window content is final, the minimum across shard pipelines.
+// ok is false for unwindowed queries and before any timestamp was seen.
+func (q *Query) Watermark() (int64, bool) {
+	wm := int64(math.MaxInt64)
+	for _, f := range q.facts {
+		v, vok := f.WindowWatermark()
+		if !vok {
+			return 0, false
+		}
+		if v < wm {
+			wm = v
+		}
+	}
+	return wm, len(q.facts) > 0
 }
 
 // Latency returns the per-batch latency histogram. Shard pipelines of a
@@ -125,6 +167,8 @@ type queryConfig struct {
 	priority   int
 	shedAt     int
 	policy     Backpressure
+	lateness   int64  // out-of-order tolerance of WINDOW RANGE, ns
+	tsCol      string // event-time column for WINDOW RANGE ("" = arrival ts)
 }
 
 // WithStrategy selects the basket arrangement (default SeparateBaskets,
@@ -176,6 +220,22 @@ func WithLoadShedding(n int) QueryOption {
 // falls behind (default BackpressureBlock).
 func WithBackpressure(p Backpressure) QueryOption {
 	return func(c *queryConfig) { c.policy = p }
+}
+
+// WithLateness sets the out-of-order tolerance of a time-based window
+// (lateness = ...): the watermark trails the maximum seen timestamp by
+// d, so tuples up to d behind the stream's progress still land in their
+// windows; anything older is counted late and dropped.
+func WithLateness(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.lateness = d.Nanoseconds() }
+}
+
+// WithEventTimeColumn slices a time-based window by the named stream
+// column (timestamp = ...) instead of the implicit arrival stamp. The
+// column must be INT or TIMESTAMP. Event-time windows advance on data
+// only: the wall clock never closes them.
+func WithEventTimeColumn(col string) QueryOption {
+	return func(c *queryConfig) { c.tsCol = col }
 }
 
 // optionsFromSpecs translates a DDL WITH (...) list into QueryOptions —
@@ -246,11 +306,36 @@ func optionsFromSpecs(specs []sql.OptionSpec) ([]QueryOption, error) {
 			default:
 				return nil, fmt.Errorf("%w: backpressure = %q (want block or drop_oldest)", ErrInvalidOption, s.Val)
 			}
+		case "lateness":
+			ns, err := parseDurationNS(s.Val)
+			if err != nil || ns < 0 {
+				return nil, fmt.Errorf("%w: lateness = %q (want a non-negative duration like '250ms' or nanoseconds)", ErrInvalidOption, s.Val)
+			}
+			opts = append(opts, func(c *queryConfig) { c.lateness = ns })
+		case "timestamp":
+			if s.Val == "" {
+				return nil, fmt.Errorf("%w: timestamp needs a column name", ErrInvalidOption)
+			}
+			opts = append(opts, WithEventTimeColumn(s.Val))
 		default:
 			return nil, fmt.Errorf("%w: unknown option %q", ErrInvalidOption, s.Key)
 		}
 	}
 	return opts, nil
+}
+
+// parseDurationNS reads a WITH duration value: a bare integer is
+// nanoseconds, anything else goes through time.ParseDuration (quoted in
+// DDL, e.g. lateness = '250ms').
+func parseDurationNS(val string) (int64, error) {
+	if ns, err := strconv.ParseInt(val, 10, 64); err == nil {
+		return ns, nil
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, err
+	}
+	return d.Nanoseconds(), nil
 }
 
 // RegisterContinuous compiles and installs a continuous query — the Go
@@ -317,15 +402,30 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		return nil, err
 	}
 
+	if cfg.lateness != 0 || cfg.tsCol != "" {
+		if sel.Window == nil || sel.Window.Kind != sql.WindowRange {
+			return nil, fmt.Errorf("%w: lateness/timestamp apply to WINDOW RANGE queries only", ErrInvalidOption)
+		}
+		if cfg.lateness < 0 {
+			return nil, fmt.Errorf("%w: negative lateness", ErrInvalidOption)
+		}
+	}
+
 	// Partitioned path: on a partitioned stream, a partitionable query is
 	// cloned into one pipeline per shard with a merge transition
-	// recombining the emissions. Windowed queries stay single-pipeline
-	// (count- and time-based windows are defined over the whole stream's
-	// arrival order), as do queries with a private shedding bound (shard
-	// baskets are shared between the stream's partitioned queries).
-	if isStream && s.router != nil && sel.Window == nil && cfg.shedAt == 0 {
-		if an := partition.Analyze(p, streamName, s.router.Spec().By, name+"#partials"); an.OK {
-			return e.registerPartitioned(name, text, streamName, s, p, an, cfg)
+	// recombining the emissions. Time-based windows shard when their plan
+	// has mergeable pane summaries (the shards share one slide grid, so
+	// the merge can align window boundaries); count windows are defined
+	// over the whole stream's arrival order and stay single-pipeline, as
+	// do queries with a private shedding bound (shard baskets are shared
+	// between the stream's partitioned queries).
+	if isStream && s.router != nil && cfg.shedAt == 0 {
+		if sel.Window == nil {
+			if an := partition.Analyze(p, streamName, s.router.Spec().By, name+"#partials"); an.OK {
+				return e.registerPartitioned(name, text, streamName, s, p, an, cfg)
+			}
+		} else if wan := partition.AnalyzeWindowed(p, streamName, s.router.Spec().By, name+"#partials", sel.Window); wan.OK {
+			return e.registerPartitionedWindowed(name, text, streamName, s, p, wan, sel.Window, cfg)
 		}
 	}
 
@@ -508,15 +608,154 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 	return q, nil
 }
 
+// registerPartitionedWindowed installs a time-windowed continuous query
+// as N shard pipelines: per shard a window runner over the shard's
+// subsequence of the stream (all runners share one watermark group, so a
+// lagging or empty shard still closes its windows once the stream as a
+// whole has moved past them). When the grouping is partition-aligned the
+// per-shard window results are final and the plain concat merge
+// recombines them; otherwise the shards emit per-window partial
+// aggregates tagged with the window end and a WindowedMerge aligns the
+// slide grid across shards, re-aggregates each window's union, and
+// replays HAVING and the projection.
+func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *stream, p plan.Node, wan partition.WindowedAnalysis, w *sql.WindowClause, cfg queryConfig) (*Query, error) {
+	key := strings.ToLower(name)
+	out := basket.New(name+"_out", p.Schema(), e.clock)
+	out.OnAppend(e.sched.Notify)
+	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
+	}
+	unregister := func(upTo int) {
+		for i := 0; i < upTo; i++ {
+			_ = e.cat.Drop(fmt.Sprintf("%s_out#%d", name, i))
+		}
+		_ = e.cat.Drop(name + "_out")
+	}
+
+	shardSchema := p.Schema()
+	if !wan.Aligned {
+		shardSchema = wan.ShardPlan.Schema().Clone()
+		shardSchema.Columns = append(shardSchema.Columns,
+			catalog.Column{Name: partition.WindowEndColumn, Type: vector.Timestamp})
+	}
+
+	group := window.NewWatermarkGroup()
+	n := len(s.shards)
+	latency := metrics.NewHistogram()
+	facts := make([]*factory.Factory, 0, n)
+	shardOuts := make([]*basket.Basket, 0, n)
+	fail := func(i int, err error) (*Query, error) {
+		unregister(i)
+		for _, done := range facts {
+			done.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		runner, err := e.buildShardWindowRunner(wan, p, s.shards[i].Schema(), streamName, w, cfg)
+		if err != nil {
+			return fail(i, err)
+		}
+		runner.ShareWatermark(group)
+		so := basket.New(fmt.Sprintf("%s_out#%d", name, i), shardSchema, e.clock)
+		so.OnAppend(e.sched.Notify)
+		if err := e.cat.RegisterShard(so.Name(), catalog.KindBasket, so, name+"_out", i); err != nil {
+			return fail(i, fmt.Errorf("%w: %q", ErrDuplicateName, so.Name()))
+		}
+		in := factory.Input{Basket: s.shards[i], Mode: factory.Shared, ReaderID: name, Bind: streamName}
+		fopts := []factory.Option{
+			factory.WithMinTuples(cfg.minTuples),
+			factory.WithClock(e.clock),
+			factory.WithLatency(latency),
+			factory.WithWindow(runner),
+		}
+		if !wan.Aligned {
+			fopts = append(fopts, factory.WithWindowEndTag())
+		}
+		f, err := factory.New(fmt.Sprintf("%s#%d", name, i), wan.ShardPlan, e.cat,
+			[]factory.Input{in}, []*basket.Basket{so}, fopts...)
+		if err != nil {
+			return fail(i+1, err)
+		}
+		facts = append(facts, f)
+		shardOuts = append(shardOuts, so)
+	}
+	var merge mergeStage
+	if wan.Aligned {
+		merge = partition.NewMerge(name+"_merge", "", shardOuts, out, nil, e.cat)
+	} else {
+		frontiers := make([]func() int64, n)
+		for i, f := range facts {
+			frontiers[i] = f.WindowFrontier
+		}
+		merge = partition.NewWindowedMerge(name+"_merge", wan.MergeSource, shardOuts, out,
+			wan.MergePlan, e.cat, wan.ShardPlan.Schema().Len(), frontiers)
+	}
+
+	q := &Query{
+		Name:      name,
+		SQL:       text,
+		Strategy:  cfg.strategy,
+		stream:    streamName,
+		facts:     facts,
+		merge:     merge,
+		out:       out,
+		shardIns:  s.shards,
+		shardOuts: shardOuts,
+		engine:    e,
+	}
+	if cfg.subDepth > 0 {
+		emitter := adapters.NewChannelEmitter(name+"_emit", out, cfg.subDepth, cfg.policy)
+		q.sub = newSubscription(e, emitter)
+	}
+	e.mu.Lock()
+	e.queries[key] = q
+	s.shardReaders++
+	e.mu.Unlock()
+	for _, f := range facts {
+		e.sched.AddWithPriority(f, cfg.priority)
+	}
+	e.sched.AddWithPriority(merge, cfg.priority)
+	if q.sub != nil {
+		e.sched.AddWithPriority(q.sub.em, cfg.priority)
+	}
+	return q, nil
+}
+
+// windowSpec resolves the window clause plus the timestamp/lateness
+// options against the buffered schema.
+func windowSpec(bufSchema *catalog.Schema, w *sql.WindowClause, cfg queryConfig) (window.Spec, error) {
+	spec := window.Spec{
+		Kind:     w.Kind,
+		Size:     w.Size,
+		Slide:    w.Slide,
+		TSIndex:  bufSchema.Index(catalog.TimestampColumn),
+		Lateness: cfg.lateness,
+	}
+	if cfg.tsCol != "" {
+		idx := bufSchema.Index(cfg.tsCol)
+		if idx < 0 {
+			return window.Spec{}, fmt.Errorf("%w: timestamp column %q not in schema %s", ErrInvalidOption, cfg.tsCol, bufSchema)
+		}
+		switch bufSchema.Columns[idx].Type {
+		case vector.Int64, vector.Timestamp:
+		default:
+			return window.Spec{}, fmt.Errorf("%w: timestamp column %q must be INT or TIMESTAMP, is %s",
+				ErrInvalidOption, cfg.tsCol, bufSchema.Columns[idx].Type)
+		}
+		spec.TSIndex = idx
+		spec.EventTime = !strings.EqualFold(cfg.tsCol, catalog.TimestampColumn)
+	}
+	return spec, nil
+}
+
 // buildWindowRunner assembles the window layer for a windowed query.
 // bufSchema is the input basket's full schema (including ts); sourceName
 // is the scan source the window content overrides during re-evaluation.
 func (e *Engine) buildWindowRunner(p plan.Node, bufSchema *catalog.Schema, sourceName string, w *sql.WindowClause, cfg queryConfig) (*window.Runner, error) {
-	spec := window.Spec{
-		Kind:    w.Kind,
-		Size:    w.Size,
-		Slide:   w.Slide,
-		TSIndex: bufSchema.Index(catalog.TimestampColumn),
+	spec, err := windowSpec(bufSchema, w, cfg)
+	if err != nil {
+		return nil, err
 	}
 	mode := window.ReEvaluate
 	paneEval, recognized := window.RecognizeIncremental(p)
@@ -533,6 +772,31 @@ func (e *Engine) buildWindowRunner(p plan.Node, bufSchema *catalog.Schema, sourc
 	}
 	reEval := &window.PlanEvaluator{Plan: p, Catalog: e.cat, Source: sourceName}
 	return window.NewRunner(spec, mode, reEval, nil, bufSchema)
+}
+
+// buildShardWindowRunner assembles the window layer for one shard
+// pipeline of a partitioned windowed query: the full plan when the
+// grouping is partition-aligned, the bare partial-aggregation plan
+// (per-window mergeable partials) otherwise.
+func (e *Engine) buildShardWindowRunner(wan partition.WindowedAnalysis, p plan.Node, bufSchema *catalog.Schema, sourceName string, w *sql.WindowClause, cfg queryConfig) (*window.Runner, error) {
+	if wan.Aligned {
+		return e.buildWindowRunner(p, bufSchema, sourceName, w, cfg)
+	}
+	spec, err := windowSpec(bufSchema, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.forceMode && cfg.windowMode == window.ReEvaluate {
+		reEval := &window.PlanEvaluator{Plan: wan.ShardPlan, Catalog: e.cat, Source: sourceName}
+		return window.NewRunner(spec, window.ReEvaluate, reEval, nil, bufSchema)
+	}
+	paneEval, ok := window.RecognizePartial(wan.ShardPlan)
+	if !ok {
+		// AnalyzeWindowed only accepts recognizable shapes, so this is a
+		// bug guard, not a user-reachable path.
+		return nil, fmt.Errorf("datacell: partial plan not recognizable for incremental windows")
+	}
+	return window.NewRunner(spec, window.Incremental, nil, paneEval, bufSchema)
 }
 
 // UnregisterContinuous removes a continuous query — the Go equivalent of

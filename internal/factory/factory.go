@@ -10,9 +10,11 @@ package factory
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/basket"
 	"repro/internal/bat"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/vector"
 	"repro/internal/window"
 )
 
@@ -57,6 +60,10 @@ type Stats struct {
 	Firings   int64
 	TuplesIn  int64
 	TuplesOut int64
+	// Late counts tuples the window runner dropped because they arrived
+	// behind an already-emitted window boundary (0 for unwindowed
+	// factories).
+	Late int64
 }
 
 // Factory is a compiled continuous query; it implements
@@ -81,9 +88,19 @@ type Factory struct {
 
 	// Window state (nil for unwindowed queries). runnerMu serializes the
 	// scheduler-driven Append path against asynchronous FlushWindows
-	// calls (the engine's window ticker).
+	// calls (the engine's window ticker), held across result delivery so
+	// emitted windows reach the output baskets in window order and the
+	// delivered frontier never runs ahead of the appended results.
 	runner   *window.Runner
 	runnerMu sync.Mutex
+	// tagWindowEnd appends each emitted window's end boundary as an extra
+	// column — shard pipelines of a partitioned windowed query mark their
+	// partials so the merge can align pane grids across shards.
+	tagWindowEnd bool
+	// frontier is the delivered window frontier (atomic): every window
+	// whose end is <= frontier has been appended to the output baskets.
+	// Initialized to math.MinInt64.
+	frontier int64
 
 	// seen is the per-input arrival watermark (hseq+len observed at the
 	// last firing) for Owned inputs. Tuples a predicate window retained
@@ -122,6 +139,13 @@ func WithWindow(r *window.Runner) Option {
 	return func(f *Factory) { f.runner = r }
 }
 
+// WithWindowEndTag appends each emitted window's end timestamp as a
+// trailing column of the result (shard pipelines of partitioned windowed
+// queries, whose merge stage aligns windows by that boundary).
+func WithWindowEndTag() Option {
+	return func(f *Factory) { f.tagWindowEnd = true }
+}
+
 // WithClock overrides the clock (tests).
 func WithClock(c metrics.Clock) Option {
 	return func(f *Factory) { f.clock = c }
@@ -152,6 +176,7 @@ func New(name string, p plan.Node, cat *catalog.Catalog, inputs []Input, outputs
 		outputs:   outputs,
 		minTuples: 1,
 		Latency:   metrics.NewHistogram(),
+		frontier:  math.MinInt64,
 	}
 	f.seen = make([]bat.OID, len(f.inputs))
 	for i := range f.inputs {
@@ -185,8 +210,45 @@ func (f *Factory) Plan() plan.Node { return f.plan }
 // Stats returns a copy of the cumulative counters.
 func (f *Factory) Stats() Stats {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	st := f.stats
+	f.mu.Unlock()
+	if f.runner != nil {
+		f.runnerMu.Lock()
+		st.Late = f.runner.Late()
+		f.runnerMu.Unlock()
+	}
+	return st
+}
+
+// WindowWatermark returns the runner's event-time watermark; ok is false
+// for unwindowed factories and before any timestamp was observed.
+func (f *Factory) WindowWatermark() (int64, bool) {
+	if f.runner == nil {
+		return 0, false
+	}
+	f.runnerMu.Lock()
+	defer f.runnerMu.Unlock()
+	return f.runner.Watermark()
+}
+
+// WindowFrontier reports how far this factory's emitted windows have
+// progressed: every window ending at or before the returned boundary has
+// been delivered to the output baskets. For a runner that has not seen a
+// tuple yet the live watermark stands in (there is nothing pending to
+// deliver), so an empty shard never stalls a windowed merge.
+func (f *Factory) WindowFrontier() int64 {
+	fr := atomic.LoadInt64(&f.frontier)
+	if f.runner == nil {
+		return fr
+	}
+	f.runnerMu.Lock()
+	started := f.runner.Started()
+	wm, ok := f.runner.Watermark()
+	f.runnerMu.Unlock()
+	if !started && ok && wm > fr {
+		return wm
+	}
+	return fr
 }
 
 // Close unregisters shared readers so retained tuples are freed.
@@ -236,6 +298,15 @@ type pinned struct {
 
 // Fire implements scheduler.Transition: one bulk processing step.
 func (f *Factory) Fire() error {
+	// The group clock must be read BEFORE the input is pinned: every
+	// tuple below this reading was routed (and appended to our input)
+	// before it was taken, so it is covered by the snapshot — a reading
+	// taken later could have been raised past tuples still outside it.
+	var groupMax int64
+	var hasGroup bool
+	if f.runner != nil {
+		groupMax, hasGroup = f.runner.GroupMax()
+	}
 	// Lock all inputs in name order to avoid deadlock with factories that
 	// share baskets.
 	locked := append([]Input(nil), f.inputs...)
@@ -280,7 +351,7 @@ func (f *Factory) Fire() error {
 	}
 
 	if f.runner != nil {
-		return f.fireWindowed(pins[0], unlock)
+		return f.fireWindowed(pins[0], unlock, groupMax, hasGroup)
 	}
 
 	ctx := exec.NewContext(f.catalog)
@@ -325,8 +396,10 @@ func (f *Factory) Fire() error {
 
 // fireWindowed moves the unseen tuples of the (single) input into the
 // window runner and emits any completed windows. The batch is copied
-// before consumption so basket compaction cannot disturb it.
-func (f *Factory) fireWindowed(p pinned, unlock func()) error {
+// before consumption so basket compaction cannot disturb it. runnerMu is
+// held across delivery so concurrent FlushWindows calls cannot
+// interleave their emissions between ours.
+func (f *Factory) fireWindowed(p pinned, unlock func(), groupMax int64, hasGroup bool) error {
 	rows := p.n - p.offset
 	batch := &storage.Relation{Schema: p.in.Basket.Schema(), Cols: p.view.CloneColumns()}
 	switch p.in.Mode {
@@ -341,27 +414,57 @@ func (f *Factory) fireWindowed(p pinned, unlock func()) error {
 	unlock()
 
 	f.runnerMu.Lock()
+	defer f.runnerMu.Unlock()
+	if hasGroup {
+		f.runner.ObserveGroup(groupMax)
+	}
 	results, err := f.runner.Append(batch)
-	f.runnerMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("factory %s: %w", f.name, err)
 	}
 	f.mu.Lock()
 	f.stats.TuplesIn += int64(rows)
 	f.mu.Unlock()
+	return f.deliverWindows(results)
+}
+
+// deliverWindows appends emitted window results to the outputs and then
+// publishes the delivered frontier; the caller holds runnerMu.
+func (f *Factory) deliverWindows(results []window.Result) error {
 	for _, res := range results {
-		if err := f.deliver(res.Rel, f.windowTS(res), 0); err != nil {
+		rel := res.Rel
+		if f.tagWindowEnd {
+			wend := vector.NewWithCap(vector.Timestamp, rel.NumRows())
+			for i := 0; i < rel.NumRows(); i++ {
+				wend.AppendInt(res.End)
+			}
+			rel = &storage.Relation{Schema: rel.Schema, Cols: append(append([]*vector.Vector(nil), rel.Cols...), wend)}
+		}
+		if err := f.deliver(rel, f.windowTS(res), 0); err != nil {
 			return err
+		}
+	}
+	// The frontier moves only after the results above are in the output
+	// baskets — a windowed merge reading it can rely on every window at
+	// or below it being fully appended.
+	if wm, ok := f.runner.Watermark(); ok {
+		for {
+			cur := atomic.LoadInt64(&f.frontier)
+			if wm <= cur || atomic.CompareAndSwapInt64(&f.frontier, cur, wm) {
+				break
+			}
 		}
 	}
 	return nil
 }
 
 // windowTS converts a window result boundary into a latency reference:
-// time-based window ends are timestamps; count-based ends are tuple
-// indexes and carry no time information.
+// arrival-time window ends are clock-domain timestamps. Count-based ends
+// are tuple indexes and event-time ends live in the application's event
+// domain — neither is comparable to the clock, so they carry no latency
+// information.
 func (f *Factory) windowTS(res window.Result) int64 {
-	if f.runner.Spec().Kind == sql.WindowRange {
+	if spec := f.runner.Spec(); spec.Kind == sql.WindowRange && !spec.EventTime {
 		return res.End
 	}
 	return 0
@@ -369,22 +472,31 @@ func (f *Factory) windowTS(res window.Result) int64 {
 
 // FlushWindows advances time-based windows to the current clock and
 // delivers any completed results (used when the stream pauses).
+// Event-time runners ignore the clock but still republish their
+// frontier.
 func (f *Factory) FlushWindows() error {
 	if f.runner == nil {
 		return nil
 	}
+	// A group reading may only be admitted while our backlog is empty:
+	// with unprocessed input pending, the group may already be past
+	// tuples we have not appended yet (read the group FIRST — anything
+	// arriving after the read carries timestamps at or beyond it, within
+	// the lateness bound).
+	groupMax, hasGroup := f.runner.GroupMax()
+	if hasGroup && f.available(0) > 0 {
+		hasGroup = false
+	}
 	f.runnerMu.Lock()
+	defer f.runnerMu.Unlock()
+	if hasGroup {
+		f.runner.ObserveGroup(groupMax)
+	}
 	results, err := f.runner.Flush(f.clock.Now())
-	f.runnerMu.Unlock()
 	if err != nil {
 		return err
 	}
-	for _, res := range results {
-		if err := f.deliver(res.Rel, f.windowTS(res), 0); err != nil {
-			return err
-		}
-	}
-	return nil
+	return f.deliverWindows(results)
 }
 
 func (f *Factory) deliver(rel *storage.Relation, maxTS int64, tuplesIn int) error {

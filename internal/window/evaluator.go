@@ -117,6 +117,41 @@ func RecognizeIncremental(p plan.Node) (*IncrementalAggEvaluator, bool) {
 	if !ok {
 		return nil, false
 	}
+	ev, ok := recognizeAgg(agg)
+	if !ok {
+		return nil, false
+	}
+	ev.having = having
+	ev.outSchema = proj.Out
+	ev.projExprs = proj.Exprs
+	return ev, true
+}
+
+// RecognizePartial builds the incremental evaluator for a bare
+// partial-aggregation plan (Aggregate over Scan, no HAVING/projection) —
+// the shape shard pipelines of a partitioned windowed query execute,
+// emitting mergeable per-window partials instead of final rows.
+func RecognizePartial(p plan.Node) (*IncrementalAggEvaluator, bool) {
+	agg, ok := p.(*plan.Aggregate)
+	if !ok {
+		return nil, false
+	}
+	ev, ok := recognizeAgg(agg)
+	if !ok {
+		return nil, false
+	}
+	// Identity projection: the partial rows ARE the aggregate output.
+	ev.outSchema = agg.Out
+	for i, c := range agg.Out.Columns {
+		ev.projExprs = append(ev.projExprs, &expr.ColRef{Index: i, Name: c.Name, Typ: c.Type})
+	}
+	return ev, true
+}
+
+// recognizeAgg builds the shared core (filter, keys, aggregate states)
+// from an Aggregate-over-Scan subtree; callers attach the HAVING and
+// projection layer.
+func recognizeAgg(agg *plan.Aggregate) (*IncrementalAggEvaluator, bool) {
 	scan, ok := agg.Child.(*plan.Scan)
 	if !ok {
 		return nil, false
@@ -128,12 +163,7 @@ func RecognizeIncremental(p plan.Node) (*IncrementalAggEvaluator, bool) {
 	for outIdx, srcIdx := range scan.Cols {
 		remap[outIdx] = srcIdx
 	}
-	ev := &IncrementalAggEvaluator{
-		having:    having,
-		aggSchema: agg.Out,
-		outSchema: proj.Out,
-		projExprs: proj.Exprs,
-	}
+	ev := &IncrementalAggEvaluator{aggSchema: agg.Out}
 	if scan.Filter != nil {
 		ev.filter = scan.Filter // already over the full source schema
 	}
@@ -283,6 +313,21 @@ func (e *IncrementalAggEvaluator) Merge(panes []Summary) (*storage.Relation, err
 				dst[i].merge(st)
 			}
 		}
+	}
+
+	// A scalar aggregate (no GROUP BY) over an empty window still yields
+	// one row — COUNT 0, NULL extremes — matching the kernel's aggregate
+	// operator, so both evaluation modes and the shard-merge stage agree
+	// on empty windows.
+	if len(e.keys) == 0 && len(merged.order) == 0 {
+		states := make([]*aggState, len(e.specs))
+		for i := range states {
+			states[i] = &aggState{}
+		}
+		sig := groupSig(nil)
+		merged.states[sig] = states
+		merged.keys[sig] = nil
+		merged.order = append(merged.order, sig)
 	}
 
 	// Materialize the aggregate output [keys…, aggs…].

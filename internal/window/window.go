@@ -4,10 +4,20 @@
 // and either re-evaluating the full plan per window (re-evaluation) or
 // maintaining per-basic-window summaries that merge into window results
 // (incremental evaluation, the basic-window model of StatStream).
+//
+// Time-based windows are event-time-correct under out-of-order arrival:
+// the buffer is kept ordered by timestamp, emission is driven by a
+// watermark (max seen timestamp minus the allowed lateness) instead of
+// the last tuple, and tuples arriving behind an already-emitted window
+// boundary are counted as late and dropped rather than silently lost or
+// retained forever.
 package window
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/sql"
@@ -35,6 +45,9 @@ func (m Mode) String() string {
 	return "re-evaluation"
 }
 
+// noTS marks "no timestamp observed yet" for watermark state.
+const noTS = math.MinInt64
+
 // Spec describes a sliding window.
 type Spec struct {
 	Kind  sql.WindowKind // WindowRows (count-based) or WindowRange (time-based)
@@ -43,6 +56,16 @@ type Spec struct {
 	// TSIndex is the position of the timestamp column in the buffered
 	// tuples (time-based windows).
 	TSIndex int
+	// Lateness is the out-of-order tolerance of time-based windows: the
+	// watermark trails the maximum seen timestamp by this much, so a
+	// window [s, s+Size) is emitted only once a tuple with
+	// ts >= s+Size+Lateness arrives (or the clock passes that point).
+	Lateness int64
+	// EventTime marks the timestamp column as application-supplied event
+	// time rather than the basket's arrival stamp. Event-time windows
+	// advance on data only — Flush is a no-op, because wall-clock
+	// readings are not comparable to the event domain.
+	EventTime bool
 }
 
 // Validate checks the spec's invariants.
@@ -52,6 +75,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Size <= 0 || s.Slide <= 0 || s.Slide > s.Size {
 		return fmt.Errorf("window: need 0 < slide <= size, got size=%d slide=%d", s.Size, s.Slide)
+	}
+	if s.Lateness < 0 {
+		return fmt.Errorf("window: negative lateness %d", s.Lateness)
+	}
+	if s.Kind == sql.WindowRows && (s.Lateness != 0 || s.EventTime) {
+		return fmt.Errorf("window: lateness/event time apply to time-based windows only")
 	}
 	return nil
 }
@@ -87,6 +116,36 @@ type Result struct {
 	Rel        *storage.Relation
 }
 
+// WatermarkGroup is a shared event-time clock for the shard runners of
+// one partitioned windowed query: every runner raises it with the
+// timestamps it sees, and every runner's watermark reads the group
+// maximum. A shard whose own partition lags (or is empty) still closes
+// its windows once the stream as a whole has moved past them — bounded
+// disorder is a property of the stream, not of one shard's subsequence.
+type WatermarkGroup struct {
+	max int64 // atomic; noTS until the first Raise
+}
+
+// NewWatermarkGroup returns an empty group clock.
+func NewWatermarkGroup() *WatermarkGroup {
+	g := &WatermarkGroup{}
+	atomic.StoreInt64(&g.max, noTS)
+	return g
+}
+
+// Raise lifts the group maximum to at least ts.
+func (g *WatermarkGroup) Raise(ts int64) {
+	for {
+		cur := atomic.LoadInt64(&g.max)
+		if ts <= cur || atomic.CompareAndSwapInt64(&g.max, cur, ts) {
+			return
+		}
+	}
+}
+
+// Max returns the group maximum (noTS if nothing was raised).
+func (g *WatermarkGroup) Max() int64 { return atomic.LoadInt64(&g.max) }
+
 // Runner buffers arriving tuples and emits one Result per completed
 // window, using the configured strategy. It is not safe for concurrent
 // use; the owning factory serializes access.
@@ -97,11 +156,25 @@ type Runner struct {
 	eval Evaluator     // ReEvaluate mode
 	pane PaneEvaluator // Incremental mode
 
-	buf      *storage.Relation // pending tuples (window suffix)
+	buf      *storage.Relation // pending tuples (window suffix), ts-ordered for time windows
 	absBase  int64             // absolute index of buf row 0 (count windows)
 	absCount int64             // absolute count of tuples ever appended
 	winStart int64             // current window start (abs index or timestamp)
 	started  bool              // time windows: winStart initialized from first tuple
+	emitted  bool              // time windows: at least one window emitted (late cutoff active)
+
+	maxTS   int64 // largest event timestamp appended (time windows)
+	flushTS int64 // latest Flush clock reading (arrival-time windows)
+	late    int64 // tuples dropped because they arrived behind the emitted frontier
+
+	group *WatermarkGroup // optional shared clock (partitioned shard runners)
+	// groupSeen is the group reading this runner is allowed to act on.
+	// The watermark never reads the group live: a faster shard may have
+	// raised it past tuples still sitting unprocessed in this shard's
+	// input basket, and advancing on that reading would misclassify them
+	// as late. The owner observes the group at safe points — before
+	// pinning its input batch, or when its backlog is empty.
+	groupSeen int64
 
 	panes     []Summary // Incremental: pane summaries inside current horizon
 	paneStart int64     // start of the first un-summarized pane (abs or ts)
@@ -125,11 +198,14 @@ func NewRunner(spec Spec, mode Mode, eval Evaluator, pane PaneEvaluator, schema 
 		return nil, fmt.Errorf("window: re-evaluation mode needs an evaluator")
 	}
 	return &Runner{
-		spec: spec,
-		mode: mode,
-		eval: eval,
-		pane: pane,
-		buf:  storage.NewRelation(schema),
+		spec:      spec,
+		mode:      mode,
+		eval:      eval,
+		pane:      pane,
+		buf:       storage.NewRelation(schema),
+		maxTS:     noTS,
+		flushTS:   noTS,
+		groupSeen: noTS,
 	}, nil
 }
 
@@ -142,39 +218,229 @@ func (r *Runner) Spec() Spec { return r.spec }
 // Buffered returns the number of pending tuples.
 func (r *Runner) Buffered() int { return r.buf.NumRows() }
 
+// Started reports whether a time-based runner has seen any tuple.
+func (r *Runner) Started() bool { return r.started }
+
+// Late returns the number of tuples dropped because they arrived behind
+// an already-emitted window boundary.
+func (r *Runner) Late() int64 { return r.late }
+
+// ShareWatermark attaches a group clock; the shard runners of one
+// partitioned query share one so window completion tracks the whole
+// stream's progress. Must be called before the first Append.
+func (r *Runner) ShareWatermark(g *WatermarkGroup) { r.group = g }
+
+// GroupMax returns the shared group clock's live maximum; ok is false
+// without a group or before any shard raised it. Callers pass a safe
+// reading (taken before pinning their input) to ObserveGroup.
+func (r *Runner) GroupMax() (int64, bool) {
+	if r.group == nil {
+		return 0, false
+	}
+	g := r.group.Max()
+	return g, g != noTS
+}
+
+// ObserveGroup admits a group clock reading into this runner's
+// watermark. Only readings taken while every tuple below them was
+// already handed to (or pinned for) this runner are safe — see
+// groupSeen.
+func (r *Runner) ObserveGroup(ts int64) {
+	if ts > r.groupSeen {
+		r.groupSeen = ts
+	}
+}
+
+// Watermark returns the event-time watermark — the boundary up to which
+// window content is final: max(seen timestamps, flush clock, observed
+// group maximum) − lateness. The second result is false until any of
+// those sources has a reading (and always for count windows).
+func (r *Runner) Watermark() (int64, bool) {
+	if r.spec.Kind != sql.WindowRange {
+		return 0, false
+	}
+	wm := r.maxTS
+	if r.flushTS > wm {
+		wm = r.flushTS
+	}
+	if r.groupSeen > wm {
+		wm = r.groupSeen
+	}
+	if wm == noTS {
+		return 0, false
+	}
+	return wm - r.spec.Lateness, true
+}
+
 // Append adds arriving tuples (columns aligned with the runner's schema)
 // and returns any windows they complete.
 func (r *Runner) Append(rel *storage.Relation) ([]Result, error) {
 	if rel.NumRows() > 0 {
-		r.buf.AppendRelation(rel)
-		r.absCount += int64(rel.NumRows())
-		if !r.started && r.spec.Kind == sql.WindowRange {
-			// Time windows align to the slide grid (floor the first
-			// timestamp to a slide multiple), the usual tumbling-window
-			// convention — so wall minutes map to window boundaries.
-			first := r.buf.Cols[r.spec.TSIndex].Get(0).I
-			aligned := first - mod(first, r.spec.Slide)
-			r.winStart = aligned
-			r.paneStart = aligned
-			r.started = true
+		if r.spec.Kind == sql.WindowRange {
+			r.appendTime(rel)
+		} else {
+			r.buf.AppendRelation(rel)
+			r.absCount += int64(rel.NumRows())
 		}
 	}
-	return r.advance(nil)
+	return r.advance()
 }
 
-// Flush advances time-based windows to the given clock reading, emitting
-// windows that ended at or before it even if no later tuple arrived.
+// appendTime merges a batch into the ts-ordered buffer: the window
+// origin is established (or, before anything was emitted, lowered) from
+// the batch minimum, tuples behind the emitted frontier are counted late
+// and dropped, and the survivors are placed in timestamp order.
+func (r *Runner) appendTime(rel *storage.Relation) {
+	ts := rel.Cols[r.spec.TSIndex]
+	n := rel.NumRows()
+	lo, hi := ts.Get(0).I, ts.Get(0).I
+	sorted := true
+	for i := 1; i < n; i++ {
+		v := ts.Get(i).I
+		if v < ts.Get(i-1).I {
+			sorted = false
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > r.maxTS {
+		r.maxTS = hi
+	}
+	if r.group != nil {
+		r.group.Raise(hi)
+	}
+	aligned := lo - mod(lo, r.spec.Slide)
+	if !r.started {
+		r.winStart = aligned
+		r.paneStart = aligned
+		r.started = true
+	} else if !r.emitted && aligned < r.winStart {
+		// Nothing emitted yet: an earlier tuple can still pull the window
+		// origin back so it lands in the same windows a sorted arrival
+		// order would have produced.
+		r.winStart = aligned
+		r.paneStart = aligned
+	}
+
+	// Drop tuples behind the frontier nothing can be re-opened for: the
+	// current window start under re-evaluation, the summarized pane
+	// frontier under incremental evaluation.
+	if r.emitted && lo < r.cutoff() {
+		cut := r.cutoff()
+		keep := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if ts.Get(i).I >= cut {
+				keep = append(keep, i)
+			}
+		}
+		r.late += int64(n - len(keep))
+		if len(keep) == 0 {
+			return
+		}
+		rel = rel.Take(keep)
+		ts = rel.Cols[r.spec.TSIndex]
+		n = rel.NumRows()
+		lo = ts.Get(0).I
+		sorted = true
+		for i := 1; i < n; i++ {
+			if ts.Get(i).I < ts.Get(i-1).I {
+				sorted = false
+				break
+			}
+		}
+	}
+
+	inOrder := sorted
+	if b := r.buf.NumRows(); inOrder && b > 0 && lo < r.buf.Cols[r.spec.TSIndex].Get(b-1).I {
+		inOrder = false
+	}
+	r.buf.AppendRelation(rel)
+	r.absCount += int64(n)
+	if !inOrder {
+		r.restoreOrder(n)
+	}
+}
+
+// restoreOrder re-establishes timestamp order after appending the last
+// `appended` rows at the tail. Only the displaced suffix is rewritten —
+// the sorted prefix below the batch minimum stays in place — so the
+// cost is O(batch + displaced span), not O(buffer). Ties keep arrival
+// order (resident rows before batch rows), matching a stable sort of
+// the whole buffer.
+func (r *Runner) restoreOrder(appended int) {
+	ts := r.buf.Cols[r.spec.TSIndex]
+	n := r.buf.NumRows()
+	old := n - appended
+	batch := make([]int, appended)
+	for i := range batch {
+		batch[i] = old + i
+	}
+	sort.SliceStable(batch, func(a, b int) bool { return ts.Get(batch[a]).I < ts.Get(batch[b]).I })
+	// The prefix strictly below the batch minimum is untouched.
+	lo := ts.Get(batch[0]).I
+	k := sort.Search(old, func(i int) bool { return ts.Get(i).I >= lo })
+	// Two-pointer merge of the resident rows [k, old) with the sorted
+	// batch; resident rows win ties.
+	perm := make([]int, 0, n-k)
+	i, j := k, 0
+	for i < old && j < appended {
+		if ts.Get(i).I <= ts.Get(batch[j]).I {
+			perm = append(perm, i)
+			i++
+		} else {
+			perm = append(perm, batch[j])
+			j++
+		}
+	}
+	for ; i < old; i++ {
+		perm = append(perm, i)
+	}
+	perm = append(perm, batch[j:]...)
+	for _, col := range r.buf.Cols {
+		suffix := col.Take(perm)
+		col.Truncate(k)
+		col.AppendVector(suffix)
+	}
+}
+
+// cutoff is the timestamp below which an arriving tuple can no longer be
+// integrated: the current window start for re-evaluation (every pending
+// window is recomputed from the buffer), the summarized pane frontier
+// for incremental evaluation (sealed summaries are never reopened).
+func (r *Runner) cutoff() int64 {
+	if r.mode == Incremental {
+		return r.paneStart
+	}
+	return r.winStart
+}
+
+// Flush advances arrival-time windows to the given clock reading,
+// emitting windows whose end passed watermark-deep into the past even if
+// no later tuple arrived. Event-time windows never take the clock
+// reading — the wall clock says nothing about how far the event domain
+// has progressed — but they still re-check completion, because a shared
+// watermark group may have advanced since the last append.
 func (r *Runner) Flush(now int64) ([]Result, error) {
-	if r.spec.Kind != sql.WindowRange || !r.started {
+	if r.spec.Kind != sql.WindowRange {
 		return nil, nil
 	}
-	return r.advance(&now)
+	if !r.spec.EventTime && now > r.flushTS {
+		r.flushTS = now
+	}
+	if !r.started {
+		return nil, nil
+	}
+	return r.advance()
 }
 
-func (r *Runner) advance(now *int64) ([]Result, error) {
+func (r *Runner) advance() ([]Result, error) {
 	var out []Result
 	for {
-		res, ok, err := r.tryEmit(now)
+		res, ok, err := r.tryEmit()
 		if err != nil {
 			return out, err
 		}
@@ -186,7 +452,7 @@ func (r *Runner) advance(now *int64) ([]Result, error) {
 }
 
 // tryEmit emits the next complete window, if any.
-func (r *Runner) tryEmit(now *int64) (Result, bool, error) {
+func (r *Runner) tryEmit() (Result, bool, error) {
 	if r.spec.Kind == sql.WindowRows {
 		if r.absCount-r.winStart < r.spec.Size {
 			return Result{}, false, nil
@@ -197,15 +463,8 @@ func (r *Runner) tryEmit(now *int64) (Result, bool, error) {
 		return Result{}, false, nil
 	}
 	end := r.winStart + r.spec.Size
-	complete := false
-	if n := r.buf.NumRows(); n > 0 {
-		lastTS := r.buf.Cols[r.spec.TSIndex].Get(n - 1).I
-		complete = lastTS >= end
-	}
-	if now != nil && *now >= end {
-		complete = true
-	}
-	if !complete {
+	wm, ok := r.Watermark()
+	if !ok || wm < end {
 		return Result{}, false, nil
 	}
 	return r.emitTime(end)
@@ -259,28 +518,29 @@ func (r *Runner) emitCount() (Result, bool, error) {
 	return res, true, nil
 }
 
-func (r *Runner) emitTime(end int64) (Result, bool, error) {
+// lowerBound returns the first buffer position whose timestamp is >= t
+// (the buffer is ts-ordered for time windows).
+func (r *Runner) lowerBound(t int64) int {
 	ts := r.buf.Cols[r.spec.TSIndex]
-	// Locate the first tuple at or beyond the window end.
-	hi := 0
-	for hi < r.buf.NumRows() && ts.Get(hi).I < end {
-		hi++
-	}
+	return sort.Search(r.buf.NumRows(), func(i int) bool { return ts.Get(i).I >= t })
+}
+
+func (r *Runner) emitTime(end int64) (Result, bool, error) {
+	r.emitted = true
+	hi := r.lowerBound(end)
 	var rel *storage.Relation
 	var err error
 	if r.mode == ReEvaluate {
 		rel, err = r.eval.Eval(r.slice(0, hi))
 	} else {
-		// Summarize panes covering [paneStart, end).
+		// Summarize panes covering [paneStart, end). The watermark passed
+		// end, so every tuple that may still arrive for these panes is
+		// beyond the allowed lateness — sealing them now loses nothing
+		// that in-order arrival would have kept.
 		for r.paneStart+r.spec.Slide <= end {
 			pEnd := r.paneStart + r.spec.Slide
-			plo, phi := 0, 0
-			for phi < r.buf.NumRows() && ts.Get(phi).I < pEnd {
-				phi++
-			}
-			for plo < phi && ts.Get(plo).I < r.paneStart {
-				plo++
-			}
+			plo := r.lowerBound(r.paneStart)
+			phi := r.lowerBound(pEnd)
 			sum, serr := r.pane.Summarize(r.slice(plo, phi))
 			if serr != nil {
 				return Result{}, false, serr
@@ -300,12 +560,11 @@ func (r *Runner) emitTime(end int64) (Result, bool, error) {
 	}
 	res := Result{Start: r.winStart, End: end, Rel: rel}
 	r.winStart += r.spec.Slide
-	// Expire tuples before the new window start.
-	drop := 0
-	for drop < r.buf.NumRows() && ts.Get(drop).I < r.winStart {
-		drop++
-	}
-	if drop > 0 {
+	// Expire everything before the new window start. The buffer is
+	// ts-ordered, so the prefix is exactly the tuples whose value is
+	// below the boundary — an out-of-order straggler can never hide
+	// behind a newer tuple and leak.
+	if drop := r.lowerBound(r.winStart); drop > 0 {
 		for _, c := range r.buf.Cols {
 			c.DropPrefix(drop)
 		}
