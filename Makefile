@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke check
+.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,17 @@ bench-windowed:
 # windowed path (sharded window runners + window-aligned merge).
 bench-windowed-smoke:
 	$(GO) run ./cmd/hotpathbench -scenario windowed -smoke -cpus 1,2,4 -o -
+
+# bench-join runs the streaming-join throughput scenario: stream-stream
+# symmetric-hash join with a WITHIN band (flat vs co-partitioned) and
+# stream-table enrichment (flat vs broadcast).
+bench-join:
+	$(GO) run ./cmd/hotpathbench -scenario join -cpus 1,2,4 -o -
+
+# bench-join-smoke is the CI sanity run: tiny workload, still exercising
+# symmetric state, expiry, and the broadcast table hash.
+bench-join-smoke:
+	$(GO) run ./cmd/hotpathbench -scenario join -smoke -cpus 1,2,4 -o -
 
 # bench-go runs the paper-experiment testing.B benchmarks once each.
 bench-go:

@@ -29,6 +29,10 @@
 //     input either in timestamp order or k% displaced within the
 //     declared lateness — the cost of watermarked out-of-order window
 //     maintenance, flat vs sharded.
+//   - join_throughput: streaming joins — a stream-stream equi-join with
+//     a WITHIN band (symmetric hash state, event-time expiry) and a
+//     stream-table enrichment join (cached table-side hash), each flat
+//     vs co-partitioned/broadcast across 4 shards.
 package main
 
 import (
@@ -92,6 +96,22 @@ type WindowedResult struct {
 	LateTuples   int64   `json:"late_tuples"`
 }
 
+// JoinResult is one join-throughput measurement: a streaming join
+// (stream-stream with WITHIN state, or stream-table enrichment) over a
+// stream sharded Shards ways.
+type JoinResult struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"` // stream_stream or stream_table
+	Cpus         int     `json:"cpus"`
+	Shards       int     `json:"shards"`
+	Tuples       int     `json:"tuples"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	NsPerTuple   float64 `json:"ns_per_tuple"`
+	Matches      int64   `json:"matches"`
+	JoinState    int64   `json:"join_state"`
+	Evictions    int64   `json:"join_evictions"`
+}
+
 // Report is the BENCH_results.json document: the numbers measured by
 // this run plus the recorded pre-refactor baseline for comparison.
 type Report struct {
@@ -103,6 +123,7 @@ type Report struct {
 	Current     []Result         `json:"current"`
 	Partitioned []PartResult     `json:"partitioned,omitempty"`
 	Windowed    []WindowedResult `json:"windowed,omitempty"`
+	Join        []JoinResult     `json:"join,omitempty"`
 }
 
 // baseline holds the numbers measured on the flat (suffix-copying)
@@ -502,6 +523,229 @@ func benchWindowed(cpus, shards, disorderPct, tuples int) WindowedResult {
 	return r
 }
 
+// benchJoinStreamStream measures a stream-stream equi-join with a WITHIN
+// band: both streams advance one event-time tick per tuple, keys are
+// spread over a domain wide enough that each tuple finds a bounded number
+// of band partners, and the symmetric hash state is expired behind the
+// watermark. With shards > 1 both streams are hash-partitioned on the
+// join key, so the join runs co-partitioned.
+func benchJoinStreamStream(cpus, shards, tuples int) JoinResult {
+	prev := runtime.GOMAXPROCS(cpus)
+	defer runtime.GOMAXPROCS(prev)
+	ctx := context.Background()
+
+	const within, lateness, keys = 4096, 512, 1 << 16
+	eng := datacell.New(datacell.Config{Workers: cpus})
+	with := ""
+	if shards > 1 {
+		with = fmt.Sprintf(" WITH (partitions = %d, partition_by = k)", shards)
+	}
+	for _, ddl := range []string{
+		"CREATE BASKET ja (k INT, v INT, et INT)" + with,
+		"CREATE BASKET jb (k INT, v INT, et INT)" + with,
+	} {
+		if _, err := eng.Exec(ctx, ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q, err := eng.RegisterContinuous("join",
+		fmt.Sprintf(`SELECT l.k AS k, l.v AS lv, r.v AS rv
+			FROM [SELECT * FROM ja] AS l JOIN [SELECT * FROM jb] AS r
+			ON l.k = r.k WITHIN %d`, within),
+		datacell.WithEventTimeColumn("et"),
+		datacell.WithLateness(lateness),
+		datacell.WithBackpressure(datacell.BackpressureDropOldest),
+		datacell.WithSubscriptionDepth(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shards > 1 && q.Shards() != shards {
+		log.Fatalf("join query fell back to %d shard(s), want %d", q.Shards(), shards)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range q.Subscription().C() {
+		}
+	}()
+	if err := eng.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Both sides share the key schedule (7·et mod keys), so each event
+	// tick yields exactly one band match per side pair — bounded match
+	// cardinality, non-trivial probe work.
+	const batchRows = 4096
+	mkBatch := func(base int64) []*vector.Vector {
+		k := vector.NewWithCap(vector.Int64, batchRows)
+		v := vector.NewWithCap(vector.Int64, batchRows)
+		e := vector.NewWithCap(vector.Int64, batchRows)
+		for i := 0; i < batchRows; i++ {
+			et := base + int64(i)
+			k.AppendInt((et * 7) % keys)
+			v.AppendInt(int64(i))
+			e.AppendInt(et)
+		}
+		return []*vector.Vector{k, v, e}
+	}
+
+	start := time.Now()
+	sent := 0
+	et := int64(0)
+	for sent < tuples {
+		if err := eng.IngestColumns(ctx, "ja", mkBatch(et)); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.IngestColumns(ctx, "jb", mkBatch(et)); err != nil {
+			log.Fatal(err)
+		}
+		et += batchRows
+		sent += 2 * batchRows
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for q.Stats().TuplesIn < int64(sent) || q.MergeLag() > 0 {
+		if time.Now().After(deadline) {
+			log.Fatalf("join bench stalled: %d of %d consumed, merge lag %d",
+				q.Stats().TuplesIn, sent, q.MergeLag())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	st := q.Stats()
+	if err := eng.Stop(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+
+	r := JoinResult{
+		Name:         "join_throughput",
+		Mode:         "stream_stream",
+		Cpus:         cpus,
+		Shards:       shards,
+		Tuples:       sent,
+		TuplesPerSec: float64(sent) / elapsed.Seconds(),
+		NsPerTuple:   float64(elapsed.Nanoseconds()) / float64(sent),
+		Matches:      st.TuplesOut,
+		JoinState:    st.JoinState,
+		Evictions:    st.JoinEvictions,
+	}
+	fmt.Fprintf(os.Stderr, "%-22s mode=%-13s cpus=%d shards=%d %12.0f tuples/s %8.1f ns/tuple state=%d evicted=%d\n",
+		r.Name, r.Mode, cpus, shards, r.TuplesPerSec, r.NsPerTuple, r.JoinState, r.Evictions)
+	return r
+}
+
+// benchJoinStreamTable measures stream-table enrichment: each stream
+// tuple probes a cached hash of a 4096-row reference table (rebuilt only
+// when the table changes). With shards > 1 the table is broadcast to
+// every shard pipeline.
+func benchJoinStreamTable(cpus, shards, tuples int) JoinResult {
+	prev := runtime.GOMAXPROCS(cpus)
+	defer runtime.GOMAXPROCS(prev)
+	ctx := context.Background()
+
+	const refRows, keys = 4096, 8192 // every second key matches
+	eng := datacell.New(datacell.Config{Workers: cpus})
+	with := ""
+	if shards > 1 {
+		with = fmt.Sprintf(" WITH (partitions = %d, partition_by = k)", shards)
+	}
+	if _, err := eng.Exec(ctx, "CREATE BASKET js (k INT, v INT)"+with); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Exec(ctx, "CREATE TABLE jref (k INT, name VARCHAR)"); err != nil {
+		log.Fatal(err)
+	}
+	var ins strings.Builder
+	for i := 0; i < refRows; i++ {
+		if i%512 == 0 {
+			if i > 0 {
+				if _, err := eng.Exec(ctx, ins.String()); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ins.Reset()
+			ins.WriteString("INSERT INTO jref VALUES ")
+		} else {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, 'name%d')", i*2, i)
+	}
+	if _, err := eng.Exec(ctx, ins.String()); err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.RegisterContinuous("enrich",
+		`SELECT s.k AS k, s.v AS v, jref.name AS name
+		 FROM [SELECT * FROM js] AS s JOIN jref ON s.k = jref.k`,
+		datacell.WithBackpressure(datacell.BackpressureDropOldest),
+		datacell.WithSubscriptionDepth(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shards > 1 && q.Shards() != shards {
+		log.Fatalf("enrichment query fell back to %d shard(s), want %d", q.Shards(), shards)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range q.Subscription().C() {
+		}
+	}()
+	if err := eng.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	const batchRows, nBatches = 4096, 8
+	batches := make([][]*vector.Vector, nBatches)
+	for b := range batches {
+		k := vector.NewWithCap(vector.Int64, batchRows)
+		v := vector.NewWithCap(vector.Int64, batchRows)
+		for i := 0; i < batchRows; i++ {
+			k.AppendInt(int64((b*batchRows + i*7) % keys))
+			v.AppendInt(int64(i))
+		}
+		batches[b] = []*vector.Vector{k, v}
+	}
+
+	start := time.Now()
+	sent := 0
+	for b := 0; sent < tuples; b++ {
+		if err := eng.IngestColumns(ctx, "js", batches[b%nBatches]); err != nil {
+			log.Fatal(err)
+		}
+		sent += batchRows
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for q.Stats().TuplesIn < int64(sent) || q.MergeLag() > 0 {
+		if time.Now().After(deadline) {
+			log.Fatalf("enrichment bench stalled: %d of %d consumed, merge lag %d",
+				q.Stats().TuplesIn, sent, q.MergeLag())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	st := q.Stats()
+	if err := eng.Stop(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+
+	r := JoinResult{
+		Name:         "join_throughput",
+		Mode:         "stream_table",
+		Cpus:         cpus,
+		Shards:       shards,
+		Tuples:       sent,
+		TuplesPerSec: float64(sent) / elapsed.Seconds(),
+		NsPerTuple:   float64(elapsed.Nanoseconds()) / float64(sent),
+		Matches:      st.TuplesOut,
+		JoinState:    st.JoinState,
+		Evictions:    st.JoinEvictions,
+	}
+	fmt.Fprintf(os.Stderr, "%-22s mode=%-13s cpus=%d shards=%d %12.0f tuples/s %8.1f ns/tuple state=%d\n",
+		r.Name, r.Mode, cpus, shards, r.TuplesPerSec, r.NsPerTuple, r.JoinState)
+	return r
+}
+
 // newSplitmix is a tiny deterministic PRNG so batch construction does
 // not depend on math/rand ordering across Go versions.
 func newSplitmix(seed uint64) func() uint64 {
@@ -529,7 +773,7 @@ func parseCpus(s string) []int {
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output file ('-' for stdout)")
-	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, or all")
+	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, join, or all")
 	cpusFlag := flag.String("cpus", "1,2,4", "GOMAXPROCS settings for the partitioned/windowed scenarios")
 	smoke := flag.Bool("smoke", false, "tiny partitioned/windowed workload (CI sanity run)")
 	flag.Parse()
@@ -576,6 +820,20 @@ func main() {
 		}
 	}
 
+	var join []JoinResult
+	if *scenario == "all" || *scenario == "join" {
+		tuples := 1 << 19
+		if *smoke {
+			tuples = 1 << 14
+		}
+		for _, c := range parseCpus(*cpusFlag) {
+			for _, shards := range []int{1, 4} {
+				join = append(join, benchJoinStreamStream(c, shards, tuples))
+				join = append(join, benchJoinStreamTable(c, shards, tuples))
+			}
+		}
+	}
+
 	rep := Report{
 		Note: "basket hot-path trajectory: 'before_chunked_storage' was measured on the flat " +
 			"suffix-copying storage layer (commit f207497); 'current' is this checkout. " +
@@ -585,7 +843,11 @@ func main() {
 			"batches, 4096 groups); shard scaling needs num_cpu >= shards to materialize. " +
 			"'windowed' is an event-time tumbling-window GROUP BY aligned with the partition key " +
 			"(window 4096 ticks, lateness 512), flat vs sharded, with disorder_pct of the input " +
-			"displaced backward within the lateness bound — late_tuples must stay 0.",
+			"displaced backward within the lateness bound — late_tuples must stay 0. " +
+			"'join' is streaming-join throughput: stream_stream is a symmetric-hash equi-join " +
+			"with WITHIN 4096 ticks (state expired behind the watermark, co-partitioned when " +
+			"shards > 1), stream_table is enrichment against a 4096-row reference table " +
+			"(cached table-side hash, broadcast when shards > 1).",
 		GoOS:        runtime.GOOS,
 		GoArch:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
@@ -593,6 +855,7 @@ func main() {
 		Current:     results,
 		Partitioned: part,
 		Windowed:    win,
+		Join:        join,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

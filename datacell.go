@@ -48,6 +48,13 @@
 // evaluated either by re-evaluation or incrementally via per-pane
 // summaries.
 //
+// Joins are streaming operators: a query joining two streams holds
+// symmetric hash state (every cross-firing match found exactly once,
+// bounded by JOIN ... WITHIN and expired behind the watermark), a query
+// joining its stream with a table keeps a cached table-side hash
+// re-snapshot on change, and on partitioned streams equi-joins run
+// co-partitioned (or with the table broadcast) across shard pipelines.
+//
 // # Migrating from the pre-session API
 //
 //   - datacell.New(cfg) still works but Open(ctx, cfg) is preferred: it
@@ -149,6 +156,11 @@ var (
 	ErrSubscriptionClosed = idc.ErrSubscriptionClosed
 	// ErrInvalidOption reports an unknown or malformed query option.
 	ErrInvalidOption = idc.ErrInvalidOption
+	// ErrSelfJoin reports a continuous query joining a stream with itself.
+	ErrSelfJoin = idc.ErrSelfJoin
+	// ErrUnsupportedJoin reports a stream-stream join shape the streaming
+	// executor cannot run incrementally (non-equi, multi-way, windowed).
+	ErrUnsupportedJoin = idc.ErrUnsupportedJoin
 )
 
 // ParseError is a SQL syntax error with line/column position, asserted

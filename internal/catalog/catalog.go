@@ -4,6 +4,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,11 @@ import (
 	"repro/internal/bat"
 	"repro/internal/vector"
 )
+
+// ErrNotFound is wrapped by Lookup failures so higher layers (the engine
+// surfaces it as ErrUnknownStream) can branch with errors.Is instead of
+// matching message strings.
+var ErrNotFound = errors.New("catalog: unknown table or basket")
 
 // TimestampColumn is the name of the implicit arrival-time column every
 // basket carries (paper §2.2: "for each relational table there exists an
@@ -188,7 +194,7 @@ func (c *Catalog) Lookup(name string) (*Entry, error) {
 	defer c.mu.RUnlock()
 	e, ok := c.entries[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table or basket %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return e, nil
 }

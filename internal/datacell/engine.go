@@ -565,7 +565,7 @@ func (e *Engine) Exec(ctx context.Context, text string) (*storage.Relation, erro
 		}
 		p, err := plan.Build(x, e.cat)
 		if err != nil {
-			return nil, err
+			return nil, e.planError(err)
 		}
 		return exec.Run(p, exec.NewContext(e.cat))
 	default:
@@ -582,8 +582,12 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 		// merge_lag counts shard emissions not yet merged into the output
 		// basket, so skew between shards is visible from the control port.
 		// late_tuples counts arrivals dropped behind an emitted window
-		// boundary, watermark is the event-time frontier window content is
-		// final up to (NULL for unwindowed queries).
+		// boundary or a streaming join's watermark, watermark is the
+		// event-time frontier window content is final up to (NULL for
+		// unwindowed queries). join_state is the number of rows the
+		// query's streaming join retains across pipelines and
+		// join_evictions the state rows expired behind the watermark (0
+		// for join-free queries).
 		rel := storage.NewRelation(catalog.NewSchema(
 			catalog.Column{Name: "name", Type: vector.String},
 			catalog.Column{Name: "strategy", Type: vector.String},
@@ -591,6 +595,8 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			catalog.Column{Name: "merge_lag", Type: vector.Int64},
 			catalog.Column{Name: "late_tuples", Type: vector.Int64},
 			catalog.Column{Name: "watermark", Type: vector.Timestamp},
+			catalog.Column{Name: "join_state", Type: vector.Int64},
+			catalog.Column{Name: "join_evictions", Type: vector.Int64},
 			catalog.Column{Name: "sql", Type: vector.String},
 		))
 		qs := e.Queries()
@@ -607,13 +613,16 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			if wm, ok := q.Watermark(); ok {
 				watermark = vector.NewTimestamp(wm)
 			}
+			st := q.Stats()
 			rel.AppendRow([]vector.Value{
 				vector.NewString(q.Name),
 				vector.NewString(strat),
 				vector.NewInt(int64(q.Shards())),
 				vector.NewInt(int64(q.MergeLag())),
-				vector.NewInt(q.LateTuples()),
+				vector.NewInt(st.Late),
 				watermark,
+				vector.NewInt(st.JoinState),
+				vector.NewInt(st.JoinEvictions),
 				vector.NewString(q.SQL),
 			})
 		}
@@ -709,9 +718,11 @@ func (e *Engine) drop(name string) error {
 	key := strings.ToLower(name)
 	if _, ok := e.streams[key]; ok {
 		for _, q := range e.queries {
-			if strings.ToLower(q.stream) == key {
-				e.mu.Unlock()
-				return fmt.Errorf("%w: %q is read by %q", ErrStreamInUse, name, q.Name)
+			for _, streamName := range q.streams {
+				if strings.ToLower(streamName) == key {
+					e.mu.Unlock()
+					return fmt.Errorf("%w: %q is read by %q", ErrStreamInUse, name, q.Name)
+				}
 			}
 		}
 		for _, c := range e.cascades {

@@ -139,8 +139,8 @@ func TestContinuousQ1SeparateStrategy(t *testing.T) {
 		t.Fatalf("results = %d rows", countRows(rels))
 	}
 	// The private input basket is fully consumed.
-	if q.replica.Len() != 0 {
-		t.Errorf("replica len = %d", q.replica.Len())
+	if q.InputBacklog() != 0 {
+		t.Errorf("replica len = %d", q.InputBacklog())
 	}
 	// New batch flows incrementally, no duplicates.
 	ingestPairs(t, e, "R", [][2]int64{{50, 4}})
@@ -174,8 +174,8 @@ func TestContinuousQ2PredicateWindow(t *testing.T) {
 	if countRows(rels) != 1 {
 		t.Fatalf("results = %d", countRows(rels))
 	}
-	if q.replica.Len() != 1 {
-		t.Errorf("retained = %d, want 1 (the out-of-window tuple)", q.replica.Len())
+	if q.InputBacklog() != 1 {
+		t.Errorf("retained = %d, want 1 (the out-of-window tuple)", q.InputBacklog())
 	}
 }
 

@@ -36,4 +36,12 @@ var (
 	// ErrInvalidOption is returned for an unknown or malformed WITH option
 	// in CREATE CONTINUOUS QUERY (and the option helpers).
 	ErrInvalidOption = errors.New("datacell: invalid query option")
+	// ErrSelfJoin is returned when a continuous query joins a stream with
+	// itself (two basket expressions over one stream); alias two distinct
+	// streams instead.
+	ErrSelfJoin = errors.New("datacell: stream joined with itself")
+	// ErrUnsupportedJoin is returned when a stream-stream continuous query
+	// has a join shape the streaming executor cannot run incrementally
+	// (no equi-join conjunct, more than one join, or a WINDOW clause).
+	ErrUnsupportedJoin = errors.New("datacell: unsupported streaming join")
 )

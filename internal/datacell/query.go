@@ -10,6 +10,7 @@ import (
 	"repro/internal/adapters"
 	"repro/internal/basket"
 	"repro/internal/catalog"
+	"repro/internal/exec"
 	"repro/internal/factory"
 	"repro/internal/metrics"
 	"repro/internal/partition"
@@ -39,14 +40,14 @@ type Query struct {
 	SQL      string
 	Strategy Strategy
 
-	stream    string // the stream the basket expression reads
+	streams   []string // the stream(s) the basket expressions read (two for a stream-stream join)
 	facts     []*factory.Factory
 	merge     mergeStage // nil when unpartitioned
 	out       *basket.Basket
 	shardIns  []*basket.Basket // stream-owned shard baskets (partitioned only)
 	shardOuts []*basket.Basket // per-shard emission baskets (partitioned only)
 	sub       *Subscription    // nil when the query polls via SQL
-	replica   *basket.Basket   // separate strategy only
+	replicas  []*basket.Basket // separate strategy only (one per joined stream)
 	engine    *Engine
 }
 
@@ -62,7 +63,8 @@ func (q *Query) Out() *basket.Basket { return q.out }
 // Stats returns the factory counters, summed across shard pipelines.
 // Late additionally includes partials a windowed merge had to discard
 // because their window was already merged (stragglers beyond the
-// declared lateness).
+// declared lateness). JoinState/JoinEvictions aggregate the streaming
+// join state of all pipelines (0 for join-free queries).
 func (q *Query) Stats() factory.Stats {
 	var total factory.Stats
 	for _, f := range q.facts {
@@ -71,12 +73,24 @@ func (q *Query) Stats() factory.Stats {
 		total.TuplesIn += st.TuplesIn
 		total.TuplesOut += st.TuplesOut
 		total.Late += st.Late
+		total.JoinState += st.JoinState
+		total.JoinEvictions += st.JoinEvictions
 	}
 	if lm, ok := q.merge.(interface{ Late() int64 }); ok {
 		total.Late += lm.Late()
 	}
 	return total
 }
+
+// JoinState returns the number of rows the query's streaming join
+// currently retains across all shard pipelines: both hash sides of a
+// stream-stream join, the materialized table of a stream-table join. 0
+// for join-free queries.
+func (q *Query) JoinState() int64 { return q.Stats().JoinState }
+
+// JoinEvictions returns the cumulative number of join-state rows expired
+// behind the watermark (WITHIN-bounded joins only).
+func (q *Query) JoinEvictions() int64 { return q.Stats().JoinEvictions }
 
 // LateTuples returns the number of tuples dropped as too late across the
 // query's pipelines — arrivals behind an already-emitted window boundary
@@ -124,22 +138,27 @@ func (q *Query) MergeLag() int {
 }
 
 // Shed returns the number of tuples load shedding evicted from this
-// query's private input basket.
+// query's private input basket(s).
 func (q *Query) Shed() int64 {
-	if q.replica == nil {
-		return 0
+	var n int64
+	for _, r := range q.replicas {
+		n += r.Shed()
 	}
-	return q.replica.Shed()
+	return n
 }
 
 // InputBacklog returns the number of tuples currently buffered in the
-// query's input arrangement: the private replica under the separate
+// query's input arrangement: the private replica(s) under the separate
 // strategy, the stream's shard baskets when partitioned, or the whole
-// shared basket otherwise. Retained predicate-window tuples show up
+// shared basket(s) otherwise. Retained predicate-window tuples show up
 // here.
 func (q *Query) InputBacklog() int {
-	if q.replica != nil {
-		return q.replica.Len()
+	if len(q.replicas) > 0 {
+		n := 0
+		for _, r := range q.replicas {
+			n += r.Len()
+		}
+		return n
 	}
 	if len(q.shardIns) > 0 {
 		n := 0
@@ -148,11 +167,13 @@ func (q *Query) InputBacklog() int {
 		}
 		return n
 	}
-	b, err := q.engine.Stream(q.stream)
-	if err != nil {
-		return 0
+	n := 0
+	for _, name := range q.streams {
+		if b, err := q.engine.Stream(name); err == nil {
+			n += b.Len()
+		}
 	}
-	return b.Len()
+	return n
 }
 
 // QueryOption configures RegisterContinuous.
@@ -373,10 +394,16 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	if !sel.IsContinuous() {
 		return nil, fmt.Errorf("%w: %q; run it with Exec", ErrNotContinuous, name)
 	}
-	streamName, err := basketExprStream(sel)
+	streamNames, err := basketExprStreams(sel)
 	if err != nil {
 		return nil, err
 	}
+	if len(streamNames) == 2 {
+		// Two basket expressions: a stream-stream join, executed by a
+		// symmetric-hash factory (one per shard when co-partitioned).
+		return e.registerStreamStream(name, text, sel, streamNames, cfg)
+	}
+	streamName := streamNames[0]
 	e.mu.Lock()
 	s, isStream := e.streams[strings.ToLower(streamName)]
 	e.mu.Unlock()
@@ -399,7 +426,7 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 
 	p, err := plan.Build(sel, e.cat)
 	if err != nil {
-		return nil, err
+		return nil, e.planError(err)
 	}
 
 	if cfg.lateness != 0 || cfg.tsCol != "" {
@@ -411,6 +438,13 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		}
 	}
 
+	// Stream-table join: when the plan is a single two-way equi-join of
+	// this stream with a table, the factory gets persistent enrichment
+	// state — a table-side hash rebuilt only when the table's version
+	// moves — instead of re-running a batch join per firing. Other join
+	// shapes (non-equi, multi-way, windowed) keep per-firing evaluation.
+	joinBuilder := e.streamTableJoinBuilder(p, sel, streamName, chained != nil)
+
 	// Partitioned path: on a partitioned stream, a partitionable query is
 	// cloned into one pipeline per shard with a merge transition
 	// recombining the emissions. Time-based windows shard when their plan
@@ -421,8 +455,16 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	// between the stream's partitioned queries).
 	if isStream && s.router != nil && cfg.shedAt == 0 {
 		if sel.Window == nil {
-			if an := partition.Analyze(p, streamName, s.router.Spec().By, name+"#partials"); an.OK {
-				return e.registerPartitioned(name, text, streamName, s, p, an, cfg)
+			if joinBuilder != nil {
+				// Stream×table: broadcast the table to every shard — each
+				// stream tuple lives in exactly one shard, so the
+				// concatenated emissions are exact regardless of the key.
+				if an := partition.AnalyzeJoin(p, e.partitionLookup); an.OK && an.Broadcast {
+					return e.registerPartitioned(name, text, streamName, s,
+						p, partition.Analysis{OK: true, Mode: partition.MergeConcat, ShardPlan: p}, cfg, joinBuilder)
+				}
+			} else if an := partition.Analyze(p, streamName, s.router.Spec().By, name+"#partials"); an.OK {
+				return e.registerPartitioned(name, text, streamName, s, p, an, cfg, nil)
 			}
 		} else if wan := partition.AnalyzeWindowed(p, streamName, s.router.Spec().By, name+"#partials", sel.Window); wan.OK {
 			return e.registerPartitionedWindowed(name, text, streamName, s, p, wan, sel.Window, cfg)
@@ -497,20 +539,32 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		}
 		fopts = append(fopts, factory.WithWindow(runner))
 	}
+	if joinBuilder != nil {
+		sj, err := joinBuilder()
+		if err != nil {
+			rollback(true)
+			return nil, err
+		}
+		fopts = append(fopts, factory.WithStreamJoin(sj))
+	}
 	fact, err := factory.New(name, p, e.cat, []factory.Input{in}, []*basket.Basket{out}, fopts...)
 	if err != nil {
 		rollback(true)
 		return nil, err
 	}
 
+	var replicas []*basket.Basket
+	if replica != nil {
+		replicas = []*basket.Basket{replica}
+	}
 	q := &Query{
 		Name:     name,
 		SQL:      text,
 		Strategy: cfg.strategy,
-		stream:   streamName,
+		streams:  []string{streamName},
 		facts:    []*factory.Factory{fact},
 		out:      out,
-		replica:  replica,
+		replicas: replicas,
 		engine:   e,
 	}
 	if cfg.subDepth > 0 {
@@ -534,8 +588,10 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 // order-preserving per shard, with a global distinct/re-aggregation
 // stage when the analysis requires one. Shard factories consume the
 // stream's shard baskets in shared (watermark) mode, so several
-// partitioned queries share one routed copy of the stream.
-func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p plan.Node, an partition.Analysis, cfg queryConfig) (*Query, error) {
+// partitioned queries share one routed copy of the stream. joinBuilder,
+// when non-nil, gives every shard factory its own stream-table join
+// state (the broadcast decomposition).
+func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p plan.Node, an partition.Analysis, cfg queryConfig, joinBuilder func() (*exec.StreamJoin, error)) (*Query, error) {
 	key := strings.ToLower(name)
 	out := basket.New(name+"_out", p.Schema(), e.clock)
 	out.OnAppend(e.sched.Notify)
@@ -561,11 +617,24 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, so.Name())
 		}
 		in := factory.Input{Basket: s.shards[i], Mode: factory.Shared, ReaderID: name, Bind: streamName}
-		f, err := factory.New(fmt.Sprintf("%s#%d", name, i), an.ShardPlan, e.cat,
-			[]factory.Input{in}, []*basket.Basket{so},
+		fopts := []factory.Option{
 			factory.WithMinTuples(cfg.minTuples),
 			factory.WithClock(e.clock),
-			factory.WithLatency(latency))
+			factory.WithLatency(latency),
+		}
+		if joinBuilder != nil {
+			sj, err := joinBuilder()
+			if err != nil {
+				unregister(i + 1)
+				for _, done := range facts {
+					done.Close()
+				}
+				return nil, err
+			}
+			fopts = append(fopts, factory.WithStreamJoin(sj))
+		}
+		f, err := factory.New(fmt.Sprintf("%s#%d", name, i), an.ShardPlan, e.cat,
+			[]factory.Input{in}, []*basket.Basket{so}, fopts...)
 		if err != nil {
 			unregister(i + 1)
 			for _, done := range facts {
@@ -582,7 +651,7 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 		Name:      name,
 		SQL:       text,
 		Strategy:  cfg.strategy,
-		stream:    streamName,
+		streams:   []string{streamName},
 		facts:     facts,
 		merge:     merge,
 		out:       out,
@@ -696,7 +765,7 @@ func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *s
 		Name:      name,
 		SQL:       text,
 		Strategy:  cfg.strategy,
-		stream:    streamName,
+		streams:   []string{streamName},
 		facts:     facts,
 		merge:     merge,
 		out:       out,
@@ -813,19 +882,34 @@ func (e *Engine) UnregisterContinuous(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownQuery, name)
 	}
 	delete(e.queries, key)
-	s := e.streams[strings.ToLower(q.stream)]
-	if q.replica != nil && s != nil {
-		// Copy-on-write removal (see registerParsed).
-		next := make([]*basket.Basket, 0, len(s.replicas))
-		for _, r := range s.replicas {
-			if r != q.replica {
-				next = append(next, r)
-			}
+	for _, streamName := range q.streams {
+		s := e.streams[strings.ToLower(streamName)]
+		if s == nil {
+			continue
 		}
-		s.replicas = next
-	}
-	if q.merge != nil && s != nil {
-		s.shardReaders--
+		if len(q.replicas) > 0 {
+			// Copy-on-write removal (see registerParsed).
+			next := make([]*basket.Basket, 0, len(s.replicas))
+			for _, r := range s.replicas {
+				mine := false
+				for _, qr := range q.replicas {
+					if r == qr {
+						mine = true
+						break
+					}
+				}
+				if !mine {
+					next = append(next, r)
+				}
+			}
+			s.replicas = next
+		}
+		if q.merge != nil && s.router != nil {
+			// Every partitioned pipeline registered as a shard reader on
+			// each stream it consumes (both sides of a co-partitioned
+			// join).
+			s.shardReaders--
+		}
 	}
 	e.mu.Unlock()
 	for _, f := range q.facts {
@@ -846,9 +930,10 @@ func (e *Engine) UnregisterContinuous(name string) error {
 	return e.cat.Drop(name + "_out")
 }
 
-// basketExprStream locates the (single) basket expression in the query and
-// returns the stream it reads.
-func basketExprStream(sel *sql.SelectStmt) (string, error) {
+// basketExprStreams locates the basket expressions in the query and
+// returns the streams they read: one for an ordinary continuous query,
+// two for a stream-stream join.
+func basketExprStreams(sel *sql.SelectStmt) ([]string, error) {
 	var found []string
 	var walk func(s *sql.SelectStmt)
 	walk = func(s *sql.SelectStmt) {
@@ -861,8 +946,8 @@ func basketExprStream(sel *sql.SelectStmt) (string, error) {
 		}
 	}
 	walk(sel)
-	if len(found) != 1 {
-		return "", fmt.Errorf("datacell: continuous queries need exactly one basket expression, found %d", len(found))
+	if len(found) < 1 || len(found) > 2 {
+		return nil, fmt.Errorf("datacell: continuous queries need one basket expression (two for a stream-stream join), found %d", len(found))
 	}
-	return found[0], nil
+	return found, nil
 }

@@ -31,6 +31,18 @@ type Context struct {
 	// consuming scans. The caller applies the removal (§2.6: "all tuples
 	// referenced in a basket expression are removed … automatically").
 	Consumed map[string]bat.Candidates
+	// Joins binds plan Join nodes to persistent streaming join state: the
+	// node's children then feed the state's delta probe instead of a
+	// batch hash join. Factories install their StreamJoin here per
+	// firing.
+	Joins map[*plan.Join]IncrementalJoin
+}
+
+// IncrementalJoin is persistent cross-firing join state for one plan
+// Join node. Probe receives an evaluator for the node's children and
+// returns only the new matches this firing produced.
+type IncrementalJoin interface {
+	Probe(eval func(plan.Node) (*storage.Relation, error)) (*storage.Relation, error)
 }
 
 // NewContext returns a Context over the catalog.
@@ -39,6 +51,7 @@ func NewContext(cat *catalog.Catalog) *Context {
 		Catalog:   cat,
 		Overrides: map[string]bat.View{},
 		Consumed:  map[string]bat.Candidates{},
+		Joins:     map[*plan.Join]IncrementalJoin{},
 	}
 }
 
@@ -235,64 +248,12 @@ func runProject(p *plan.Project, ctx *Context) (*storage.Relation, error) {
 	return out, nil
 }
 
-// equiKeys extracts the first equi-join conjunct of on whose sides fall on
-// opposite inputs; it returns the key expressions (right side remapped to
-// the right child's frame) and the remaining conjuncts.
-func equiKeys(on expr.Expr, lw, rw int) (lkey, rkey expr.Expr, rest []expr.Expr) {
-	for _, c := range expr.SplitConjuncts(on) {
-		if lkey == nil {
-			if b, ok := c.(*expr.Binary); ok && b.Op == expr.CmpEq {
-				lSide := sideOf(b.L, lw)
-				rSide := sideOf(b.R, lw)
-				if lSide == 'L' && rSide == 'R' {
-					lkey, rkey = b.L, shiftRight(b.R, lw)
-					continue
-				}
-				if lSide == 'R' && rSide == 'L' {
-					lkey, rkey = b.R, shiftRight(b.L, lw)
-					continue
-				}
-			}
-		}
-		rest = append(rest, c)
-	}
-	return lkey, rkey, rest
-}
-
-// sideOf reports 'L' if every column of e is from the left input, 'R' if
-// from the right, and 'M' for mixed or column-free expressions.
-func sideOf(e expr.Expr, lw int) byte {
-	cols := expr.Columns(e)
-	if len(cols) == 0 {
-		return 'M'
-	}
-	left, right := false, false
-	for _, c := range cols {
-		if c < lw {
-			left = true
-		} else {
-			right = true
-		}
-	}
-	switch {
-	case left && !right:
-		return 'L'
-	case right && !left:
-		return 'R'
-	default:
-		return 'M'
-	}
-}
-
-func shiftRight(e expr.Expr, lw int) expr.Expr {
-	mapping := map[int]int{}
-	for _, c := range expr.Columns(e) {
-		mapping[c] = c - lw
-	}
-	return expr.Remap(e, mapping)
-}
-
 func runJoin(j *plan.Join, ctx *Context) (*storage.Relation, error) {
+	if ij, ok := ctx.Joins[j]; ok {
+		return ij.Probe(func(n plan.Node) (*storage.Relation, error) {
+			return Run(n, ctx)
+		})
+	}
 	left, err := Run(j.L, ctx)
 	if err != nil {
 		return nil, err
@@ -308,7 +269,7 @@ func runJoin(j *plan.Join, ctx *Context) (*storage.Relation, error) {
 	hashed := false
 	if j.On != nil {
 		var lkeyE, rkeyE expr.Expr
-		lkeyE, rkeyE, rest = equiKeys(j.On, lw, len(right.Cols))
+		lkeyE, rkeyE, rest = expr.EquiKeys(j.On, lw)
 		if lkeyE != nil {
 			lkey, err := expr.Eval(lkeyE, left.Cols, nil)
 			if err != nil {
@@ -335,6 +296,18 @@ func runJoin(j *plan.Join, ctx *Context) (*storage.Relation, error) {
 			}
 		}
 	}
+	if j.Within > 0 {
+		lts, rts := left.Cols[j.LTs], right.Cols[j.RTs-lw]
+		keepL := lpos[:0]
+		keepR := rpos[:0]
+		for i := range lpos {
+			if withinBand(lts.Get(lpos[i]), rts.Get(rpos[i]), j.Within) {
+				keepL = append(keepL, lpos[i])
+				keepR = append(keepR, rpos[i])
+			}
+		}
+		lpos, rpos = keepL, keepR
+	}
 
 	out := &storage.Relation{Schema: j.Out, Cols: make([]*vector.Vector, lw+len(right.Cols))}
 	for i, col := range left.Cols {
@@ -352,6 +325,19 @@ func runJoin(j *plan.Join, ctx *Context) (*storage.Relation, error) {
 		out = out.Take(keep)
 	}
 	return out, nil
+}
+
+// withinBand reports whether two timestamps differ by at most d; NULL
+// timestamps never satisfy a band.
+func withinBand(l, r vector.Value, d int64) bool {
+	if l.Null || r.Null {
+		return false
+	}
+	diff := l.I - r.I
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= d
 }
 
 func runAggregate(a *plan.Aggregate, ctx *Context) (*storage.Relation, error) {

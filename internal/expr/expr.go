@@ -566,3 +566,65 @@ func JoinConjuncts(parts []Expr) Expr {
 	}
 	return out
 }
+
+// EquiKeys extracts the first equi-join conjunct of on whose sides fall
+// on opposite inputs of a join with lw left columns. It returns the key
+// expressions — the right-side key remapped into the right child's frame
+// — and the remaining conjuncts. lkey is nil when no equi conjunct
+// exists. This is the key-extraction step shared by the executor's hash
+// join and the partition analyzer's co-partitioning check.
+func EquiKeys(on Expr, lw int) (lkey, rkey Expr, rest []Expr) {
+	for _, c := range SplitConjuncts(on) {
+		if lkey == nil {
+			if b, ok := c.(*Binary); ok && b.Op == CmpEq {
+				lSide := sideOf(b.L, lw)
+				rSide := sideOf(b.R, lw)
+				if lSide == 'L' && rSide == 'R' {
+					lkey, rkey = b.L, shiftRight(b.R, lw)
+					continue
+				}
+				if lSide == 'R' && rSide == 'L' {
+					lkey, rkey = b.R, shiftRight(b.L, lw)
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	return lkey, rkey, rest
+}
+
+// sideOf reports 'L' if every column of e is from the left input, 'R' if
+// from the right, and 'M' for mixed or column-free expressions.
+func sideOf(e Expr, lw int) byte {
+	cols := Columns(e)
+	if len(cols) == 0 {
+		return 'M'
+	}
+	left, right := false, false
+	for _, c := range cols {
+		if c < lw {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	switch {
+	case left && !right:
+		return 'L'
+	case right && !left:
+		return 'R'
+	default:
+		return 'M'
+	}
+}
+
+// shiftRight remaps an expression over the concatenated join frame into
+// the right child's frame.
+func shiftRight(e Expr, lw int) Expr {
+	mapping := map[int]int{}
+	for _, c := range Columns(e) {
+		mapping[c] = c - lw
+	}
+	return Remap(e, mapping)
+}

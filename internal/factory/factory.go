@@ -61,9 +61,15 @@ type Stats struct {
 	TuplesIn  int64
 	TuplesOut int64
 	// Late counts tuples the window runner dropped because they arrived
-	// behind an already-emitted window boundary (0 for unwindowed
-	// factories).
+	// behind an already-emitted window boundary, plus streaming-join
+	// probes that arrived behind their side's watermark (0 for unwindowed,
+	// join-free factories).
 	Late int64
+	// JoinState is the number of rows the factory's streaming join
+	// currently retains (a gauge, not a counter; 0 without a join).
+	JoinState int64
+	// JoinEvictions counts join-state rows expired behind the watermark.
+	JoinEvictions int64
 }
 
 // Factory is a compiled continuous query; it implements
@@ -101,6 +107,15 @@ type Factory struct {
 	// whose end is <= frontier has been appended to the output baskets.
 	// Initialized to math.MinInt64.
 	frontier int64
+
+	// join is the persistent streaming join state of a join query (nil
+	// otherwise). Join factories consume their whole pinned snapshot —
+	// the state retains what future firings still need, so predicate
+	// retention in the basket would only re-probe duplicates.
+	join *exec.StreamJoin
+	// fireAny relaxes Ready to "any input has tuples": a symmetric join
+	// must fire when either stream side has arrivals, not when both do.
+	fireAny bool
 
 	// seen is the per-input arrival watermark (hseq+len observed at the
 	// last firing) for Owned inputs. Tuples a predicate window retained
@@ -144,6 +159,19 @@ func WithWindow(r *window.Runner) Option {
 // queries, whose merge stage aligns windows by that boundary).
 func WithWindowEndTag() Option {
 	return func(f *Factory) { f.tagWindowEnd = true }
+}
+
+// WithStreamJoin attaches persistent streaming join state: the plan's
+// join node probes it incrementally instead of re-running a batch hash
+// join per firing. Symmetric (stream-stream) state also switches the
+// firing rule to "any input has tuples".
+func WithStreamJoin(sj *exec.StreamJoin) Option {
+	return func(f *Factory) {
+		f.join = sj
+		if sj != nil && sj.Symmetric() {
+			f.fireAny = true
+		}
+	}
 }
 
 // WithClock overrides the clock (tests).
@@ -217,6 +245,12 @@ func (f *Factory) Stats() Stats {
 		st.Late = f.runner.Late()
 		f.runnerMu.Unlock()
 	}
+	if f.join != nil {
+		js := f.join.Stats()
+		st.JoinState = js.StateRows
+		st.JoinEvictions = js.Evictions
+		st.Late += js.Late
+	}
 	return st
 }
 
@@ -262,14 +296,23 @@ func (f *Factory) Close() {
 
 // Ready implements scheduler.Transition: all inputs must hold at least
 // minTuples unseen tuples (§2.4: a transition with multiple inputs needs
-// tokens in every input place).
+// tokens in every input place). Symmetric-join factories instead fire
+// when ANY input has tuples — their other side's matches live in the
+// join state, not in the basket.
 func (f *Factory) Ready() bool {
 	for i := range f.inputs {
-		if f.available(i) < f.minTuples {
+		n := f.available(i)
+		if f.fireAny {
+			if n >= f.minTuples {
+				return true
+			}
+			continue
+		}
+		if n < f.minTuples {
 			return false
 		}
 	}
-	return true
+	return !f.fireAny
 }
 
 func (f *Factory) available(i int) int {
@@ -306,6 +349,12 @@ func (f *Factory) Fire() error {
 	var hasGroup bool
 	if f.runner != nil {
 		groupMax, hasGroup = f.runner.GroupMax()
+	}
+	// The same pre-pin discipline for streaming-join clocks: a reading
+	// taken now only covers tuples that are either already processed or
+	// about to be pinned below.
+	if f.join != nil {
+		f.join.ObserveClocks()
 	}
 	// Lock all inputs in name order to avoid deadlock with factories that
 	// share baskets.
@@ -355,6 +404,9 @@ func (f *Factory) Fire() error {
 	}
 
 	ctx := exec.NewContext(f.catalog)
+	if f.join != nil {
+		ctx.Joins[f.join.Node()] = f.join
+	}
 	for _, p := range pins {
 		ctx.Overrides[p.in.Bind] = p.view
 	}
@@ -376,8 +428,15 @@ func (f *Factory) Fire() error {
 		}
 		switch p.in.Mode {
 		case Owned:
-			// Consumed positions are relative to the pinned snapshot.
-			p.in.Basket.LockedRemove(ctx.Consumed[p.in.Bind])
+			if f.join != nil {
+				// Join factories consume the whole snapshot: what future
+				// firings need lives in the join state, and re-examining
+				// retained tuples would re-probe duplicates.
+				p.in.Basket.LockedDropPrefix(p.n)
+			} else {
+				// Consumed positions are relative to the pinned snapshot.
+				p.in.Basket.LockedRemove(ctx.Consumed[p.in.Bind])
+			}
 		case Shared:
 			p.in.Basket.LockedSetMark(p.in.ReaderID, p.hseq+bat.OID(p.n))
 		}

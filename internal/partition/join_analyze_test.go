@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/basket"
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// joinCatalog holds two partitionable streams a(k, v) / b(k, w) and a
+// table ref(k, name).
+func joinCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	sa := catalog.NewSchema(
+		catalog.Column{Name: "k", Type: vector.Int64},
+		catalog.Column{Name: "v", Type: vector.Int64},
+	)
+	sb := catalog.NewSchema(
+		catalog.Column{Name: "k", Type: vector.Int64},
+		catalog.Column{Name: "w", Type: vector.Int64},
+	)
+	if err := cat.Register("a", catalog.KindBasket, basket.New("a", sa, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("b", catalog.KindBasket, basket.New("b", sb, nil)); err != nil {
+		t.Fatal(err)
+	}
+	ref := storage.NewTable("ref", catalog.NewSchema(
+		catalog.Column{Name: "k", Type: vector.Int64},
+		catalog.Column{Name: "name", Type: vector.String},
+	))
+	if err := cat.Register("ref", catalog.KindTable, ref); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func buildJoinPlan(t *testing.T, query string) plan.Node {
+	t.Helper()
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(sel, joinCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The AnalyzeJoin decision matrix: co-partitioned, broadcast, and every
+// fallback reason.
+func TestAnalyzeJoinMatrix(t *testing.T) {
+	specs := map[string]Spec{
+		"a": {Shards: 4, By: "k"},
+		"b": {Shards: 4, By: "k"},
+	}
+	lookup := func(name string) (Spec, bool) {
+		s, ok := specs[strings.ToLower(name)]
+		return s, ok
+	}
+	symSQL := `SELECT l.v AS v, r.w AS w FROM [SELECT * FROM a] AS l JOIN [SELECT * FROM b] AS r ON l.k = r.k`
+	refSQL := `SELECT s.v AS v, ref.name AS name FROM [SELECT * FROM a] AS s JOIN ref ON s.k = ref.k`
+
+	t.Run("co-partitioned", func(t *testing.T) {
+		an := AnalyzeJoin(buildJoinPlan(t, symSQL), lookup)
+		if !an.OK || an.Broadcast || an.Shards != 4 || an.LeftStream != "a" || an.RightStream != "b" {
+			t.Fatalf("analysis = %+v", an)
+		}
+	})
+	t.Run("broadcast", func(t *testing.T) {
+		an := AnalyzeJoin(buildJoinPlan(t, refSQL), lookup)
+		if !an.OK || !an.Broadcast || an.StreamSide != 'L' || an.Stream != "a" {
+			t.Fatalf("analysis = %+v", an)
+		}
+	})
+	t.Run("broadcast-table-left", func(t *testing.T) {
+		an := AnalyzeJoin(buildJoinPlan(t,
+			`SELECT s.v AS v FROM ref JOIN [SELECT * FROM a] AS s ON ref.k = s.k`), lookup)
+		if !an.OK || !an.Broadcast || an.StreamSide != 'R' {
+			t.Fatalf("analysis = %+v", an)
+		}
+	})
+
+	fallbacks := []struct {
+		name   string
+		query  string
+		lookup func(string) (Spec, bool)
+		reason string
+	}{
+		{"no-join", `SELECT x.v AS v FROM [SELECT * FROM a] AS x`, lookup, "no join"},
+		{"aggregate-above-join", `SELECT COUNT(*) AS c FROM [SELECT * FROM a] AS l JOIN [SELECT * FROM b] AS r ON l.k = r.k`, lookup, "aggregation"},
+		{"non-equi", `SELECT l.v AS v, r.w AS w FROM [SELECT * FROM a] AS l JOIN [SELECT * FROM b] AS r ON l.k < r.k`, lookup, "equi-join"},
+		{"key-not-partition-column", `SELECT l.v AS v, r.w AS w FROM [SELECT * FROM a] AS l JOIN [SELECT * FROM b] AS r ON l.v = r.w`, lookup, "partition column"},
+		{"unpartitioned", symSQL, func(string) (Spec, bool) { return Spec{}, false }, "must be partitioned"},
+		{"shard-mismatch", symSQL, func(name string) (Spec, bool) {
+			if name == "a" {
+				return Spec{Shards: 4, By: "k"}, true
+			}
+			return Spec{Shards: 2, By: "k"}, true
+		}, "shard counts differ"},
+		{"round-robin", symSQL, func(string) (Spec, bool) { return Spec{Shards: 4}, true }, "round-robin"},
+	}
+	for _, c := range fallbacks {
+		t.Run("fallback-"+c.name, func(t *testing.T) {
+			an := AnalyzeJoin(buildJoinPlan(t, c.query), c.lookup)
+			if an.OK {
+				t.Fatalf("unexpectedly partitionable: %+v", an)
+			}
+			if !strings.Contains(an.Reason, c.reason) {
+				t.Errorf("reason %q does not mention %q", an.Reason, c.reason)
+			}
+		})
+	}
+}
+
+// InspectJoin classifies sides and shapes.
+func TestInspectJoinShape(t *testing.T) {
+	p := buildJoinPlan(t, `SELECT s.v AS v, ref.name AS name FROM [SELECT * FROM a] AS s JOIN ref ON s.k = ref.k`)
+	shape := InspectJoin(p)
+	if shape.Joins != 1 || shape.Join == nil {
+		t.Fatalf("shape = %+v", shape)
+	}
+	if shape.LeftStream == nil || !strings.EqualFold(shape.LeftStream.Source, "a") {
+		t.Errorf("left stream = %+v", shape.LeftStream)
+	}
+	if !shape.RightTablesOnly || shape.LeftTablesOnly {
+		t.Errorf("tables-only flags: L=%v R=%v", shape.LeftTablesOnly, shape.RightTablesOnly)
+	}
+	if !shape.RowPreserving {
+		t.Error("row-preserving shape misclassified")
+	}
+}

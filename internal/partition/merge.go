@@ -78,34 +78,22 @@ func Analyze(p plan.Node, stream, partitionBy, mergeSource string) Analysis {
 	var scans []*plan.Scan
 	var aggs []*plan.Aggregate
 	hasJoin, hasSort := false, false
-	var walk func(n plan.Node)
-	walk = func(n plan.Node) {
+	plan.Walk(p, func(n plan.Node) {
 		switch x := n.(type) {
 		case *plan.Scan:
 			scans = append(scans, x)
-		case *plan.Select:
-			walk(x.Child)
-		case *plan.Project:
-			walk(x.Child)
-		case *plan.Distinct:
-			walk(x.Child)
 		case *plan.Aggregate:
 			aggs = append(aggs, x)
-			walk(x.Child)
 		case *plan.Join:
 			hasJoin = true
-			walk(x.L)
-			walk(x.R)
 		case *plan.Sort:
 			hasSort = true
-			walk(x.Child)
 		}
-	}
-	walk(p)
+	})
 
 	switch {
 	case hasJoin:
-		return notPartitionable("joins need tuples from more than one shard")
+		return notPartitionable("join plans decompose via AnalyzeJoin (co-partitioned / broadcast), not the single-stream analyzer")
 	case hasSort:
 		return notPartitionable("ORDER BY / LIMIT is a global order over all shards")
 	case len(scans) != 1:

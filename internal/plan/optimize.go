@@ -30,7 +30,8 @@ func pushdown(n Node) Node {
 	case *Project:
 		return &Project{Child: pushdown(x.Child), Exprs: x.Exprs, Out: x.Out}
 	case *Join:
-		return &Join{L: pushdown(x.L), R: pushdown(x.R), On: x.On, Out: x.Out}
+		return &Join{L: pushdown(x.L), R: pushdown(x.R), On: x.On,
+			Within: x.Within, LTs: x.LTs, RTs: x.RTs, Out: x.Out}
 	case *Aggregate:
 		return &Aggregate{Child: pushdown(x.Child), Keys: x.Keys, Aggs: x.Aggs, Out: x.Out}
 	case *Sort:
@@ -93,7 +94,8 @@ func pushSelect(pred expr.Expr, child Node) Node {
 		if rp := expr.JoinConjuncts(rightParts); rp != nil {
 			r = pushSelect(rp, r)
 		}
-		join := &Join{L: l, R: r, On: c.On, Out: c.Out}
+		join := &Join{L: l, R: r, On: c.On,
+			Within: c.Within, LTs: c.LTs, RTs: c.RTs, Out: c.Out}
 		if kp := expr.JoinConjuncts(keep); kp != nil {
 			return &Select{Child: join, Pred: kp}
 		}
@@ -181,6 +183,11 @@ func prune(n Node, need []bool) (Node, map[int]int) {
 				mark(ci)
 			}
 		}
+		if x.Within > 0 {
+			// The WITHIN band reads both sides' ts columns at execution.
+			mark(x.LTs)
+			mark(x.RTs)
+		}
 		l, lm := prune(x.L, lNeed)
 		r, rm := prune(x.R, rNeed)
 		newLW := l.Schema().Len()
@@ -198,7 +205,12 @@ func prune(n Node, need []bool) (Node, map[int]int) {
 		if x.On != nil {
 			on = expr.Remap(x.On, mapping)
 		}
-		return &Join{L: l, R: r, On: on, Out: out}, mapping
+		nj := &Join{L: l, R: r, On: on, Within: x.Within, Out: out}
+		if x.Within > 0 {
+			nj.LTs = mapping[x.LTs]
+			nj.RTs = mapping[x.RTs]
+		}
+		return nj, mapping
 
 	case *Aggregate:
 		// Keep all aggregate outputs (they are cheap scalars); prune below.

@@ -88,11 +88,19 @@ func (p *Project) String() string {
 }
 
 // Join combines two inputs; On (which may be nil for a cross product) is a
-// predicate over the concatenated schema (left columns first).
+// predicate over the concatenated schema (left columns first). Within,
+// when positive, is a time bound in nanoseconds: rows match only when
+// their timestamps (columns LTs and RTs of the concatenated schema)
+// differ by at most Within — the join-window of JOIN … ON … WITHIN '5s',
+// which also bounds streaming join state.
 type Join struct {
-	L, R Node
-	On   expr.Expr
-	Out  *catalog.Schema
+	L, R   Node
+	On     expr.Expr
+	Within int64
+	// LTs and RTs index the two sides' timestamp columns in the
+	// concatenated schema (valid only when Within > 0).
+	LTs, RTs int
+	Out      *catalog.Schema
 }
 
 // Schema implements Node.
@@ -102,6 +110,9 @@ func (j *Join) Schema() *catalog.Schema { return j.Out }
 func (j *Join) String() string {
 	if j.On == nil {
 		return "CrossJoin"
+	}
+	if j.Within > 0 {
+		return fmt.Sprintf("Join(%s, within=%dns)", j.On, j.Within)
 	}
 	return fmt.Sprintf("Join(%s)", j.On)
 }
@@ -157,6 +168,28 @@ func (s *Sort) Schema() *catalog.Schema { return s.Child.Schema() }
 // String implements Node.
 func (s *Sort) String() string {
 	return fmt.Sprintf("Sort(keys=%d, limit=%d)", len(s.Keys), s.Limit)
+}
+
+// Walk calls fn for every node of the plan tree in pre-order — the one
+// traversal analyzers build on, so adding a node type means extending
+// exactly this switch.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	switch x := n.(type) {
+	case *Select:
+		Walk(x.Child, fn)
+	case *Project:
+		Walk(x.Child, fn)
+	case *Aggregate:
+		Walk(x.Child, fn)
+	case *Distinct:
+		Walk(x.Child, fn)
+	case *Sort:
+		Walk(x.Child, fn)
+	case *Join:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	}
 }
 
 // Explain renders the plan tree, one node per line.
@@ -245,7 +278,15 @@ func (b *binder) resolve(id *sql.Ident) (*expr.ColRef, error) {
 // window clause, if any, is not part of the logical plan — the window layer
 // handles it (see internal/window).
 func Build(sel *sql.SelectStmt, cat *catalog.Catalog) (Node, error) {
-	n, _, err := build(sel, cat)
+	return BuildWithEventTime(sel, cat, "")
+}
+
+// BuildWithEventTime plans like Build but resolves JOIN ... WITHIN time
+// bounds against the named event-time column instead of the implicit
+// arrival ts column (the engine's timestamp = col option). The column
+// must exist, uniquely, on both join inputs and be INT or TIMESTAMP.
+func BuildWithEventTime(sel *sql.SelectStmt, cat *catalog.Catalog, tsCol string) (Node, error) {
+	n, _, err := build(sel, cat, tsCol)
 	if err != nil {
 		return nil, err
 	}
@@ -255,11 +296,11 @@ func Build(sel *sql.SelectStmt, cat *catalog.Catalog) (Node, error) {
 // BuildUnoptimized plans without running the optimizer (used by tests and
 // the EXPLAIN path).
 func BuildUnoptimized(sel *sql.SelectStmt, cat *catalog.Catalog) (Node, error) {
-	n, _, err := build(sel, cat)
+	n, _, err := build(sel, cat, "")
 	return n, err
 }
 
-func build(sel *sql.SelectStmt, cat *catalog.Catalog) (Node, *binder, error) {
+func build(sel *sql.SelectStmt, cat *catalog.Catalog, tsCol string) (Node, *binder, error) {
 	if len(sel.From) == 0 {
 		return nil, nil, fmt.Errorf("plan: SELECT without FROM is not supported")
 	}
@@ -290,6 +331,23 @@ func build(sel *sql.SelectStmt, cat *catalog.Catalog) (Node, *binder, error) {
 				return nil, nil, fmt.Errorf("plan: JOIN condition must be boolean")
 			}
 			join.On = expr.Fold(on)
+		}
+		if item.Within > 0 {
+			tsName := tsCol
+			if tsName == "" {
+				tsName = catalog.TimestampColumn
+			}
+			lts, err := soleTimestamp(root.Schema(), tsName, "left")
+			if err != nil {
+				return nil, nil, err
+			}
+			rts, err := soleTimestamp(child.Schema(), tsName, "right")
+			if err != nil {
+				return nil, nil, err
+			}
+			join.Within = item.Within
+			join.LTs = lts
+			join.RTs = root.Schema().Len() + rts
 		}
 		root = join
 	}
@@ -376,6 +434,31 @@ func build(sel *sql.SelectStmt, cat *catalog.Catalog) (Node, *binder, error) {
 	return dedupe(&Project{Child: sorted, Exprs: outExprs, Out: out}), b, nil
 }
 
+// soleTimestamp finds the single time column of one join side for a
+// WITHIN bound; zero or several candidates make the bound meaningless (a
+// table side has no arrival stamp, a multi-basket side an ambiguous one).
+func soleTimestamp(s *catalog.Schema, name, side string) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			if found >= 0 {
+				return 0, fmt.Errorf("plan: WITHIN is ambiguous — the %s join input has several %q columns", side, name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("plan: WITHIN needs a %q column on the %s join input", name, side)
+	}
+	switch s.Columns[found].Type {
+	case vector.Int64, vector.Timestamp:
+	default:
+		return 0, fmt.Errorf("plan: WITHIN column %q on the %s join input must be INT or TIMESTAMP, is %s",
+			name, side, s.Columns[found].Type)
+	}
+	return found, nil
+}
+
 func resolveAll(items []sql.OrderItem, b *binder) ([]expr.Expr, error) {
 	var keys []expr.Expr
 	for _, o := range items {
@@ -407,7 +490,7 @@ func buildFromItem(item *sql.FromItem, cat *catalog.Catalog) (Node, frame, error
 		if item.Basket {
 			return buildBasketExpr(item, cat)
 		}
-		sub, _, err := build(item.Sub, cat)
+		sub, _, err := build(item.Sub, cat, "")
 		if err != nil {
 			return nil, frame{}, err
 		}

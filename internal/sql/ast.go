@@ -125,6 +125,11 @@ type FromItem struct {
 	// JoinOn, when non-nil, joins this item to the accumulated left input
 	// (written as JOIN … ON …). Nil means cross product (comma syntax).
 	JoinOn Expr
+	// Within is the join's time bound in nanoseconds (JOIN … ON … WITHIN
+	// '5s'): rows match only when their timestamps differ by at most
+	// Within. 0 means unbounded. Streaming joins use it to expire
+	// symmetric-hash state behind the watermark.
+	Within int64
 }
 
 // OrderItem is one ORDER BY key.

@@ -1,0 +1,92 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+)
+
+// JOIN ... ON ... WITHIN parses into FromItem.Within (nanoseconds).
+func TestParseJoinWithin(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want int64
+	}{
+		{"SELECT * FROM a JOIN b ON a.x = b.y WITHIN '5s'", 5_000_000_000},
+		{"SELECT * FROM a JOIN b ON a.x = b.y WITHIN '250ms'", 250_000_000},
+		{"SELECT * FROM a JOIN b ON a.x = b.y WITHIN 100", 100},
+		{"SELECT * FROM a JOIN b ON a.x = b.y", 0},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		sel := st.(*SelectStmt)
+		if len(sel.From) != 2 {
+			t.Fatalf("%s: %d FROM items", c.sql, len(sel.From))
+		}
+		if got := sel.From[1].Within; got != c.want {
+			t.Errorf("%s: Within = %d, want %d", c.sql, got, c.want)
+		}
+		if sel.From[1].JoinOn == nil {
+			t.Errorf("%s: JoinOn missing", c.sql)
+		}
+	}
+}
+
+// WITHIN still composes with the clauses that follow the FROM list.
+func TestParseJoinWithinThenWhere(t *testing.T) {
+	st, err := Parse("SELECT * FROM a JOIN b ON a.x = b.y WITHIN '1s' WHERE a.x > 3 LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if sel.From[1].Within != 1_000_000_000 || sel.Where == nil || sel.Limit != 5 {
+		t.Errorf("within=%d where=%v limit=%d", sel.From[1].Within, sel.Where, sel.Limit)
+	}
+}
+
+// WITHIN is contextual, not reserved: "within" keeps working as a
+// column or table name everywhere outside the post-ON position.
+func TestWithinNotReserved(t *testing.T) {
+	for _, q := range []string{
+		"CREATE BASKET b (within INT, v INT)",
+		"SELECT within FROM b WHERE within > 3",
+		"SELECT t.within AS w FROM b AS t ORDER BY within",
+		"SELECT * FROM a JOIN b ON a.x = b.within",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("%s: %v", q, err)
+		}
+	}
+}
+
+// JOIN error paths are ParseErrors with a position, not panics or silent
+// acceptance.
+func TestParseJoinErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"missing-ON", "SELECT * FROM a JOIN b WHERE a.x = 1"},
+		{"missing-condition", "SELECT * FROM a JOIN b ON"},
+		{"missing-table", "SELECT * FROM a JOIN ON a.x = b.y"},
+		{"inner-without-join", "SELECT * FROM a INNER b ON a.x = b.y"},
+		{"within-missing-value", "SELECT * FROM a JOIN b ON a.x = b.y WITHIN"},
+		{"within-bad-duration", "SELECT * FROM a JOIN b ON a.x = b.y WITHIN 'yesterday'"},
+		{"within-negative", "SELECT * FROM a JOIN b ON a.x = b.y WITHIN '-5s'"},
+		{"within-zero", "SELECT * FROM a JOIN b ON a.x = b.y WITHIN 0"},
+		{"within-ident", "SELECT * FROM a JOIN b ON a.x = b.y WITHIN soon"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.sql)
+		if err == nil {
+			t.Errorf("%s: parsed without error", c.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a *ParseError", c.name, err)
+		}
+	}
+}

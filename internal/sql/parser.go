@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/vector"
 )
@@ -448,6 +449,17 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 				return nil, err
 			}
 			item.JoinOn = on
+			// WITHIN is contextual, not reserved: only this position after
+			// a JOIN condition reads it, so columns named "within" keep
+			// working everywhere else.
+			if t := p.peek(); t.Kind == TIdent && strings.EqualFold(t.Text, "WITHIN") {
+				p.pos++
+				within, err := p.parseDuration()
+				if err != nil {
+					return nil, err
+				}
+				item.Within = within
+			}
 			sel.From = append(sel.From, *item)
 		}
 	}
@@ -522,6 +534,31 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		sel.Window = w
 	}
 	return sel, nil
+}
+
+// parseDuration reads a positive time bound: a bare integer is
+// nanoseconds, a string literal goes through time.ParseDuration
+// (WITHIN '5s').
+func (p *parser) parseDuration() (int64, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TNumber:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n <= 0 {
+			return 0, p.errorf("invalid duration %q (want positive nanoseconds)", t.Text)
+		}
+		return n, nil
+	case TString:
+		p.pos++
+		d, err := time.ParseDuration(t.Text)
+		if err != nil || d <= 0 {
+			return 0, p.errorf("invalid duration %q (want e.g. '5s')", t.Text)
+		}
+		return d.Nanoseconds(), nil
+	default:
+		return 0, p.errorf("expected a duration, found %q", t.Text)
+	}
 }
 
 func (p *parser) parseWindow() (*WindowClause, error) {

@@ -126,6 +126,9 @@ type Table struct {
 	// across consumption (see bat.View).
 	dropped     int64
 	chunkTarget int
+	// version counts mutations (appends, removals); cached derivations —
+	// a streaming join's table-side hash — invalidate when it moves.
+	version uint64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -178,6 +181,15 @@ func (t *Table) Hseq() bat.OID {
 	return bat.OID(t.dropped)
 }
 
+// Version returns the table's mutation counter: it moves on every
+// append or removal, so cached derivations (a streaming join's
+// table-side hash index) can detect change cheaply.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
 // Stats reports the physical layout: resident chunk count (sealed plus a
 // non-empty tail), live rows, and the cumulative count of tuples consumed
 // from the front over the table's lifetime.
@@ -214,6 +226,7 @@ func (t *Table) AppendRow(row []vector.Value) error {
 	}
 	t.tailRows++
 	t.rows++
+	t.version++
 	if t.tailRows >= t.chunkTarget {
 		t.seal()
 	}
@@ -244,6 +257,7 @@ func (t *Table) AppendBatch(cols []*vector.Vector) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.version++
 	for off := 0; off < n; {
 		take := t.chunkTarget - t.tailRows
 		if take > n-off {
@@ -308,6 +322,7 @@ func (t *Table) DropPrefix(n int) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.version++
 	if n > t.rows {
 		n = t.rows
 	}
@@ -351,6 +366,7 @@ func (t *Table) DropPrefix(n int) {
 func (t *Table) Retain(pos []int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.version++
 	n := t.rows
 	newSealed := t.sealed[:0:0]
 	i, base := 0, 0
@@ -403,6 +419,7 @@ func (t *Table) Remove(pos []int) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.version++
 	n := t.rows
 	newSealed := t.sealed[:0:0]
 	i, base := 0, 0
@@ -435,6 +452,7 @@ func (t *Table) Remove(pos []int) {
 func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.version++
 	t.sealed = nil
 	t.tail = t.freshCols()
 	t.tailRows = 0
