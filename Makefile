@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke check
+.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke bench-durability bench-durability-smoke check
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,17 @@ bench-join:
 # symmetric state, expiry, and the broadcast table hash.
 bench-join-smoke:
 	$(GO) run ./cmd/hotpathbench -scenario join -smoke -cpus 1,2,4 -o -
+
+# bench-durability runs the durability scenario: WAL-off vs WAL-on
+# ingest throughput (group-committed batches from concurrent ingesters)
+# and dirty-crash recovery time against logs of growing size.
+bench-durability:
+	$(GO) run ./cmd/hotpathbench -scenario durability -o -
+
+# bench-durability-smoke is the CI sanity run: tiny workload, still
+# exercising group commit, the copy-and-reopen crash image, and replay.
+bench-durability-smoke:
+	$(GO) run ./cmd/hotpathbench -scenario durability -smoke -o -
 
 # bench-go runs the paper-experiment testing.B benchmarks once each.
 bench-go:

@@ -33,6 +33,9 @@
 //     a WITHIN band (symmetric hash state, event-time expiry) and a
 //     stream-table enrichment join (cached table-side hash), each flat
 //     vs co-partitioned/broadcast across 4 shards.
+//   - durability: the WAL tax — the same continuous filter with the
+//     write-ahead log off vs on (group-committed ingest) — and
+//     dirty-crash recovery time (Open + tail replay) vs log size.
 package main
 
 import (
@@ -42,9 +45,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -112,18 +117,33 @@ type JoinResult struct {
 	Evictions    int64   `json:"join_evictions"`
 }
 
+// DurabilityResult is one durability measurement: ingest throughput of
+// the same continuous filter with the WAL off vs on (the group-commit
+// fsync tax), and crash-recovery wall time against logs of growing size.
+type DurabilityResult struct {
+	Name            string  `json:"name"`
+	Mode            string  `json:"mode"` // wal_off | wal_on | recovery
+	Tuples          int     `json:"tuples"`
+	TuplesPerSec    float64 `json:"tuples_per_sec,omitempty"`
+	NsPerTuple      float64 `json:"ns_per_tuple,omitempty"`
+	WALBytes        int64   `json:"wal_bytes,omitempty"`
+	RecoveryMs      float64 `json:"recovery_ms,omitempty"`
+	ReplayedRecords int64   `json:"replayed_records,omitempty"`
+}
+
 // Report is the BENCH_results.json document: the numbers measured by
 // this run plus the recorded pre-refactor baseline for comparison.
 type Report struct {
-	Note        string           `json:"note"`
-	GoOS        string           `json:"goos"`
-	GoArch      string           `json:"goarch"`
-	NumCPU      int              `json:"num_cpu"`
-	Baseline    []Result         `json:"before_chunked_storage"`
-	Current     []Result         `json:"current"`
-	Partitioned []PartResult     `json:"partitioned,omitempty"`
-	Windowed    []WindowedResult `json:"windowed,omitempty"`
-	Join        []JoinResult     `json:"join,omitempty"`
+	Note        string             `json:"note"`
+	GoOS        string             `json:"goos"`
+	GoArch      string             `json:"goarch"`
+	NumCPU      int                `json:"num_cpu"`
+	Baseline    []Result           `json:"before_chunked_storage"`
+	Current     []Result           `json:"current"`
+	Partitioned []PartResult       `json:"partitioned,omitempty"`
+	Windowed    []WindowedResult   `json:"windowed,omitempty"`
+	Join        []JoinResult       `json:"join,omitempty"`
+	Durability  []DurabilityResult `json:"durability,omitempty"`
 }
 
 // baseline holds the numbers measured on the flat (suffix-copying)
@@ -746,6 +766,191 @@ func benchJoinStreamTable(cpus, shards, tuples int) JoinResult {
 	return r
 }
 
+// benchDurability measures the durability tax and the recovery path:
+// the same consume-all continuous filter is driven with the WAL off
+// (volatile engine) and on (group-committed ingest), and crash recovery
+// is timed against logs of growing size — the engine is "killed" by
+// copying its live data directory without Stop, so the reopened copy
+// must replay the whole tail.
+func benchDurability(tuples int) []DurabilityResult {
+	ctx := context.Background()
+	const batchRows, nBatches = 4096, 8
+	batches := make([][]*vector.Vector, nBatches)
+	for b := range batches {
+		k := vector.NewWithCap(vector.Int64, batchRows)
+		v := vector.NewWithCap(vector.Int64, batchRows)
+		for i := 0; i < batchRows; i++ {
+			k.AppendInt(int64((b*batchRows + i*7) % 4096))
+			v.AppendInt(int64(i % 1000))
+		}
+		batches[b] = []*vector.Vector{k, v}
+	}
+
+	// run ingests n tuples through a filter query from several
+	// concurrent ingesters — the group-commit shape: committers that
+	// arrive during an fsync share the next round, so the per-batch
+	// durability tax amortizes. It returns the elapsed wall time with
+	// the engine still running (so a durable run's directory can be
+	// copied "mid-crash" before Stop).
+	const ingesters = 8
+	run := func(dir string, n int) (time.Duration, int, *datacell.Engine) {
+		var eng *datacell.Engine
+		if dir == "" {
+			eng = datacell.New(datacell.Config{Workers: 2})
+		} else {
+			var err error
+			eng, err = datacell.Open(ctx, datacell.Config{Workers: 2, DataDir: dir, CheckpointInterval: -1})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := eng.Exec(ctx, "CREATE BASKET d (k INT, v INT)"); err != nil {
+			log.Fatal(err)
+		}
+		q, err := eng.RegisterContinuous("filt",
+			"SELECT * FROM [SELECT * FROM d] AS x WHERE x.v < 500",
+			datacell.WithBackpressure(datacell.BackpressureDropOldest),
+			datacell.WithSubscriptionDepth(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			for range q.Subscription().C() {
+			}
+		}()
+		if err := eng.Start(ctx); err != nil {
+			log.Fatal(err)
+		}
+		perWorker := (n + ingesters*batchRows - 1) / (ingesters * batchRows)
+		sent := perWorker * ingesters * batchRows
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < ingesters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for b := 0; b < perWorker; b++ {
+					if err := eng.IngestColumns(ctx, "d", batches[(w+b)%nBatches]); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		deadline := time.Now().Add(2 * time.Minute)
+		for q.Stats().TuplesIn < int64(sent) {
+			if time.Now().After(deadline) {
+				log.Fatalf("durability bench stalled: %d of %d consumed", q.Stats().TuplesIn, sent)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return time.Since(start), sent, eng
+	}
+
+	// Throughput runs use a 4x longer stream than the recovery points:
+	// at the base count a wal_off pass lasts only ~10 ms, so process
+	// warm-up and the phase of the GC cycle dominate the reading and the
+	// wal_on/wal_off ratio swings run to run. The longer window averages
+	// those out; recovery keeps the smaller graded sizes so replay cost
+	// vs log length stays visible.
+	thr := tuples * 4
+
+	var out []DurabilityResult
+	elOff, sentOff, engOff := run("", thr)
+	if err := engOff.Stop(ctx); err != nil {
+		log.Fatal(err)
+	}
+	r := DurabilityResult{
+		Name:         "durability",
+		Mode:         "wal_off",
+		Tuples:       sentOff,
+		TuplesPerSec: float64(sentOff) / elOff.Seconds(),
+		NsPerTuple:   float64(elOff.Nanoseconds()) / float64(sentOff),
+	}
+	fmt.Fprintf(os.Stderr, "%-22s mode=%-9s %12.0f tuples/s %8.1f ns/tuple\n",
+		r.Name, r.Mode, r.TuplesPerSec, r.NsPerTuple)
+	out = append(out, r)
+
+	for _, n := range []int{tuples / 4, tuples / 2, thr} {
+		dir, err := os.MkdirTemp("", "dcdur-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		rdir, err := os.MkdirTemp("", "dcrec-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		el, sent, eng := run(dir, n)
+		st := eng.Stats()
+		if err := copyTree(dir, rdir); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Stop(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if n == thr {
+			r := DurabilityResult{
+				Name:         "durability",
+				Mode:         "wal_on",
+				Tuples:       sent,
+				TuplesPerSec: float64(sent) / el.Seconds(),
+				NsPerTuple:   float64(el.Nanoseconds()) / float64(sent),
+				WALBytes:     st.WALBytes,
+			}
+			fmt.Fprintf(os.Stderr, "%-22s mode=%-9s %12.0f tuples/s %8.1f ns/tuple wal=%dB\n",
+				r.Name, r.Mode, r.TuplesPerSec, r.NsPerTuple, r.WALBytes)
+			out = append(out, r)
+		}
+		t0 := time.Now()
+		e2, err := datacell.Open(ctx, datacell.Config{DataDir: rdir, CheckpointInterval: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := time.Since(t0)
+		rst := e2.Stats()
+		if err := e2.Stop(ctx); err != nil {
+			log.Fatal(err)
+		}
+		rr := DurabilityResult{
+			Name:            "durability",
+			Mode:            "recovery",
+			Tuples:          sent,
+			WALBytes:        st.WALBytes,
+			RecoveryMs:      float64(rec.Microseconds()) / 1000,
+			ReplayedRecords: rst.RecoveredRecords,
+		}
+		fmt.Fprintf(os.Stderr, "%-22s mode=%-9s %8d tuples  wal=%-9dB recovered in %7.2f ms (%d records)\n",
+			rr.Name, rr.Mode, rr.Tuples, rr.WALBytes, rr.RecoveryMs, rr.ReplayedRecords)
+		out = append(out, rr)
+		os.RemoveAll(dir)
+		os.RemoveAll(rdir)
+	}
+	return out
+}
+
+// copyTree clones a durability data directory — the crash image a
+// recovery run reopens.
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
 // newSplitmix is a tiny deterministic PRNG so batch construction does
 // not depend on math/rand ordering across Go versions.
 func newSplitmix(seed uint64) func() uint64 {
@@ -773,7 +978,7 @@ func parseCpus(s string) []int {
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output file ('-' for stdout)")
-	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, join, or all")
+	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, join, durability, or all")
 	cpusFlag := flag.String("cpus", "1,2,4", "GOMAXPROCS settings for the partitioned/windowed scenarios")
 	smoke := flag.Bool("smoke", false, "tiny partitioned/windowed workload (CI sanity run)")
 	flag.Parse()
@@ -834,6 +1039,15 @@ func main() {
 		}
 	}
 
+	var dur []DurabilityResult
+	if *scenario == "all" || *scenario == "durability" {
+		tuples := 1 << 18
+		if *smoke {
+			tuples = 1 << 14
+		}
+		dur = benchDurability(tuples)
+	}
+
 	rep := Report{
 		Note: "basket hot-path trajectory: 'before_chunked_storage' was measured on the flat " +
 			"suffix-copying storage layer (commit f207497); 'current' is this checkout. " +
@@ -847,7 +1061,11 @@ func main() {
 			"'join' is streaming-join throughput: stream_stream is a symmetric-hash equi-join " +
 			"with WITHIN 4096 ticks (state expired behind the watermark, co-partitioned when " +
 			"shards > 1), stream_table is enrichment against a 4096-row reference table " +
-			"(cached table-side hash, broadcast when shards > 1).",
+			"(cached table-side hash, broadcast when shards > 1). " +
+			"'durability' is the WAL tax and recovery path: the same continuous filter driven " +
+			"with the WAL off vs on (group-committed 4096-row ingest batches, background " +
+			"checkpointer off), and dirty-crash recovery wall time (Open + full tail replay of " +
+			"a copied live data directory) against logs of growing size.",
 		GoOS:        runtime.GOOS,
 		GoArch:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
@@ -856,6 +1074,7 @@ func main() {
 		Partitioned: part,
 		Windowed:    win,
 		Join:        join,
+		Durability:  dur,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -55,6 +55,15 @@
 // re-snapshot on change, and on partitioned streams equi-joins run
 // co-partitioned (or with the table broadcast) across shard pipelines.
 //
+// Opening with Config.DataDir makes the engine durable: acknowledged
+// ingest batches and DDL are group-committed to a segmented write-ahead
+// log, operator state (baskets, window panes, join state, delivery
+// frontiers) is checkpointed periodically, and the next Open replays the
+// log tail past the newest checkpoint — continuous queries resume
+// without losing acknowledged tuples or re-emitting delivered results.
+// A clean Stop writes a final checkpoint so clean restarts skip replay.
+// See Engine.Checkpoint, Engine.Stats, and Query.Checkpoint.
+//
 // # Migrating from the pre-session API
 //
 //   - datacell.New(cfg) still works but Open(ctx, cfg) is preferred: it
@@ -161,6 +170,16 @@ var (
 	// ErrUnsupportedJoin reports a stream-stream join shape the streaming
 	// executor cannot run incrementally (non-equi, multi-way, windowed).
 	ErrUnsupportedJoin = idc.ErrUnsupportedJoin
+	// ErrCorruptWAL reports unrecoverable write-ahead-log damage: an
+	// interior torn frame, checksum mismatch, or sequence gap (a torn
+	// tail on the final segment is truncated silently instead).
+	ErrCorruptWAL = idc.ErrCorruptWAL
+	// ErrCheckpointMismatch reports a checkpoint image that does not fit
+	// the catalog rebuilt from the DDL journal.
+	ErrCheckpointMismatch = idc.ErrCheckpointMismatch
+	// ErrNotDurable reports a durability operation on an engine opened
+	// without Config.DataDir.
+	ErrNotDurable = idc.ErrNotDurable
 )
 
 // ParseError is a SQL syntax error with line/column position, asserted
@@ -288,7 +307,20 @@ var (
 	// WithBackpressure selects the subscription overflow policy
 	// (backpressure = block | drop_oldest).
 	WithBackpressure = idc.WithBackpressure
+	// WithDurable includes or excludes the query's operator state from
+	// checkpoints on a durable engine (durable = true | false).
+	WithDurable = idc.WithDurable
+	// WithCheckpointInterval tightens the engine's background checkpoint
+	// cadence to at most d (checkpoint_interval = ...).
+	WithCheckpointInterval = idc.WithCheckpointInterval
 )
+
+// EngineStats is the durability posture reported by Engine.Stats: WAL
+// size, checkpoint coverage, and what the last Open had to replay.
+type EngineStats = idc.EngineStats
+
+// CheckpointInfo is a query's durability posture, from Query.Checkpoint.
+type CheckpointInfo = idc.CheckpointInfo
 
 // MustExec runs a statement and panics on error — for examples and setup
 // code where failure is a programming bug.

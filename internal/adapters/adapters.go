@@ -257,6 +257,17 @@ type ChannelEmitter struct {
 	sendMu  sync.Mutex
 	closed  bool
 	dropped int64
+
+	// Durability hooks (guarded by sendMu). delivered counts rows handed
+	// to the subscriber since the query registered; after a restart the
+	// engine seeds it with the checkpointed value and sets suppress to
+	// the number of re-derived rows that were already delivered before
+	// the crash — those are trimmed instead of re-sent, which is what
+	// makes recovery resumption exactly-once at this boundary. onDeliver
+	// publishes the advancing frontier (the engine journals it).
+	delivered int64
+	suppress  int64
+	onDeliver func(delivered int64)
 }
 
 // NewChannelEmitter builds a channel emitter with the given buffer depth
@@ -312,6 +323,41 @@ func (e *ChannelEmitter) Close() {
 	e.sendMu.Unlock()
 }
 
+// Delivered returns the number of rows handed to the subscriber (plus
+// any checkpoint-seeded base after a restart).
+func (e *ChannelEmitter) Delivered() int64 {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	return e.delivered
+}
+
+// SetDelivered seeds the delivered counter (recovery: the checkpointed
+// frontier). Call before the emitter is scheduled.
+func (e *ChannelEmitter) SetDelivered(n int64) {
+	e.sendMu.Lock()
+	e.delivered = n
+	e.sendMu.Unlock()
+}
+
+// SetSuppress arranges for the next n emitted rows to be trimmed rather
+// than sent — recovery replay re-derives results that were already
+// delivered before the crash. Call before the emitter is scheduled.
+func (e *ChannelEmitter) SetSuppress(n int64) {
+	e.sendMu.Lock()
+	if n > 0 {
+		e.suppress = n
+	}
+	e.sendMu.Unlock()
+}
+
+// OnDeliver registers the frontier callback, invoked with the new
+// delivered total after each successful hand-off.
+func (e *ChannelEmitter) OnDeliver(fn func(delivered int64)) {
+	e.sendMu.Lock()
+	e.onDeliver = fn
+	e.sendMu.Unlock()
+}
+
 // Fire implements scheduler.Transition.
 func (e *ChannelEmitter) Fire() error {
 	e.source.Lock()
@@ -321,16 +367,33 @@ func (e *ChannelEmitter) Fire() error {
 	if n == 0 {
 		return nil
 	}
-	rel := &storage.Relation{Schema: e.source.Schema(), Cols: view.Columns()}
 	e.sendMu.Lock()
 	defer e.sendMu.Unlock()
 	if e.closed {
 		return nil
 	}
+	if e.suppress > 0 {
+		k := int(e.suppress)
+		if k > n {
+			k = n
+		}
+		e.suppress -= int64(k)
+		e.delivered += int64(k)
+		view = view.Slice(k, n)
+		n -= k
+		if n == 0 {
+			if e.onDeliver != nil {
+				e.onDeliver(e.delivered)
+			}
+			return nil
+		}
+	}
+	rel := &storage.Relation{Schema: e.source.Schema(), Cols: view.Columns()}
 	if e.policy == BackpressureDropOldest {
 		for {
 			select {
 			case e.ch <- rel:
+				e.markDelivered(n)
 				return nil
 			default:
 				select {
@@ -346,7 +409,17 @@ func (e *ChannelEmitter) Fire() error {
 	// until the subscriber catches up (or the emitter closes).
 	select {
 	case e.ch <- rel:
+		e.markDelivered(n)
 	case <-e.done:
 	}
 	return nil
+}
+
+// markDelivered advances the delivered counter and publishes the new
+// frontier; the caller holds sendMu.
+func (e *ChannelEmitter) markDelivered(n int) {
+	e.delivered += int64(n)
+	if e.onDeliver != nil {
+		e.onDeliver(e.delivered)
+	}
 }

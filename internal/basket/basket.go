@@ -102,6 +102,25 @@ func (b *Basket) Bounds() (hseq bat.OID, n int) {
 // Append adds a batch of user columns, stamping every tuple with the
 // current clock time. It wakes the scheduler hook.
 func (b *Basket) Append(cols []*vector.Vector) error {
+	b.mu.Lock()
+	err := b.LockedAppend(cols)
+	hook := b.onAppend
+	b.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if hook != nil {
+		hook()
+	}
+	return nil
+}
+
+// LockedAppend is Append for a caller that already holds Lock — used by
+// the engine's sharded fan-out, which appends one batch's slices to
+// every shard basket under all their locks at once so no shard can
+// observe (and process) its slice before the siblings have theirs. The
+// caller fires NotifyAppend after unlocking.
+func (b *Basket) LockedAppend(cols []*vector.Vector) error {
 	if len(cols) != b.UserWidth() {
 		return fmt.Errorf("basket %s: expected %d columns, got %d", b.name, b.UserWidth(), len(cols))
 	}
@@ -115,7 +134,6 @@ func (b *Basket) Append(cols []*vector.Vector) error {
 		ts.AppendInt(now)
 	}
 	full := append(append([]*vector.Vector(nil), cols...), ts)
-	b.mu.Lock()
 	err := b.table.AppendBatch(full)
 	if err == nil && b.capacity > 0 {
 		if over := b.table.NumRows() - b.capacity; over > 0 {
@@ -131,15 +149,7 @@ func (b *Basket) Append(cols []*vector.Vector) error {
 			}
 		}
 	}
-	hook := b.onAppend
-	b.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if hook != nil {
-		hook()
-	}
-	return nil
+	return err
 }
 
 // SetChunkTarget overrides the storage layer's chunk sealing threshold
@@ -348,4 +358,54 @@ func (b *Basket) Readers() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.readers)
+}
+
+// --- durability ----------------------------------------------------------
+
+// CaptureState returns a serializable image of the basket: a deep copy
+// of every resident column (including the implicit ts column) plus each
+// shared reader's mark relative to the content start. Part of the
+// checkpoint cut — the engine holds its consistency gate while calling.
+func (b *Basket) CaptureState() (cols []vector.Wire, marks map[string]int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	view := b.table.Snapshot()
+	cols = make([]vector.Wire, view.NumCols())
+	for i := range cols {
+		cols[i] = view.Column(i).Wire()
+	}
+	hseq := b.table.Hseq()
+	n := int64(b.table.NumRows())
+	marks = make(map[string]int64, len(b.readers))
+	for id, mark := range b.readers {
+		rel := int64(mark - hseq)
+		marks[id] = min(max(rel, 0), n)
+	}
+	return cols, marks
+}
+
+// RestoreState loads a captured image into an empty basket. Timestamps
+// are restored verbatim (the image includes the ts column); reader
+// marks are re-applied for readers already registered — a mark for an
+// unknown reader is dropped, since an unregistered reader holds no
+// retention claim.
+func (b *Basket) RestoreState(cols []vector.Wire, marks map[string]int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.table.NumRows() != 0 {
+		return fmt.Errorf("basket %s: restore into non-empty basket", b.name)
+	}
+	if len(cols) != b.schema.Len() {
+		return fmt.Errorf("basket %s: restore image has %d columns, want %d", b.name, len(cols), b.schema.Len())
+	}
+	if err := b.table.AppendBatch(vector.ColumnsFromWire(cols)); err != nil {
+		return err
+	}
+	hseq := b.table.Hseq()
+	for id := range b.readers {
+		if rel, ok := marks[id]; ok {
+			b.readers[id] = hseq + bat.OID(rel)
+		}
+	}
+	return nil
 }

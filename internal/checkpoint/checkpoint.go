@@ -1,0 +1,164 @@
+// Package checkpoint stores and recovers point-in-time snapshots of
+// engine operator state. Each checkpoint is a single file carrying the
+// WAL sequence number it covers plus an opaque CRC-checked payload (the
+// engine's gob-encoded state image). Files are written atomically
+// (tmp + rename + fsync), so a crash mid-checkpoint leaves the previous
+// checkpoint intact and recovery simply falls back to it.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrCheckpointMismatch marks a checkpoint file whose header or CRC
+// does not verify — it is skipped during recovery, never trusted.
+var ErrCheckpointMismatch = errors.New("checkpoint: header or crc mismatch")
+
+var magic = []byte("DCCK\x01")
+
+const (
+	suffix     = ".ckpt"
+	headerSize = 5 + 8 + 4 // magic + u64 walSeq + u32 crc32(payload)
+)
+
+func path(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%016x%s", seq, suffix))
+}
+
+// Write atomically persists one checkpoint covering WAL records up to
+// and including seq.
+func Write(dir string, seq int64, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint64(buf[5:13], uint64(seq))
+	binary.LittleEndian.PutUint32(buf[13:17], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+
+	final := path(dir, seq)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// fsync the directory so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Load reads and verifies one checkpoint file, returning its WAL
+// sequence number and payload. Returns ErrCheckpointMismatch if the
+// file fails verification.
+func Load(file string) (seq int64, payload []byte, err error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < headerSize || string(data[:5]) != string(magic) {
+		return 0, nil, fmt.Errorf("%w: %s: bad header", ErrCheckpointMismatch, file)
+	}
+	seq = int64(binary.LittleEndian.Uint64(data[5:13]))
+	crc := binary.LittleEndian.Uint32(data[13:17])
+	payload = data[headerSize:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, fmt.Errorf("%w: %s: crc mismatch", ErrCheckpointMismatch, file)
+	}
+	return seq, payload, nil
+}
+
+// Latest finds the newest valid checkpoint whose WAL sequence number is
+// at most maxSeq (the durable extent of the log — a checkpoint claiming
+// records the log does not hold cannot be recovered against). Invalid
+// or too-new files are skipped. Returns seq 0 and nil payload when no
+// usable checkpoint exists.
+func Latest(dir string, maxSeq int64) (seq int64, payload []byte, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, nil
+		}
+		return 0, nil, err
+	}
+	var files []string
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), suffix) {
+			files = append(files, ent.Name())
+		}
+	}
+	// Names embed the seq in fixed-width hex: lexical order = seq order.
+	sort.Sort(sort.Reverse(sort.StringSlice(files)))
+	for _, name := range files {
+		s, p, lerr := Load(filepath.Join(dir, name))
+		if lerr != nil || s > maxSeq {
+			continue
+		}
+		return s, p, nil
+	}
+	return 0, nil, nil
+}
+
+// Prune removes all but the newest keep checkpoint files (invalid-named
+// files are left alone).
+func Prune(dir string, keep int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var seqs []int64
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), suffix)
+		s, perr := strconv.ParseInt(hex, 16, 64)
+		if perr != nil {
+			continue
+		}
+		seqs = append(seqs, s)
+	}
+	if len(seqs) <= keep {
+		return nil
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, s := range seqs[keep:] {
+		if err := os.Remove(path(dir, s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, 42, []byte("state-image")); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(files) != 1 {
+		t.Fatalf("files = %v", files)
+	}
+	seq, payload, err := Load(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || string(payload) != "state-image" {
+		t.Fatalf("Load = (%d, %q)", seq, payload)
+	}
+}
+
+func TestLoadCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, 7, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(files[0]); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("Load = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestLoadBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "checkpoint-0000000000000001.ckpt")
+	if err := os.WriteFile(file, []byte("not a checkpoint file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(file); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("Load = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestLatestPicksNewestValidWithinBound(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []int64{10, 20, 30} {
+		if err := Write(dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unbounded: newest wins.
+	seq, payload, err := Latest(dir, 1<<40)
+	if err != nil || seq != 30 || payload[0] != 30 {
+		t.Fatalf("Latest = (%d, %v, %v)", seq, payload, err)
+	}
+	// Bounded below 30: the too-new checkpoint is skipped.
+	seq, payload, err = Latest(dir, 25)
+	if err != nil || seq != 20 || payload[0] != 20 {
+		t.Fatalf("Latest(25) = (%d, %v, %v)", seq, payload, err)
+	}
+	// Corrupt the newest: Latest falls back.
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	newest := files[len(files)-1]
+	data, _ := os.ReadFile(newest)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(newest, data, 0o644)
+	seq, _, err = Latest(dir, 1<<40)
+	if err != nil || seq != 20 {
+		t.Fatalf("Latest after corruption = (%d, %v)", seq, err)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	seq, payload, err := Latest(filepath.Join(t.TempDir(), "missing"), 100)
+	if err != nil || seq != 0 || payload != nil {
+		t.Fatalf("Latest on missing dir = (%d, %v, %v)", seq, payload, err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []int64{1, 2, 3, 4, 5} {
+		if err := Write(dir, seq, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(files) != 2 {
+		t.Fatalf("files after prune = %v", files)
+	}
+	seq, _, err := Latest(dir, 100)
+	if err != nil || seq != 5 {
+		t.Fatalf("Latest after prune = (%d, %v)", seq, err)
+	}
+}

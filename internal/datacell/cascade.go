@@ -186,9 +186,12 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 	s.replicas = append(append([]*basket.Basket(nil), s.replicas...), head)
 	e.cascades[key] = c
 	e.mu.Unlock()
+	// Cascades are Go-only (no DDL spelling) and therefore not journaled
+	// for recovery, but their firings are still gated so a checkpoint
+	// cut never splits one.
 	for _, st := range c.stages {
-		e.sched.Add(st)
-		e.sched.Add(st.sub.em)
+		e.addTransition(st, 0)
+		e.addTransition(st.sub.em, 0)
 	}
 	return c, nil
 }

@@ -1,0 +1,736 @@
+// Durability: a segmented write-ahead log plus periodic operator-state
+// checkpoints, giving the engine crash recovery with exactly-once
+// resumption of continuous queries.
+//
+// The WAL records three kinds of events, in the fixed binary layout of
+// walcodec.go (checkpoint images, off the hot path, use gob):
+//
+//   - 'S' statements: DDL (CREATE/DROP of baskets, tables, and continuous
+//     queries) and INSERTs into tables. DDL is additionally kept in an
+//     in-memory journal that every checkpoint image embeds, so recovery
+//     can rebuild the catalog before restoring operator state.
+//   - 'I' ingests: one record per Ingest/IngestColumns batch (and per
+//     INSERT into a basket), appended to the log *before* the fan-out so
+//     an acknowledged batch is always recoverable. Ingest returns only
+//     after the record is group-committed (fsync batching in the WAL).
+//   - 'F' delivery frontiers: the cumulative count of result tuples a
+//     query's subscription has delivered. Logged asynchronously after
+//     delivery, so recovery suppresses re-emission of everything at or
+//     below the highest frontier on disk (exactly-once with respect to
+//     the durable frontier; the tail of in-flight deliveries whose
+//     frontier record was lost is re-delivered at-least-once).
+//
+// A checkpoint is a consistent cut: the engine's consistency gate (a
+// write lock all mutating entry points and transition firings take in
+// read mode) is held while the image — basket contents and reader marks,
+// window panes, symmetric-join state, watermarks, windowed-merge
+// pendings, per-query delivery counts, table contents, and the DDL
+// journal — is captured; the image is then encoded, fsynced, and
+// atomically installed outside the gate, after which the WAL prefix it
+// covers is pruned.
+//
+// Recovery (Engine.Open with Config.DataDir) replays the newest valid
+// checkpoint whose sequence number is covered by the durable WAL prefix,
+// re-executes the DDL journal, restores operator state, replays the WAL
+// tail past the checkpoint, and arms each durable query's emitter with
+// the delivery frontier so already-delivered results are not re-emitted.
+// A final clean-shutdown checkpoint written by Stop makes clean restarts
+// skip the replay entirely.
+//
+// Known caveats, by design: arrival timestamps of replayed tuples are
+// re-stamped at replay time (event-time queries, which order by a user
+// column, are unaffected); Go-only registrations that have no DDL
+// spelling (cascades, filter groups, custom QueryOptions) are not
+// journaled and must be re-registered after a restart; consumption of a
+// polling query's output basket via one-time SELECTs is not logged, so
+// such reads may reappear after a crash.
+package datacell
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/basket"
+	"repro/internal/checkpoint"
+	"repro/internal/factory"
+	"repro/internal/partition"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+	"repro/internal/vector"
+	"repro/internal/wal"
+)
+
+// Typed durability errors, re-exported from the subsystem packages so
+// callers can errors.Is against the engine package alone.
+var (
+	// ErrCorruptWAL reports an unrecoverable write-ahead-log corruption
+	// (a bad frame before the final torn tail, or a sequence gap).
+	ErrCorruptWAL = wal.ErrCorruptWAL
+	// ErrCheckpointMismatch reports a checkpoint image that fails
+	// validation or does not match the recovered catalog.
+	ErrCheckpointMismatch = checkpoint.ErrCheckpointMismatch
+	// ErrNotDurable reports a durability operation on an engine opened
+	// without Config.DataDir.
+	ErrNotDurable = fmt.Errorf("datacell: engine has no data directory")
+)
+
+// WAL record kinds.
+const (
+	recStmt     byte = 'S'
+	recIngest   byte = 'I'
+	recFrontier byte = 'F'
+)
+
+const (
+	walSubdir       = "wal"
+	ckptSubdir      = "checkpoint"
+	keepCheckpoints = 2
+	// defaultCheckpointInterval paces the background checkpointer when
+	// Config.CheckpointInterval is zero.
+	defaultCheckpointInterval = 10 * time.Second
+)
+
+// walRecord is the on-log representation of one durable event. Exactly
+// the fields for its Kind are populated.
+type walRecord struct {
+	Kind   byte
+	Stmt   string        // 'S': statement text
+	Stream string        // 'I': target stream
+	Cols   []vector.Wire // 'I': batch columns (user schema, no ts)
+	Query  string        // 'F': query key (lower-cased name)
+	Count  int64         // 'F': cumulative delivered tuples
+}
+
+// durability is the engine-side state of the subsystem. Nil on a
+// non-durable engine; every method tolerates a nil receiver so call
+// sites need no guards.
+type durability struct {
+	dir string
+	wal *wal.WAL
+
+	mu           sync.Mutex
+	ckptEvery    time.Duration // background checkpoint cadence; < 0 disables
+	ddl          []string      // DDL journal since engine birth
+	delivered    map[string]int64
+	lastCkptSeq  int64
+	lastCkptTime time.Time
+
+	// ckptMu serializes whole checkpoints (ticker vs Stop vs explicit).
+	ckptMu sync.Mutex
+
+	// Recovery-time switches; set only while Open replays, before the
+	// engine is visible to any other goroutine.
+	noWAL     bool // suppress all WAL appends (records are already on disk)
+	noJournal bool // suppress the DDL journal too (journal is pre-seeded)
+
+	recoveredRecords int64
+	recoveredClean   bool
+}
+
+func (d *durability) ckptDir() string { return filepath.Join(d.dir, ckptSubdir) }
+
+// logStmt journals and WAL-appends one statement. Schema-shaping
+// statements (journal=true) enter the DDL journal embedded in every
+// checkpoint; data statements (INSERT into a table) are WAL-only — the
+// checkpoint image carries table contents directly.
+func (d *durability) logStmt(ctx context.Context, text string, journal bool) error {
+	if d == nil {
+		return nil
+	}
+	if journal && !d.noJournal {
+		d.mu.Lock()
+		d.ddl = append(d.ddl, text)
+		d.mu.Unlock()
+	}
+	if d.noWAL {
+		return nil
+	}
+	p, err := encodeRecord(&walRecord{Kind: recStmt, Stmt: text})
+	if err != nil {
+		return err
+	}
+	seq, err := d.wal.Append(p)
+	if err != nil {
+		return err
+	}
+	return d.wal.Commit(ctx, seq)
+}
+
+// walBufPool recycles ingest-record encode buffers: the WAL copies the
+// payload into its write buffer during Append, so the encode buffer is
+// reusable the moment Append returns.
+var walBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// logIngest appends one ingest batch and waits for the group commit.
+// Called before the fan-out, under the consistency gate, so the log
+// order matches the apply order and an acknowledged batch is durable.
+func (d *durability) logIngest(ctx context.Context, stream string, cols []*vector.Vector) error {
+	if d == nil || d.noWAL {
+		return nil
+	}
+	bp := walBufPool.Get().(*[]byte)
+	p, err := appendIngestRecord((*bp)[:0], stream, cols)
+	if err != nil {
+		walBufPool.Put(bp)
+		return err
+	}
+	seq, err := d.wal.Append(p)
+	*bp = p[:0]
+	walBufPool.Put(bp)
+	if err != nil {
+		return err
+	}
+	return d.wal.Commit(ctx, seq)
+}
+
+// logFrontier records a query's cumulative delivery count. Append-only
+// (no commit wait): losing the tail frontier record downgrades those
+// deliveries to at-least-once, never to lost.
+func (d *durability) logFrontier(query string, delivered int64) {
+	if d == nil || d.noWAL {
+		return
+	}
+	d.mu.Lock()
+	if delivered <= d.delivered[query] {
+		d.mu.Unlock()
+		return
+	}
+	d.delivered[query] = delivered
+	d.mu.Unlock()
+	if p, err := encodeRecord(&walRecord{Kind: recFrontier, Query: query, Count: delivered}); err == nil {
+		_, _ = d.wal.Append(p)
+	}
+}
+
+// tighten lowers the background checkpoint cadence to at most every.
+func (d *durability) tighten(every time.Duration) {
+	if d == nil || every <= 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.ckptEvery <= 0 || every < d.ckptEvery {
+		d.ckptEvery = every
+	}
+	d.mu.Unlock()
+}
+
+// gatedTransition wraps a scheduler transition so its firing holds the
+// engine's consistency gate in read mode: checkpoints (write mode) see
+// either all or none of each firing's effects.
+type gatedTransition struct {
+	scheduler.Transition
+	gate *sync.RWMutex
+}
+
+func (g gatedTransition) Fire() error {
+	g.gate.RLock()
+	defer g.gate.RUnlock()
+	return g.Transition.Fire()
+}
+
+// addTransition registers a transition, gated on a durable engine.
+func (e *Engine) addTransition(t scheduler.Transition, priority int) {
+	if e.dur != nil {
+		t = gatedTransition{Transition: t, gate: &e.gate}
+	}
+	e.sched.AddWithPriority(t, priority)
+}
+
+// basketImage is one basket's captured content plus shared-reader marks
+// (relative to the content start).
+type basketImage struct {
+	Cols  []vector.Wire
+	Marks map[string]int64
+}
+
+func captureBasket(b *basket.Basket) basketImage {
+	cols, marks := b.CaptureState()
+	return basketImage{Cols: cols, Marks: marks}
+}
+
+func restoreBasket(b *basket.Basket, img basketImage) error {
+	return b.RestoreState(img.Cols, img.Marks)
+}
+
+// ckptStream is one stream's captured state: the arrival counter, the
+// primary basket, and the shard baskets of a partitioned stream.
+// Separate-strategy replicas are captured under their owning query.
+type ckptStream struct {
+	Ingested int64
+	Primary  basketImage
+	Shards   []basketImage
+}
+
+// ckptQuery is one durable continuous query's captured state.
+type ckptQuery struct {
+	Delivered int64 // emitter's cumulative delivery count
+	Out       basketImage
+	Replicas  []basketImage
+	ShardOuts []basketImage
+	Facts     []*factory.State
+	Merge     *partition.WindowedMergeState
+}
+
+// ckptImage is a full checkpoint: everything needed to restart the
+// engine at WAL sequence WALSeq.
+type ckptImage struct {
+	WALSeq  int64
+	Clean   bool // written by Stop after the scheduler quiesced
+	DDL     []string
+	Tables  map[string][]vector.Wire
+	Streams map[string]ckptStream
+	Queries map[string]ckptQuery // durable queries only, keyed lower-cased
+}
+
+// captureImage builds the checkpoint cut. Caller holds e.gate (write).
+func (e *Engine) captureImage(clean bool) *ckptImage {
+	d := e.dur
+	img := &ckptImage{
+		WALSeq:  d.wal.LastSeq(),
+		Clean:   clean,
+		Tables:  map[string][]vector.Wire{},
+		Streams: map[string]ckptStream{},
+		Queries: map[string]ckptQuery{},
+	}
+	d.mu.Lock()
+	img.DDL = append([]string(nil), d.ddl...)
+	d.mu.Unlock()
+
+	e.mu.Lock()
+	tables := make(map[string]*storage.Table, len(e.tables))
+	for k, t := range e.tables {
+		tables[k] = t
+	}
+	streams := make(map[string]*stream, len(e.streams))
+	for k, s := range e.streams {
+		streams[k] = s
+	}
+	queries := make(map[string]*Query, len(e.queries))
+	for k, q := range e.queries {
+		queries[k] = q
+	}
+	ingested := make(map[string]int64, len(streams))
+	for k, s := range streams {
+		ingested[k] = s.ingested
+	}
+	e.mu.Unlock()
+
+	for name, tbl := range tables {
+		view := tbl.Snapshot()
+		cols := make([]vector.Wire, view.NumCols())
+		for i := range cols {
+			cols[i] = view.Column(i).Wire()
+		}
+		img.Tables[name] = cols
+	}
+	for name, s := range streams {
+		cs := ckptStream{Ingested: ingested[name], Primary: captureBasket(s.primary)}
+		for _, sh := range s.shards {
+			cs.Shards = append(cs.Shards, captureBasket(sh))
+		}
+		img.Streams[name] = cs
+	}
+	for name, q := range queries {
+		if !q.durable {
+			continue
+		}
+		cq := ckptQuery{Out: captureBasket(q.out)}
+		if q.sub != nil {
+			cq.Delivered = q.sub.em.Delivered()
+		}
+		for _, r := range q.replicas {
+			cq.Replicas = append(cq.Replicas, captureBasket(r))
+		}
+		for _, so := range q.shardOuts {
+			cq.ShardOuts = append(cq.ShardOuts, captureBasket(so))
+		}
+		for _, f := range q.facts {
+			cq.Facts = append(cq.Facts, f.CaptureState())
+		}
+		if wm, ok := q.merge.(*partition.WindowedMerge); ok {
+			cq.Merge = wm.Snapshot()
+		}
+		img.Queries[name] = cq
+	}
+	return img
+}
+
+// restoreImage loads a checkpoint image into a freshly journal-replayed
+// engine. Any shape mismatch between the image and the rebuilt catalog
+// is reported as ErrCheckpointMismatch.
+func (e *Engine) restoreImage(img *ckptImage) error {
+	mismatch := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrCheckpointMismatch, fmt.Sprintf(format, args...))
+	}
+	for name, cols := range img.Tables {
+		e.mu.Lock()
+		tbl := e.tables[name]
+		e.mu.Unlock()
+		if tbl == nil {
+			return mismatch("table %q in image but not in journal", name)
+		}
+		vs := vector.ColumnsFromWire(cols)
+		if len(vs) > 0 && vs[0].Len() > 0 {
+			if err := tbl.AppendBatch(vs); err != nil {
+				return mismatch("table %q: %v", name, err)
+			}
+		}
+	}
+	for name, cs := range img.Streams {
+		e.mu.Lock()
+		s := e.streams[name]
+		e.mu.Unlock()
+		if s == nil {
+			return mismatch("stream %q in image but not in journal", name)
+		}
+		e.mu.Lock()
+		s.ingested = cs.Ingested
+		e.mu.Unlock()
+		if err := restoreBasket(s.primary, cs.Primary); err != nil {
+			return mismatch("stream %q: %v", name, err)
+		}
+		if len(cs.Shards) != len(s.shards) {
+			return mismatch("stream %q has %d shards, image has %d", name, len(s.shards), len(cs.Shards))
+		}
+		for i, sh := range cs.Shards {
+			if err := restoreBasket(s.shards[i], sh); err != nil {
+				return mismatch("stream %q shard %d: %v", name, i, err)
+			}
+		}
+	}
+	for name, cq := range img.Queries {
+		e.mu.Lock()
+		q := e.queries[name]
+		e.mu.Unlock()
+		if q == nil {
+			return mismatch("query %q in image but not in journal", name)
+		}
+		if err := q.restoreState(&cq); err != nil {
+			return mismatch("query %q: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// restoreState loads one query's captured operator state.
+func (q *Query) restoreState(st *ckptQuery) error {
+	if err := restoreBasket(q.out, st.Out); err != nil {
+		return err
+	}
+	if len(st.Replicas) != len(q.replicas) {
+		return fmt.Errorf("%d replicas, image has %d", len(q.replicas), len(st.Replicas))
+	}
+	for i, r := range st.Replicas {
+		if err := restoreBasket(q.replicas[i], r); err != nil {
+			return err
+		}
+	}
+	if len(st.ShardOuts) != len(q.shardOuts) {
+		return fmt.Errorf("%d shard outputs, image has %d", len(q.shardOuts), len(st.ShardOuts))
+	}
+	for i, so := range st.ShardOuts {
+		if err := restoreBasket(q.shardOuts[i], so); err != nil {
+			return err
+		}
+	}
+	if len(st.Facts) != len(q.facts) {
+		return fmt.Errorf("%d factories, image has %d", len(q.facts), len(st.Facts))
+	}
+	for i, fs := range st.Facts {
+		if fs == nil {
+			continue
+		}
+		if err := q.facts[i].RestoreState(fs); err != nil {
+			return err
+		}
+	}
+	if st.Merge != nil {
+		wm, ok := q.merge.(*partition.WindowedMerge)
+		if !ok {
+			return fmt.Errorf("image has windowed-merge state but query has none")
+		}
+		if err := wm.Restore(st.Merge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint captures a consistent snapshot of all durable state,
+// installs it atomically, and prunes the WAL prefix it covers. The
+// background ticker calls this on the configured cadence; explicit
+// calls are safe any time the engine is not stopped.
+func (e *Engine) Checkpoint(ctx context.Context) error {
+	if e.dur == nil {
+		return ErrNotDurable
+	}
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
+	return e.checkpoint(false)
+}
+
+func (e *Engine) checkpoint(clean bool) error {
+	d := e.dur
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+
+	e.gate.Lock()
+	img := e.captureImage(clean)
+	e.gate.Unlock()
+
+	// Everything the image covers must be durable before the image
+	// claims it: records <= WALSeq were appended before the capture.
+	if err := d.wal.Sync(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return err
+	}
+	if err := checkpoint.Write(d.ckptDir(), img.WALSeq, buf.Bytes()); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.lastCkptSeq = img.WALSeq
+	d.lastCkptTime = time.Now()
+	d.mu.Unlock()
+	if err := d.wal.Prune(img.WALSeq); err != nil {
+		return err
+	}
+	return checkpoint.Prune(d.ckptDir(), keepCheckpoints)
+}
+
+// initDurability opens the WAL, loads the newest covered checkpoint,
+// replays the DDL journal and the WAL tail, and arms delivery
+// suppression — the whole crash-recovery path. Called by Open before
+// the engine is visible to any other goroutine.
+func (e *Engine) initDurability(cfg Config) error {
+	w, err := wal.Open(filepath.Join(cfg.DataDir, walSubdir), wal.Options{SegmentBytes: cfg.WALSegmentBytes})
+	if err != nil {
+		return err
+	}
+	every := cfg.CheckpointInterval
+	if every == 0 {
+		every = defaultCheckpointInterval
+	}
+	e.dur = &durability{
+		dir:       cfg.DataDir,
+		wal:       w,
+		ckptEvery: every,
+		delivered: map[string]int64{},
+	}
+	if err := e.recoverDurable(); err != nil {
+		_ = w.Close()
+		e.dur = nil
+		return err
+	}
+	return nil
+}
+
+// recoverDurable rebuilds engine state from the checkpoint + WAL tail.
+func (e *Engine) recoverDurable() error {
+	d := e.dur
+	durable := d.wal.DurableSeq()
+	seq, payload, err := checkpoint.Latest(d.ckptDir(), durable)
+	if err != nil {
+		return err
+	}
+	d.noWAL = true
+	defer func() { d.noWAL = false; d.noJournal = false }()
+
+	var img *ckptImage
+	if payload != nil {
+		img = &ckptImage{}
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(img); err != nil {
+			return fmt.Errorf("%w: checkpoint %d undecodable: %v", ErrCheckpointMismatch, seq, err)
+		}
+		// Rebuild the catalog from the journal, then load operator state.
+		d.mu.Lock()
+		d.ddl = append([]string(nil), img.DDL...)
+		d.mu.Unlock()
+		d.noJournal = true
+		for _, stmt := range img.DDL {
+			if _, err := e.Exec(context.Background(), stmt); err != nil {
+				return fmt.Errorf("datacell: recovery: journal statement %q: %w", stmt, err)
+			}
+		}
+		d.noJournal = false
+		if err := e.restoreImage(img); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.lastCkptSeq = img.WALSeq
+		d.lastCkptTime = time.Now()
+		d.mu.Unlock()
+	}
+
+	base := int64(0)
+	if img != nil {
+		base = img.WALSeq
+	}
+	frontiers := map[string]int64{}
+	if img != nil && img.Clean && img.WALSeq == durable {
+		// Clean shutdown: the final checkpoint covers the whole log.
+		d.recoveredClean = true
+	} else {
+		n := int64(0)
+		err := d.wal.Replay(base+1, func(_ int64, p []byte) error {
+			rec, err := decodeRecord(p)
+			if err != nil {
+				return err
+			}
+			n++
+			switch rec.Kind {
+			case recStmt:
+				if _, err := e.Exec(context.Background(), rec.Stmt); err != nil {
+					return fmt.Errorf("datacell: recovery: replaying %q: %w", rec.Stmt, err)
+				}
+			case recIngest:
+				s, err := e.lookupStream(rec.Stream)
+				if err != nil {
+					return fmt.Errorf("datacell: recovery: %w", err)
+				}
+				cols := vector.ColumnsFromWire(rec.Cols)
+				rows := 0
+				if len(cols) > 0 {
+					rows = cols[0].Len()
+				}
+				if err := e.fanout(s, rows, cols); err != nil {
+					return fmt.Errorf("datacell: recovery: replaying ingest into %q: %w", rec.Stream, err)
+				}
+			case recFrontier:
+				key := strings.ToLower(rec.Query)
+				if rec.Count > frontiers[key] {
+					frontiers[key] = rec.Count
+				}
+			default:
+				return fmt.Errorf("%w: unknown record kind %q", ErrCorruptWAL, rec.Kind)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		d.recoveredRecords = n
+	}
+
+	// Arm exactly-once resumption: each durable query's emitter restarts
+	// at the checkpointed delivery count and suppresses re-emission up to
+	// the highest logged frontier.
+	for _, q := range e.Queries() {
+		if !q.durable || q.sub == nil {
+			continue
+		}
+		key := strings.ToLower(q.Name)
+		var d0 int64
+		if img != nil {
+			if cq, ok := img.Queries[key]; ok {
+				d0 = cq.Delivered
+			}
+		}
+		front := max(frontiers[key], d0)
+		q.sub.em.SetDelivered(d0)
+		q.sub.em.SetSuppress(front - d0)
+		d.delivered[key] = front
+	}
+	return nil
+}
+
+// checkpointLoop is the background checkpointer, launched by Start and
+// stopped with the flush ticker. The cadence is re-read every round so
+// a query's checkpoint_interval option can tighten it after Start.
+func (e *Engine) checkpointLoop(stop chan struct{}) {
+	d := e.dur
+	for {
+		d.mu.Lock()
+		every := d.ckptEvery
+		d.mu.Unlock()
+		if every <= 0 {
+			// Disabled: only Stop's final checkpoint runs.
+			<-stop
+			return
+		}
+		t := time.NewTimer(every)
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+			_ = e.checkpoint(false)
+		}
+	}
+}
+
+// EngineStats reports the engine's durability posture.
+type EngineStats struct {
+	// Durable reports whether the engine was opened with a DataDir.
+	Durable bool
+	// WALSegments and WALBytes size the live log; WALLastSeq is the last
+	// appended record.
+	WALSegments int
+	WALBytes    int64
+	WALLastSeq  int64
+	// CheckpointSeq is the WAL sequence the newest checkpoint covers;
+	// LastCheckpoint is when it was written (zero before the first).
+	CheckpointSeq  int64
+	LastCheckpoint time.Time
+	// RecoveredRecords counts WAL records replayed by the last Open;
+	// CleanStart reports that the replay was skipped because the final
+	// clean-shutdown checkpoint covered the whole log.
+	RecoveredRecords int64
+	CleanStart       bool
+}
+
+// Stats returns the durability posture. All zero on a non-durable
+// engine except Durable=false.
+func (e *Engine) Stats() EngineStats {
+	d := e.dur
+	if d == nil {
+		return EngineStats{}
+	}
+	ws := d.wal.Stats()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return EngineStats{
+		Durable:          true,
+		WALSegments:      ws.Segments,
+		WALBytes:         ws.Bytes,
+		WALLastSeq:       ws.LastSeq,
+		CheckpointSeq:    d.lastCkptSeq,
+		LastCheckpoint:   d.lastCkptTime,
+		RecoveredRecords: d.recoveredRecords,
+		CleanStart:       d.recoveredClean,
+	}
+}
+
+// replayLag returns the number of WAL records past the last checkpoint
+// (0 on a non-durable engine).
+func (e *Engine) replayLag() int64 {
+	d := e.dur
+	if d == nil {
+		return 0
+	}
+	last := d.wal.LastSeq()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return max(last-d.lastCkptSeq, 0)
+}
+
+// lastCheckpointTime returns when the newest checkpoint was written
+// (zero time when none, or on a non-durable engine).
+func (e *Engine) lastCheckpointTime() time.Time {
+	d := e.dur
+	if d == nil {
+		return time.Time{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastCkptTime
+}

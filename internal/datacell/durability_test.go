@@ -1,0 +1,298 @@
+package datacell
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// copyTree clones a durability data directory, simulating the on-disk
+// state a crash would leave behind: the source engine is still "running"
+// (never stopped), so only fsynced bytes are guaranteed present — but a
+// same-process copy sees the page cache, which is exactly the acked
+// prefix plus whatever unflushed tail the OS would also have kept.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copyTree: %v", err)
+	}
+}
+
+func openDurable(t *testing.T, dir string) *Engine {
+	t.Helper()
+	e, err := Open(context.Background(), Config{
+		DataDir:            dir,
+		CheckpointInterval: -1, // checkpoints driven explicitly by the test
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return e
+}
+
+// A clean Stop writes a final checkpoint covering the whole log, so the
+// next Open skips replay entirely and resumes with identical state.
+func TestDurableCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	e := openDurable(t, dir)
+	if _, err := e.Exec(ctx, "CREATE BASKET R (a INT, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ctx, "CREATE TABLE dim (k INT, v VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ctx, "INSERT INTO dim VALUES (1, 'one'), (2, 'two')"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.RegisterContinuous("q1",
+		"SELECT * FROM [SELECT * FROM R] AS S WHERE S.a > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestPairs(t, e, "R", [][2]int64{{5, 1}, {15, 2}, {25, 3}})
+	e.Drain()
+	if got := countRows(collect(q)); got != 2 {
+		t.Fatalf("pre-stop emissions = %d rows, want 2", got)
+	}
+	if err := e.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	e2 := openDurable(t, dir)
+	defer e2.Stop(ctx)
+	st := e2.Stats()
+	if !st.Durable || !st.CleanStart || st.RecoveredRecords != 0 {
+		t.Fatalf("clean restart stats = %+v, want CleanStart with 0 replayed", st)
+	}
+	if st.CheckpointSeq == 0 {
+		t.Errorf("CheckpointSeq = 0, want the final checkpoint's sequence")
+	}
+	if got := e2.Ingested("R"); got != 3 {
+		t.Errorf("Ingested(R) = %d, want 3", got)
+	}
+	// Static table contents came back through the checkpoint image.
+	rel, err := e2.Exec(ctx, "SELECT v FROM dim WHERE k = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 1 || rel.Cols[0].Get(0).S != "two" {
+		t.Errorf("dim after restart = %v", rel)
+	}
+	q2, err := e2.Query("q1")
+	if err != nil {
+		t.Fatalf("query not recovered: %v", err)
+	}
+	// No re-emission of pre-restart results; new tuples flow normally.
+	e2.Drain()
+	if got := countRows(collect(q2)); got != 0 {
+		t.Fatalf("clean restart re-emitted %d rows", got)
+	}
+	ingestPairs(t, e2, "R", [][2]int64{{50, 4}, {3, 5}})
+	e2.Drain()
+	if got := countRows(collect(q2)); got != 1 {
+		t.Errorf("post-restart emissions = %d rows, want 1", got)
+	}
+	ci := q2.Checkpoint()
+	if !ci.Durable || ci.Delivered != 3 {
+		t.Errorf("Checkpoint() = %+v, want durable with 3 delivered", ci)
+	}
+}
+
+// A dirty restart (no Stop) replays the WAL tail past the newest
+// checkpoint: every acknowledged batch survives and already-delivered
+// rows are suppressed rather than re-emitted.
+func TestDurableDirtyRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	e := openDurable(t, dir)
+	if _, err := e.Exec(ctx, "CREATE BASKET R (a INT, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.RegisterContinuous("q1",
+		"SELECT * FROM [SELECT * FROM R] AS S WHERE S.a > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestPairs(t, e, "R", [][2]int64{{15, 1}, {5, 2}})
+	e.Drain()
+	if got := countRows(collect(q)); got != 1 {
+		t.Fatalf("batch 1 emissions = %d", got)
+	}
+	if err := e.Checkpoint(ctx); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	ingestPairs(t, e, "R", [][2]int64{{25, 3}, {7, 4}})
+	e.Drain()
+	if got := countRows(collect(q)); got != 1 {
+		t.Fatalf("batch 2 emissions = %d", got)
+	}
+	// Frontier records are appended asynchronously; this committed batch
+	// group-commits them to disk along with itself.
+	ingestPairs(t, e, "R", [][2]int64{{1, 5}})
+
+	crash := t.TempDir()
+	copyTree(t, dir, crash)
+
+	e2 := openDurable(t, crash)
+	defer e2.Stop(ctx)
+	st := e2.Stats()
+	if st.CleanStart {
+		t.Fatal("dirty restart reported CleanStart")
+	}
+	if st.RecoveredRecords == 0 {
+		t.Fatal("dirty restart replayed nothing")
+	}
+	if got := e2.Ingested("R"); got != 5 {
+		t.Errorf("Ingested(R) = %d, want 5", got)
+	}
+	q2, err := e2.Query("q1")
+	if err != nil {
+		t.Fatalf("query not recovered: %v", err)
+	}
+	e2.Drain()
+	if got := countRows(collect(q2)); got != 0 {
+		t.Fatalf("dirty restart re-emitted %d rows", got)
+	}
+	ingestPairs(t, e2, "R", [][2]int64{{99, 6}})
+	e2.Drain()
+	if got := countRows(collect(q2)); got != 1 {
+		t.Errorf("post-recovery emissions = %d, want 1", got)
+	}
+	// The original engine keeps running on its own directory; shut it
+	// down last so the copied tree was taken while "live".
+	if err := e.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// WITH (durable = false) excludes a query's operator state from
+// checkpoints: DDL replay re-creates it, but it restarts from empty and
+// may re-emit (documented at-least-once for opted-out queries).
+func TestDurableOptOutQuery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	e := openDurable(t, dir)
+	if _, err := e.Exec(ctx, "CREATE BASKET R (a INT, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ctx, `CREATE CONTINUOUS QUERY eph WITH (durable = false) AS
+		SELECT * FROM [SELECT * FROM R] AS S WHERE S.a > 10`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Query("eph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Checkpoint().Durable {
+		t.Error("durable=false query reports Durable")
+	}
+	ingestPairs(t, e, "R", [][2]int64{{15, 1}})
+	e.Drain()
+	if got := countRows(collect(q)); got != 1 {
+		t.Fatalf("emissions = %d", got)
+	}
+	if err := e.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openDurable(t, dir)
+	defer e2.Stop(ctx)
+	if _, err := e2.Query("eph"); err != nil {
+		t.Fatalf("DDL replay lost the query: %v", err)
+	}
+}
+
+// Engines without a DataDir reject durability operations with typed
+// errors and report a zero posture.
+func TestNotDurable(t *testing.T) {
+	e, _ := newEngine(t)
+	if err := e.Checkpoint(context.Background()); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("Checkpoint on volatile engine = %v, want ErrNotDurable", err)
+	}
+	if st := e.Stats(); st.Durable || st.WALSegments != 0 {
+		t.Errorf("volatile Stats = %+v", st)
+	}
+	q, err := e.RegisterContinuous("q", "SELECT * FROM [SELECT * FROM R] AS S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci := q.Checkpoint(); ci.Durable {
+		t.Errorf("volatile query Checkpoint = %+v", ci)
+	}
+}
+
+// Explicit checkpoints advance the durability posture visible through
+// Stats and Query.Checkpoint.
+func TestCheckpointAdvancesPosture(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	e := openDurable(t, dir)
+	defer e.Stop(ctx)
+	if _, err := e.Exec(ctx, "CREATE BASKET R (a INT, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.RegisterContinuous("q1",
+		"SELECT * FROM [SELECT * FROM R] AS S WHERE S.a > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestPairs(t, e, "R", [][2]int64{{15, 1}, {25, 2}})
+	e.Drain()
+	before := e.Stats()
+	if before.CheckpointSeq != 0 || !before.LastCheckpoint.IsZero() {
+		t.Fatalf("pre-checkpoint stats = %+v", before)
+	}
+	if q.Checkpoint().ReplayLag == 0 {
+		t.Error("ReplayLag = 0 before the first checkpoint with records logged")
+	}
+	if err := e.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats()
+	if after.CheckpointSeq == 0 || after.LastCheckpoint.IsZero() {
+		t.Fatalf("post-checkpoint stats = %+v", after)
+	}
+	ci := q.Checkpoint()
+	if ci.ReplayLag != 0 {
+		t.Errorf("ReplayLag = %d after checkpoint, want 0", ci.ReplayLag)
+	}
+	if time.Since(ci.LastCheckpoint) > time.Minute {
+		t.Errorf("LastCheckpoint = %v", ci.LastCheckpoint)
+	}
+}

@@ -59,6 +59,18 @@ type Config struct {
 	Clock metrics.Clock
 	// Workers sizes the concurrent scheduler pool for Start (default 2).
 	Workers int
+	// DataDir, when non-empty, makes the engine durable: ingests and DDL
+	// are written to a segmented WAL under it, operator state is
+	// checkpointed periodically, and Open replays the log tail so a
+	// crashed engine resumes without losing acknowledged batches or
+	// re-emitting delivered results. Only Open honors DataDir; New
+	// ignores it.
+	DataDir string
+	// CheckpointInterval paces the background checkpointer (default 10s;
+	// negative disables it, leaving only Stop's final checkpoint).
+	CheckpointInterval time.Duration
+	// WALSegmentBytes caps one log segment (default 64 MiB).
+	WALSegmentBytes int64
 }
 
 // Engine lifecycle states.
@@ -73,6 +85,14 @@ type Engine struct {
 	clock metrics.Clock
 	cat   *catalog.Catalog
 	sched *scheduler.Scheduler
+
+	// gate is the durability consistency gate: mutating entry points and
+	// transition firings hold it in read mode, checkpoint capture in
+	// write mode, so every checkpoint is a transaction-consistent cut.
+	// Unused (never contended) on a non-durable engine. Lock order:
+	// gate, then e.mu, then basket locks.
+	gate sync.RWMutex
+	dur  *durability // nil unless opened with Config.DataDir
 
 	mu        sync.Mutex
 	streams   map[string]*stream
@@ -145,6 +165,11 @@ func Open(ctx context.Context, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("datacell: negative worker count %d", cfg.Workers)
 	}
 	e := New(cfg)
+	if cfg.DataDir != "" {
+		if err := e.initDurability(cfg); err != nil {
+			return nil, err
+		}
+	}
 	e.watchContext(ctx)
 	return e, nil
 }
@@ -228,6 +253,9 @@ func (e *Engine) Start(ctx context.Context) error {
 			}
 		}
 	}()
+	if e.dur != nil {
+		go e.checkpointLoop(stop)
+	}
 	e.watchContext(ctx)
 	return nil
 }
@@ -255,6 +283,16 @@ func (e *Engine) Stop(ctx context.Context) error {
 		drainErr = e.drainRunning(ctx)
 	}
 	e.sched.Stop()
+	// With the scheduler quiescent, write the final clean-shutdown
+	// checkpoint: it covers the whole log, so the next Open skips replay.
+	if e.dur != nil {
+		if err := e.checkpoint(true); err != nil && drainErr == nil {
+			drainErr = err
+		}
+		if err := e.dur.wal.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
 	close(e.done)
 	e.mu.Lock()
 	subs := append([]*Subscription(nil), e.subs...)
@@ -320,6 +358,17 @@ func (e *Engine) CreateStream(name string, schema *catalog.Schema) error {
 // continuous queries over the stream then run as N parallel shard
 // pipelines. A zero spec declares an ordinary stream.
 func (e *Engine) CreatePartitionedStream(name string, schema *catalog.Schema, spec partition.Spec) error {
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	if err := e.createPartitionedStream(name, schema, spec); err != nil {
+		return err
+	}
+	return e.dur.logStmt(context.Background(), createBasketDDL(name, schema, spec), true)
+}
+
+func (e *Engine) createPartitionedStream(name string, schema *catalog.Schema, spec partition.Spec) error {
 	// partition_by is validated even for the degenerate partitions = 1
 	// declaration, so a typo'd column never silently disables routing.
 	if spec.By != "" && schema.Index(spec.By) < 0 {
@@ -374,6 +423,17 @@ func (e *Engine) CreatePartitionedStream(name string, schema *catalog.Schema, sp
 
 // CreateTable declares a static relational table.
 func (e *Engine) CreateTable(name string, schema *catalog.Schema) error {
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	if err := e.createTable(name, schema); err != nil {
+		return err
+	}
+	return e.dur.logStmt(context.Background(), createTableDDL(name, schema), true)
+}
+
+func (e *Engine) createTable(name string, schema *catalog.Schema) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t := storage.NewTable(name, schema)
@@ -382,6 +442,42 @@ func (e *Engine) CreateTable(name string, schema *catalog.Schema) error {
 	}
 	e.tables[strings.ToLower(name)] = t
 	return nil
+}
+
+// columnsDDL renders a schema as a DDL column list.
+func columnsDDL(schema *catalog.Schema) string {
+	var b strings.Builder
+	for i, c := range schema.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	return b.String()
+}
+
+// createBasketDDL and createTableDDL synthesize journal spellings for
+// the Go registration APIs, so Go-declared objects recover exactly like
+// DDL-declared ones.
+func createBasketDDL(name string, schema *catalog.Schema, spec partition.Spec) string {
+	s := fmt.Sprintf("CREATE BASKET %s (%s)", name, columnsDDL(schema))
+	var opts []string
+	if spec.Shards > 0 {
+		opts = append(opts, fmt.Sprintf("partitions = %d", spec.Shards))
+	}
+	if spec.By != "" {
+		opts = append(opts, fmt.Sprintf("partition_by = %s", spec.By))
+	}
+	if len(opts) > 0 {
+		s += " WITH (" + strings.Join(opts, ", ") + ")"
+	}
+	return s
+}
+
+func createTableDDL(name string, schema *catalog.Schema) string {
+	return fmt.Sprintf("CREATE TABLE %s (%s)", name, columnsDDL(schema))
 }
 
 // Stream returns the primary basket of a stream.
@@ -405,6 +501,16 @@ func (e *Engine) Ingest(ctx context.Context, streamName string, rows [][]vector.
 	if err := e.guard(ctx); err != nil {
 		return err
 	}
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	return e.ingestRows(ctx, streamName, rows)
+}
+
+// ingestRows is the core behind Ingest and basket INSERTs; the caller
+// holds the consistency gate on a durable engine.
+func (e *Engine) ingestRows(ctx context.Context, streamName string, rows [][]vector.Value) error {
 	s, err := e.lookupStream(streamName)
 	if err != nil {
 		return err
@@ -413,13 +519,17 @@ func (e *Engine) Ingest(ctx context.Context, streamName string, rows [][]vector.
 	if err != nil {
 		return fmt.Errorf("basket %s: %w", streamName, err)
 	}
-	return e.fanout(s, len(rows), cols)
+	return e.ingest(ctx, s, len(rows), cols)
 }
 
 // IngestColumns is the bulk variant of Ingest.
 func (e *Engine) IngestColumns(ctx context.Context, streamName string, cols []*vector.Vector) error {
 	if err := e.guard(ctx); err != nil {
 		return err
+	}
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
 	}
 	s, err := e.lookupStream(streamName)
 	if err != nil {
@@ -428,6 +538,17 @@ func (e *Engine) IngestColumns(ctx context.Context, streamName string, cols []*v
 	n := 0
 	if len(cols) > 0 {
 		n = cols[0].Len()
+	}
+	return e.ingest(ctx, s, n, cols)
+}
+
+// ingest logs the batch to the WAL (waiting for the group commit, so an
+// acknowledged batch survives a crash) and fans it out. The log append
+// and the fan-out share one gate hold, so the log order matches the
+// apply order.
+func (e *Engine) ingest(ctx context.Context, s *stream, n int, cols []*vector.Vector) error {
+	if err := e.dur.logIngest(ctx, s.name, cols); err != nil {
+		return err
 	}
 	return e.fanout(s, n, cols)
 }
@@ -472,12 +593,38 @@ func (e *Engine) fanout(s *stream, n int, cols []*vector.Vector) error {
 		if err != nil {
 			return err
 		}
+		// The whole batch must become visible to every shard atomically:
+		// shard window runners share a watermark group raised while
+		// PROCESSING a batch, and a shard's pre-pin group reading assumes
+		// every tuple below it was already routed to its input. Per-shard
+		// appends break that — a fast shard can fire on its slice and
+		// raise the group clock while a sibling's slice is still in
+		// flight, and the sibling then seals windows those tuples belong
+		// to and mislabels them late. Lock every shard basket (name
+		// order, the factory convention) across the appends instead.
+		locked := append([]*basket.Basket(nil), s.shards...)
+		sort.Slice(locked, func(i, j int) bool { return locked[i].Name() < locked[j].Name() })
+		for _, sh := range locked {
+			sh.Lock()
+		}
+		var appendErr error
 		for i, part := range parts {
 			if part == nil {
 				continue
 			}
-			if err := s.shards[i].Append(part); err != nil {
-				return err
+			if err := s.shards[i].LockedAppend(part); err != nil && appendErr == nil {
+				appendErr = err
+			}
+		}
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].Unlock()
+		}
+		if appendErr != nil {
+			return appendErr
+		}
+		for i, part := range parts {
+			if part != nil {
+				s.shards[i].NotifyAppend()
 			}
 		}
 	}
@@ -526,6 +673,18 @@ func (e *Engine) Exec(ctx context.Context, text string) (*storage.Relation, erro
 	if err != nil {
 		return nil, err
 	}
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	// logDDL records a schema-shaping statement after it succeeds: in
+	// the WAL and in the DDL journal every checkpoint embeds.
+	logDDL := func(err error) error {
+		if err != nil {
+			return err
+		}
+		return e.dur.logStmt(ctx, text, true)
+	}
 	switch x := st.(type) {
 	case *sql.CreateStmt:
 		schema := &catalog.Schema{}
@@ -540,25 +699,34 @@ func (e *Engine) Exec(ctx context.Context, text string) (*storage.Relation, erro
 			if len(rest) > 0 {
 				return nil, fmt.Errorf("%w: unknown option %q", ErrInvalidOption, rest[0].Key)
 			}
-			return nil, e.CreatePartitionedStream(x.Name, schema, spec)
+			return nil, logDDL(e.createPartitionedStream(x.Name, schema, spec))
 		}
 		// The parser rejects WITH on CREATE TABLE, so x.Options is empty here.
-		return nil, e.CreateTable(x.Name, schema)
+		return nil, logDDL(e.createTable(x.Name, schema))
 	case *sql.CreateContinuousStmt:
 		opts, err := optionsFromSpecs(x.Options)
 		if err != nil {
 			return nil, err
 		}
 		_, err = e.registerParsed(x.Name, x.SelectText, x.Select, opts...)
-		return nil, err
+		return nil, logDDL(err)
 	case *sql.DropContinuousStmt:
-		return nil, e.UnregisterContinuous(x.Name)
+		return nil, logDDL(e.unregisterContinuous(x.Name))
 	case *sql.DropStmt:
-		return nil, e.drop(x.Name)
+		return nil, logDDL(e.drop(x.Name))
 	case *sql.ShowStmt:
 		return e.show(x.What)
 	case *sql.InsertStmt:
-		return nil, e.insert(ctx, x)
+		selfLogged, err := e.insert(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		if !selfLogged {
+			// Table INSERTs are WAL-only (table contents live in the
+			// checkpoint image, not the DDL journal).
+			err = e.dur.logStmt(ctx, text, false)
+		}
+		return nil, err
 	case *sql.SelectStmt:
 		if x.IsContinuous() {
 			return nil, fmt.Errorf("%w: %s", ErrContinuousViaExec, sql.StmtString(x))
@@ -587,7 +755,11 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 		// unwindowed queries). join_state is the number of rows the
 		// query's streaming join retains across pipelines and
 		// join_evictions the state rows expired behind the watermark (0
-		// for join-free queries).
+		// for join-free queries). last_checkpoint is when the durability
+		// subsystem last captured the query's state (NULL on a
+		// non-durable engine or before the first checkpoint) and
+		// replay_lag the number of WAL records a crash right now would
+		// replay.
 		rel := storage.NewRelation(catalog.NewSchema(
 			catalog.Column{Name: "name", Type: vector.String},
 			catalog.Column{Name: "strategy", Type: vector.String},
@@ -597,8 +769,15 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			catalog.Column{Name: "watermark", Type: vector.Timestamp},
 			catalog.Column{Name: "join_state", Type: vector.Int64},
 			catalog.Column{Name: "join_evictions", Type: vector.Int64},
+			catalog.Column{Name: "last_checkpoint", Type: vector.Timestamp},
+			catalog.Column{Name: "replay_lag", Type: vector.Int64},
 			catalog.Column{Name: "sql", Type: vector.String},
 		))
+		lastCkpt := vector.NullValue(vector.Timestamp)
+		if t := e.lastCheckpointTime(); !t.IsZero() {
+			lastCkpt = vector.NewTimestamp(t.UnixNano())
+		}
+		lag := e.replayLag()
 		qs := e.Queries()
 		sort.Slice(qs, func(i, j int) bool { return qs[i].Name < qs[j].Name })
 		for _, q := range qs {
@@ -623,6 +802,8 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 				watermark,
 				vector.NewInt(st.JoinState),
 				vector.NewInt(st.JoinEvictions),
+				lastCkpt,
+				vector.NewInt(lag),
 				vector.NewString(q.SQL),
 			})
 		}
@@ -748,10 +929,14 @@ func (e *Engine) drop(name string) error {
 	return fmt.Errorf("%w: no table or stream %q", ErrUnknownStream, name)
 }
 
-func (e *Engine) insert(ctx context.Context, ins *sql.InsertStmt) error {
+// insert applies an INSERT. The returned bool reports whether the
+// statement already logged itself durably (a basket INSERT routes
+// through the ingest core, which writes an 'I' record); a table INSERT
+// leaves logging to Exec.
+func (e *Engine) insert(ctx context.Context, ins *sql.InsertStmt) (bool, error) {
 	entry, err := e.cat.Lookup(ins.Table)
 	if err != nil {
-		return fmt.Errorf("%w: %q", ErrUnknownStream, ins.Table)
+		return false, fmt.Errorf("%w: %q", ErrUnknownStream, ins.Table)
 	}
 	userW := entry.Source.Schema().Len()
 	if entry.Kind == catalog.KindBasket {
@@ -760,34 +945,35 @@ func (e *Engine) insert(ctx context.Context, ins *sql.InsertStmt) error {
 	rows := make([][]vector.Value, 0, len(ins.Rows))
 	for _, exprRow := range ins.Rows {
 		if len(exprRow) != userW {
-			return fmt.Errorf("datacell: INSERT into %s needs %d values, got %d",
+			return false, fmt.Errorf("datacell: INSERT into %s needs %d values, got %d",
 				ins.Table, userW, len(exprRow))
 		}
 		row := make([]vector.Value, len(exprRow))
 		for i, ex := range exprRow {
 			v, err := literalValue(ex, entry.Source.Schema().Columns[i].Type)
 			if err != nil {
-				return err
+				return false, err
 			}
 			row[i] = v
 		}
 		rows = append(rows, row)
 	}
 	if entry.Kind == catalog.KindBasket {
-		return e.Ingest(ctx, ins.Table, rows)
+		// The gate is already held by Exec on a durable engine.
+		return true, e.ingestRows(ctx, ins.Table, rows)
 	}
 	e.mu.Lock()
 	tbl := e.tables[strings.ToLower(ins.Table)]
 	e.mu.Unlock()
 	if tbl == nil {
-		return fmt.Errorf("datacell: %q is not writable", ins.Table)
+		return false, fmt.Errorf("datacell: %q is not writable", ins.Table)
 	}
 	for _, row := range rows {
 		if err := tbl.AppendRow(row); err != nil {
-			return err
+			return false, err
 		}
 	}
-	return nil
+	return false, nil
 }
 
 // literalValue reduces an INSERT expression (literal, possibly negated) to
@@ -862,6 +1048,10 @@ func (e *Engine) Query(name string) (*Query, error) {
 // FlushWindows advances every windowed query to the current clock,
 // emitting time-based windows that closed without new arrivals.
 func (e *Engine) FlushWindows() error {
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
 	for _, q := range e.Queries() {
 		for _, f := range q.facts {
 			if err := f.FlushWindows(); err != nil {

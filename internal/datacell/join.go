@@ -261,10 +261,7 @@ func (e *Engine) registerStreamStream(name, text string, sel *sql.SelectStmt, st
 	e.mu.Lock()
 	e.queries[key] = q
 	e.mu.Unlock()
-	e.sched.AddWithPriority(fact, cfg.priority)
-	if q.sub != nil {
-		e.sched.AddWithPriority(q.sub.em, cfg.priority)
-	}
+	e.installQuery(q, cfg)
 	return q, nil
 }
 
@@ -347,12 +344,6 @@ func (e *Engine) registerPartitionedJoin(name, text string, p plan.Node, an part
 	sL.shardReaders++
 	sR.shardReaders++
 	e.mu.Unlock()
-	for _, f := range facts {
-		e.sched.AddWithPriority(f, cfg.priority)
-	}
-	e.sched.AddWithPriority(merge, cfg.priority)
-	if q.sub != nil {
-		e.sched.AddWithPriority(q.sub.em, cfg.priority)
-	}
+	e.installQuery(q, cfg)
 	return q, nil
 }

@@ -336,7 +336,7 @@ func TestPartitionedShow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCols := []string{"name", "strategy", "shards", "merge_lag", "late_tuples", "watermark", "join_state", "join_evictions", "sql"}
+	wantCols := []string{"name", "strategy", "shards", "merge_lag", "late_tuples", "watermark", "join_state", "join_evictions", "last_checkpoint", "replay_lag", "sql"}
 	for i, w := range wantCols {
 		if rel.Schema.Columns[i].Name != w {
 			t.Fatalf("SHOW QUERIES column %d = %s, want %s", i, rel.Schema.Columns[i].Name, w)

@@ -1,6 +1,7 @@
 package datacell
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -49,6 +50,7 @@ type Query struct {
 	sub       *Subscription    // nil when the query polls via SQL
 	replicas  []*basket.Basket // separate strategy only (one per joined stream)
 	engine    *Engine
+	durable   bool // state captured by checkpoints (durable engines only)
 }
 
 // Subscription returns the query's result subscription, or nil when the
@@ -190,6 +192,8 @@ type queryConfig struct {
 	policy     Backpressure
 	lateness   int64  // out-of-order tolerance of WINDOW RANGE, ns
 	tsCol      string // event-time column for WINDOW RANGE ("" = arrival ts)
+	durable    bool   // include operator state in checkpoints (default true)
+	ckptEvery  int64  // requested checkpoint cadence, ns (0 = engine default)
 }
 
 // WithStrategy selects the basket arrangement (default SeparateBaskets,
@@ -249,6 +253,21 @@ func WithBackpressure(p Backpressure) QueryOption {
 // windows; anything older is counted late and dropped.
 func WithLateness(d time.Duration) QueryOption {
 	return func(c *queryConfig) { c.lateness = d.Nanoseconds() }
+}
+
+// WithDurable includes or excludes the query's operator state from
+// checkpoints (durable = true | false; default true). A non-durable
+// query on a durable engine is re-created by DDL replay but restarts
+// with empty state and no delivery suppression.
+func WithDurable(durable bool) QueryOption {
+	return func(c *queryConfig) { c.durable = durable }
+}
+
+// WithCheckpointInterval tightens the engine's background checkpoint
+// cadence to at most d while this query is registered
+// (checkpoint_interval = ...). Zero keeps the engine default.
+func WithCheckpointInterval(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.ckptEvery = d.Nanoseconds() }
 }
 
 // WithEventTimeColumn slices a time-based window by the named stream
@@ -338,6 +357,21 @@ func optionsFromSpecs(specs []sql.OptionSpec) ([]QueryOption, error) {
 				return nil, fmt.Errorf("%w: timestamp needs a column name", ErrInvalidOption)
 			}
 			opts = append(opts, WithEventTimeColumn(s.Val))
+		case "durable":
+			switch val {
+			case "true":
+				opts = append(opts, WithDurable(true))
+			case "false":
+				opts = append(opts, WithDurable(false))
+			default:
+				return nil, fmt.Errorf("%w: durable = %q (want true or false)", ErrInvalidOption, s.Val)
+			}
+		case "checkpoint_interval":
+			ns, err := parseDurationNS(s.Val)
+			if err != nil || ns <= 0 {
+				return nil, fmt.Errorf("%w: checkpoint_interval = %q (want a positive duration like '5s' or nanoseconds)", ErrInvalidOption, s.Val)
+			}
+			opts = append(opts, WithCheckpointInterval(time.Duration(ns)))
 		default:
 			return nil, fmt.Errorf("%w: unknown option %q", ErrInvalidOption, s.Key)
 		}
@@ -370,7 +404,82 @@ func (e *Engine) RegisterContinuous(name, text string, opts ...QueryOption) (*Qu
 	if err != nil {
 		return nil, err
 	}
-	return e.registerParsed(name, text, sel, opts...)
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	q, err := e.registerParsed(name, text, sel, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if e.dur != nil {
+		cfg := defaultQueryConfig()
+		for _, o := range opts {
+			o(&cfg)
+		}
+		if err := e.dur.logStmt(context.Background(), continuousDDL(name, text, cfg), true); err != nil {
+			return q, err
+		}
+	}
+	return q, nil
+}
+
+func defaultQueryConfig() queryConfig {
+	return queryConfig{strategy: SeparateBaskets, minTuples: 1, subDepth: 64, durable: true}
+}
+
+// continuousDDL synthesizes the journal spelling of a Go-registered
+// continuous query. Every QueryOption has a WITH equivalent, so the
+// replayed DDL reconstructs the same pipeline shape — a requirement for
+// checkpoint images to load (replica and shard counts must match).
+func continuousDDL(name, text string, cfg queryConfig) string {
+	def := defaultQueryConfig()
+	var opts []string
+	add := func(k, v string) { opts = append(opts, k+" = "+v) }
+	if cfg.strategy != def.strategy {
+		add("strategy", "shared")
+	}
+	if cfg.minTuples != def.minTuples {
+		add("min_tuples", strconv.Itoa(cfg.minTuples))
+	}
+	if cfg.forceMode {
+		if cfg.windowMode == window.Incremental {
+			add("window_mode", "incremental")
+		} else {
+			add("window_mode", "reeval")
+		}
+	}
+	if cfg.priority != def.priority {
+		add("priority", strconv.Itoa(cfg.priority))
+	}
+	if cfg.shedAt != def.shedAt {
+		add("shed_limit", strconv.Itoa(cfg.shedAt))
+	}
+	if cfg.subDepth <= 0 {
+		add("polling", "true")
+	} else if cfg.subDepth != def.subDepth {
+		add("depth", strconv.Itoa(cfg.subDepth))
+	}
+	if cfg.policy != def.policy {
+		add("backpressure", "drop_oldest")
+	}
+	if cfg.lateness != def.lateness {
+		add("lateness", strconv.FormatInt(cfg.lateness, 10))
+	}
+	if cfg.tsCol != "" {
+		add("timestamp", cfg.tsCol)
+	}
+	if cfg.durable != def.durable {
+		add("durable", "false")
+	}
+	if cfg.ckptEvery > 0 {
+		add("checkpoint_interval", strconv.FormatInt(cfg.ckptEvery, 10))
+	}
+	s := "CREATE CONTINUOUS QUERY " + name
+	if len(opts) > 0 {
+		s += " WITH (" + strings.Join(opts, ", ") + ")"
+	}
+	return s + " AS " + text
 }
 
 // registerParsed is the single registration path behind both
@@ -379,7 +488,7 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	if err := e.guard(nil); err != nil {
 		return nil, err
 	}
-	cfg := queryConfig{strategy: SeparateBaskets, minTuples: 1, subDepth: 64}
+	cfg := defaultQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -574,11 +683,64 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	e.mu.Lock()
 	e.queries[key] = q
 	e.mu.Unlock()
-	e.sched.AddWithPriority(fact, cfg.priority)
-	if q.sub != nil {
-		e.sched.AddWithPriority(q.sub.em, cfg.priority)
-	}
+	e.installQuery(q, cfg)
 	return q, nil
+}
+
+// installQuery finalizes a registered query: durability wiring (the
+// delivery-frontier hook for exactly-once resumption, plus any
+// checkpoint-cadence tightening), then scheduler registration — with
+// gate-wrapped transitions on a durable engine so checkpoints cut
+// between firings, never through one.
+func (e *Engine) installQuery(q *Query, cfg queryConfig) {
+	q.durable = cfg.durable && e.dur != nil
+	if q.durable {
+		if q.sub != nil {
+			key := strings.ToLower(q.Name)
+			q.sub.em.OnDeliver(func(n int64) { e.dur.logFrontier(key, n) })
+		}
+		e.dur.tighten(time.Duration(cfg.ckptEvery))
+	}
+	for _, f := range q.facts {
+		e.addTransition(f, cfg.priority)
+	}
+	if q.merge != nil {
+		e.addTransition(q.merge, cfg.priority)
+	}
+	if q.sub != nil {
+		e.addTransition(q.sub.em, cfg.priority)
+	}
+}
+
+// CheckpointInfo reports a query's durability posture (see
+// Query.Checkpoint).
+type CheckpointInfo struct {
+	// Durable reports whether checkpoints capture this query's state.
+	Durable bool
+	// LastCheckpoint is when the engine last checkpointed (zero before
+	// the first checkpoint or on a non-durable engine).
+	LastCheckpoint time.Time
+	// ReplayLag is the number of WAL records a crash right now would
+	// replay (engine-wide, 0 when not durable).
+	ReplayLag int64
+	// Delivered is the cumulative number of result tuples the query's
+	// subscription has delivered.
+	Delivered int64
+}
+
+// Checkpoint returns the query's durability posture: whether its state
+// is checkpointed, when the last checkpoint ran, the replay lag a crash
+// would incur, and the delivery frontier.
+func (q *Query) Checkpoint() CheckpointInfo {
+	info := CheckpointInfo{
+		Durable:        q.durable,
+		LastCheckpoint: q.engine.lastCheckpointTime(),
+		ReplayLag:      q.engine.replayLag(),
+	}
+	if q.sub != nil {
+		info.Delivered = q.sub.em.Delivered()
+	}
+	return info
 }
 
 // registerPartitioned installs a continuous query as N shard pipelines
@@ -667,13 +829,7 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 	e.queries[key] = q
 	s.shardReaders++
 	e.mu.Unlock()
-	for _, f := range facts {
-		e.sched.AddWithPriority(f, cfg.priority)
-	}
-	e.sched.AddWithPriority(merge, cfg.priority)
-	if q.sub != nil {
-		e.sched.AddWithPriority(q.sub.em, cfg.priority)
-	}
+	e.installQuery(q, cfg)
 	return q, nil
 }
 
@@ -781,13 +937,7 @@ func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *s
 	e.queries[key] = q
 	s.shardReaders++
 	e.mu.Unlock()
-	for _, f := range facts {
-		e.sched.AddWithPriority(f, cfg.priority)
-	}
-	e.sched.AddWithPriority(merge, cfg.priority)
-	if q.sub != nil {
-		e.sched.AddWithPriority(q.sub.em, cfg.priority)
-	}
+	e.installQuery(q, cfg)
 	return q, nil
 }
 
@@ -874,6 +1024,17 @@ func (e *Engine) buildShardWindowRunner(wan partition.WindowedAnalysis, p plan.N
 // transition and the private replica and output baskets are freed, and
 // the subscription closes.
 func (e *Engine) UnregisterContinuous(name string) error {
+	if e.dur != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	if err := e.unregisterContinuous(name); err != nil {
+		return err
+	}
+	return e.dur.logStmt(context.Background(), "DROP CONTINUOUS QUERY "+name, true)
+}
+
+func (e *Engine) unregisterContinuous(name string) error {
 	key := strings.ToLower(name)
 	e.mu.Lock()
 	q, ok := e.queries[key]

@@ -504,6 +504,90 @@ func emptyRelation(schema *catalog.Schema) *storage.Relation {
 	return out
 }
 
+// --- durability ----------------------------------------------------------
+
+// JoinSideState is the serializable image of one accumulated join side:
+// the retained rows plus the side's watermark registers. Keys,
+// timestamps, and the hash index are derived data and are rebuilt on
+// restore by re-running the insert path over the rows.
+type JoinSideState struct {
+	Cols      []vector.Wire
+	Local     int64
+	ClockSeen int64
+}
+
+// JoinState is the serializable image of a StreamJoin for checkpoints.
+// Stream-table mode carries no rows — the table cache is rebuilt from
+// the (separately persisted) table on the first post-restore firing.
+type JoinState struct {
+	Symmetric bool
+	Left      *JoinSideState
+	Right     *JoinSideState
+	Stats     StreamJoinStats
+}
+
+// Snapshot captures the join state.
+func (sj *StreamJoin) Snapshot() *JoinState {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	st := &JoinState{Symmetric: sj.symmetric, Stats: sj.stats}
+	if sj.symmetric {
+		st.Left = sj.left.snapshot()
+		st.Right = sj.right.snapshot()
+	}
+	return st
+}
+
+func (s *joinSide) snapshot() *JoinSideState {
+	st := &JoinSideState{Local: s.local, ClockSeen: s.clockSeen}
+	if s.rel != nil {
+		st.Cols = vector.WireColumns(s.rel.Cols)
+	}
+	return st
+}
+
+// Restore loads a snapshot into a freshly built StreamJoin (same plan
+// node and configuration). Accumulated rows are re-inserted through the
+// normal path, rebuilding keys, timestamps, and the hash index; shared
+// clocks, if attached, are re-raised to the restored maxima.
+func (sj *StreamJoin) Restore(st *JoinState) error {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	if st.Symmetric != sj.symmetric {
+		return fmt.Errorf("exec: join restore mode mismatch")
+	}
+	sj.stats = st.Stats
+	if !sj.symmetric {
+		return nil
+	}
+	if err := sj.left.restore(st.Left, sj.join.L.Schema(), sj, sj.lkeyE); err != nil {
+		return err
+	}
+	return sj.right.restore(st.Right, sj.join.R.Schema(), sj, sj.rkeyE)
+}
+
+func (s *joinSide) restore(st *JoinSideState, schema *catalog.Schema, sj *StreamJoin, keyE expr.Expr) error {
+	if st == nil {
+		return nil
+	}
+	if len(s.keys) != 0 {
+		return fmt.Errorf("exec: join restore into non-empty side")
+	}
+	if len(st.Cols) > 0 {
+		if len(st.Cols) != schema.Len() {
+			return fmt.Errorf("exec: join restore image has %d columns, want %d", len(st.Cols), schema.Len())
+		}
+		rel := &storage.Relation{Schema: schema, Cols: vector.ColumnsFromWire(st.Cols)}
+		s.insert(rel, sj.batchKeys(keyE, rel))
+	}
+	s.local = st.Local
+	s.clockSeen = st.ClockSeen
+	if s.clock != nil && s.local != noTS {
+		s.clock.Raise(s.local)
+	}
+	return nil
+}
+
 // --- joinSide ------------------------------------------------------------
 
 // insert absorbs a batch into the accumulated side. Rows with NULL keys

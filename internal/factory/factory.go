@@ -470,10 +470,17 @@ func (f *Factory) fireWindowed(p pinned, unlock func(), groupMax int64, hasGroup
 	case Shared:
 		p.in.Basket.LockedSetMark(p.in.ReaderID, p.hseq+bat.OID(p.n))
 	}
-	unlock()
-
+	// runnerMu must be taken BEFORE the basket locks are released:
+	// FlushWindows treats "backlog empty" as proof that every routed
+	// tuple reached the runner, but a pin drains the basket before the
+	// tuples are appended. Holding runnerMu across the gap means a
+	// flusher that saw the drained basket blocks here until the pinned
+	// batch is in — otherwise it can admit a group reading and seal
+	// windows this batch still belongs to, mislabeling it late.
 	f.runnerMu.Lock()
 	defer f.runnerMu.Unlock()
+	unlock()
+
 	if hasGroup {
 		f.runner.ObserveGroup(groupMax)
 	}
@@ -541,7 +548,10 @@ func (f *Factory) FlushWindows() error {
 	// with unprocessed input pending, the group may already be past
 	// tuples we have not appended yet (read the group FIRST — anything
 	// arriving after the read carries timestamps at or beyond it, within
-	// the lateness bound).
+	// the lateness bound). An empty backlog can also mean a concurrent
+	// Fire pinned the batch moments ago; that is safe only because
+	// fireWindowed acquires runnerMu before releasing its basket locks,
+	// so taking runnerMu below orders us after that batch's Append.
 	groupMax, hasGroup := f.runner.GroupMax()
 	if hasGroup && f.available(0) > 0 {
 		hasGroup = false
@@ -556,6 +566,89 @@ func (f *Factory) FlushWindows() error {
 		return err
 	}
 	return f.deliverWindows(results)
+}
+
+// State is the serializable image of a factory for checkpoints: the
+// counters, the delivered window frontier, the per-input consumption
+// watermarks (relative to each basket's content start, so they survive
+// the OID reset of a restore), and the window/join operator state.
+// Shared-mode marks are not here — they live in the basket image.
+type State struct {
+	Stats    Stats
+	Frontier int64
+	SeenRel  []int64
+	Window   *window.State
+	Join     *exec.JoinState
+}
+
+// CaptureState snapshots the factory. The engine holds its consistency
+// gate while calling, so no firing is in flight; basket and runner
+// locks are still taken for memory-visibility.
+func (f *Factory) CaptureState() *State {
+	st := &State{Frontier: atomic.LoadInt64(&f.frontier)}
+	f.mu.Lock()
+	st.Stats = f.stats
+	seen := append([]bat.OID(nil), f.seen...)
+	f.mu.Unlock()
+	st.SeenRel = make([]int64, len(f.inputs))
+	for i, in := range f.inputs {
+		if in.Mode != Owned {
+			continue
+		}
+		hseq, n := in.Basket.Bounds()
+		st.SeenRel[i] = min(max(int64(seen[i]-hseq), 0), int64(n))
+	}
+	if f.runner != nil {
+		f.runnerMu.Lock()
+		st.Window = f.runner.Snapshot()
+		f.runnerMu.Unlock()
+	}
+	if f.join != nil {
+		st.Join = f.join.Snapshot()
+	}
+	return st
+}
+
+// RestoreState loads a snapshot into a freshly built factory whose input
+// baskets have already been restored. The relative watermarks are
+// re-anchored to the baskets' current head OIDs — critical for
+// predicate-window retention, where tuples below the watermark must not
+// re-trigger (or be re-consumed as fresh arrivals) after a restart.
+func (f *Factory) RestoreState(st *State) error {
+	if len(st.SeenRel) != len(f.inputs) {
+		return fmt.Errorf("factory %s: restore image has %d inputs, want %d", f.name, len(st.SeenRel), len(f.inputs))
+	}
+	f.mu.Lock()
+	f.stats = st.Stats
+	for i, in := range f.inputs {
+		if in.Mode != Owned {
+			continue
+		}
+		hseq, _ := in.Basket.Bounds()
+		f.seen[i] = hseq + bat.OID(st.SeenRel[i])
+	}
+	f.mu.Unlock()
+	atomic.StoreInt64(&f.frontier, st.Frontier)
+	if st.Window != nil {
+		if f.runner == nil {
+			return fmt.Errorf("factory %s: restore image has window state but no runner", f.name)
+		}
+		f.runnerMu.Lock()
+		err := f.runner.Restore(st.Window)
+		f.runnerMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("factory %s: %w", f.name, err)
+		}
+	}
+	if st.Join != nil {
+		if f.join == nil {
+			return fmt.Errorf("factory %s: restore image has join state but no join", f.name)
+		}
+		if err := f.join.Restore(st.Join); err != nil {
+			return fmt.Errorf("factory %s: %w", f.name, err)
+		}
+	}
+	return nil
 }
 
 func (f *Factory) deliver(rel *storage.Relation, maxTS int64, tuplesIn int) error {

@@ -216,6 +216,58 @@ func (m *WindowedMerge) Merged() int64 { return atomic.LoadInt64(&m.drained) }
 // stream's declared lateness bound.
 func (m *WindowedMerge) Late() int64 { return atomic.LoadInt64(&m.late) }
 
+// WindowedMergeState is the serializable image of a WindowedMerge for
+// checkpoints: the per-window buffered partials plus the progress
+// counters. Pending windows hold tuples already drained from the shard
+// outs, so losing them would silently drop shard contributions.
+type WindowedMergeState struct {
+	Pending map[int64][]vector.Wire
+	Rows    int
+	Merged  int64
+	Through int64
+	Drained int64
+	Late    int64
+}
+
+// Snapshot captures the merge state. The engine holds its consistency
+// gate while calling, so no Fire is in flight.
+func (m *WindowedMerge) Snapshot() *WindowedMergeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := &WindowedMergeState{
+		Pending: make(map[int64][]vector.Wire, len(m.pending)),
+		Rows:    m.rows,
+		Merged:  m.merged,
+		Through: m.through,
+		Drained: atomic.LoadInt64(&m.drained),
+		Late:    atomic.LoadInt64(&m.late),
+	}
+	for end, rel := range m.pending {
+		st.Pending[end] = vector.WireColumns(rel.Cols)
+	}
+	return st
+}
+
+// Restore loads a snapshot into a freshly built merge (pending buckets
+// carry the shard-out schema).
+func (m *WindowedMerge) Restore(st *WindowedMergeState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) != 0 {
+		return fmt.Errorf("windowed merge %s: restore into non-empty merge", m.name)
+	}
+	schema := m.shardOuts[0].Schema()
+	for end, cols := range st.Pending {
+		m.pending[end] = &storage.Relation{Schema: schema, Cols: vector.ColumnsFromWire(cols)}
+	}
+	m.rows = st.Rows
+	m.merged = st.Merged
+	m.through = st.Through
+	atomic.StoreInt64(&m.drained, st.Drained)
+	atomic.StoreInt64(&m.late, st.Late)
+	return nil
+}
+
 // Fire implements scheduler.Transition: drain the shard outs, bucket the
 // partials by window end, and merge every window the frontiers have
 // closed, in boundary order.

@@ -346,6 +346,9 @@ func (v *Vector) Bools() []bool { return v.bools }
 // Strings exposes the backing string slice (String vectors).
 func (v *Vector) Strings() []string { return v.strs }
 
+// Nulls exposes the backing null mask (nil when no null was ever set).
+func (v *Vector) Nulls() []bool { return v.nulls }
+
 // AppendInt appends an int64 (Int64/Timestamp vectors).
 func (v *Vector) AppendInt(x int64) {
 	v.ints = append(v.ints, x)

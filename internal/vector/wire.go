@@ -1,0 +1,61 @@
+package vector
+
+// Wire is the serializable form of a Vector: the same typed payload
+// slices with exported fields, so encoding/gob (the durability layer's
+// codec) can move column data into WAL records and checkpoint images
+// without reflection on unexported state. Conversions copy the payload
+// — a Wire never aliases live vector storage.
+type Wire struct {
+	Typ   Type
+	Ints  []int64
+	Flts  []float64
+	Bools []bool
+	Strs  []string
+	Nulls []bool
+}
+
+// Wire returns a deep-copied serializable form of the vector.
+func (v *Vector) Wire() Wire {
+	w := Wire{Typ: v.typ}
+	if v.ints != nil {
+		w.Ints = append([]int64(nil), v.ints...)
+	}
+	if v.flts != nil {
+		w.Flts = append([]float64(nil), v.flts...)
+	}
+	if v.bools != nil {
+		w.Bools = append([]bool(nil), v.bools...)
+	}
+	if v.strs != nil {
+		w.Strs = append([]string(nil), v.strs...)
+	}
+	if v.nulls != nil {
+		w.Nulls = append([]bool(nil), v.nulls...)
+	}
+	return w
+}
+
+// FromWire rebuilds a vector from its serialized form. The wire's
+// slices are adopted directly (a decoded Wire is already a private
+// copy).
+func FromWire(w Wire) *Vector {
+	return &Vector{typ: w.Typ, ints: w.Ints, flts: w.Flts, bools: w.Bools, strs: w.Strs, nulls: w.Nulls}
+}
+
+// WireColumns converts a column set to wire form.
+func WireColumns(cols []*Vector) []Wire {
+	out := make([]Wire, len(cols))
+	for i, c := range cols {
+		out[i] = c.Wire()
+	}
+	return out
+}
+
+// ColumnsFromWire rebuilds a column set from wire form.
+func ColumnsFromWire(ws []Wire) []*Vector {
+	out := make([]*Vector, len(ws))
+	for i, w := range ws {
+		out[i] = FromWire(w)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync persists a segment's data and size without the pure-metadata
+// inode update (mtime/ctime) a full fsync also journals. The log's
+// group-commit round is fsync-latency-bound, so the cheaper barrier is
+// taken where the kernel offers it; crash safety is unchanged — frame
+// payloads and the file length are exactly what replay needs.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// datasync falls back to a full fsync where the platform has no
+// separate data-only barrier.
+func datasync(f *os.File) error { return f.Sync() }

@@ -576,6 +576,89 @@ func (r *Runner) emitTime(end int64) (Result, bool, error) {
 	return res, true, nil
 }
 
+// State is a serializable image of a runner for checkpoints. Pane
+// summaries are deliberately absent: they are opaque (not gob-friendly)
+// and fully reconstructible, because every summarized-but-unmerged pane
+// covers [WinStart, PaneStart) and the buffer still holds every tuple
+// at or past WinStart.
+type State struct {
+	Buf       []vector.Wire
+	AbsBase   int64
+	AbsCount  int64
+	WinStart  int64
+	Started   bool
+	Emitted   bool
+	MaxTS     int64
+	FlushTS   int64
+	Late      int64
+	GroupSeen int64
+	PaneStart int64
+}
+
+// Snapshot captures the runner's state. The caller must hold the same
+// serialization the owning factory uses for Append/Flush.
+func (r *Runner) Snapshot() *State {
+	return &State{
+		Buf:       vector.WireColumns(r.buf.Cols),
+		AbsBase:   r.absBase,
+		AbsCount:  r.absCount,
+		WinStart:  r.winStart,
+		Started:   r.started,
+		Emitted:   r.emitted,
+		MaxTS:     r.maxTS,
+		FlushTS:   r.flushTS,
+		Late:      r.late,
+		GroupSeen: r.groupSeen,
+		PaneStart: r.paneStart,
+	}
+}
+
+// Restore loads a snapshot into a freshly built runner (same spec, mode,
+// and evaluators). Incremental pane summaries are rebuilt by
+// re-summarizing the restored buffer over [WinStart, PaneStart); a
+// shared watermark group, if attached, is re-raised to the restored
+// maximum so the group clock never runs behind restored state.
+func (r *Runner) Restore(st *State) error {
+	if r.buf.NumRows() != 0 {
+		return fmt.Errorf("window: restore into non-empty runner")
+	}
+	if len(st.Buf) != len(r.buf.Cols) {
+		return fmt.Errorf("window: restore image has %d columns, want %d", len(st.Buf), len(r.buf.Cols))
+	}
+	r.buf.Cols = vector.ColumnsFromWire(st.Buf)
+	r.absBase = st.AbsBase
+	r.absCount = st.AbsCount
+	r.winStart = st.WinStart
+	r.started = st.Started
+	r.emitted = st.Emitted
+	r.maxTS = st.MaxTS
+	r.flushTS = st.FlushTS
+	r.late = st.Late
+	r.groupSeen = st.GroupSeen
+	r.paneStart = st.PaneStart
+	if r.group != nil && r.maxTS != noTS {
+		r.group.Raise(r.maxTS)
+	}
+	if r.mode == Incremental {
+		for p := st.WinStart; p+r.spec.Slide <= st.PaneStart; p += r.spec.Slide {
+			var plo, phi int
+			if r.spec.Kind == sql.WindowRows {
+				plo = int(p - r.absBase)
+				phi = plo + int(r.spec.Slide)
+			} else {
+				plo = r.lowerBound(p)
+				phi = r.lowerBound(p + r.spec.Slide)
+			}
+			sum, err := r.pane.Summarize(r.slice(plo, phi))
+			if err != nil {
+				return fmt.Errorf("window: rebuilding pane at %d: %w", p, err)
+			}
+			r.panes = append(r.panes, sum)
+		}
+	}
+	return nil
+}
+
 // mod is a non-negative modulus (timestamps may precede the epoch).
 func mod(a, b int64) int64 {
 	m := a % b
