@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-go bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke bench-durability bench-durability-smoke check
+.PHONY: build test race vet fmt bench bench-go bench-profile bench-sched bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke bench-durability bench-durability-smoke check
 
 build:
 	$(GO) build ./...
@@ -72,5 +72,20 @@ bench-durability-smoke:
 # bench-go runs the paper-experiment testing.B benchmarks once each.
 bench-go:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-profile reruns the partitioned scenario with CPU, allocation,
+# mutex-contention, and blocking profiles armed, for hunting hot-path
+# contention (inspect with `go tool pprof cpu.pprof` etc.). Profiling
+# biases the timings, so the numbers printed here are not comparable to
+# `make bench` output.
+bench-profile:
+	$(GO) run ./cmd/hotpathbench -scenario partitioned -cpus 1,4 -o - \
+		-cpuprofile cpu.pprof -memprofile mem.pprof \
+		-mutexprofile mutex.pprof -blockprofile block.pprof
+
+# bench-sched runs the scheduler micro-benchmarks with -benchmem: the
+# steady-state firing loop must report 0 allocs/op and ~0 claim-misses.
+bench-sched:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/scheduler/
 
 check: build vet fmt test

@@ -47,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -140,6 +141,7 @@ type Report struct {
 	NumCPU      int                `json:"num_cpu"`
 	Baseline    []Result           `json:"before_chunked_storage"`
 	Current     []Result           `json:"current"`
+	PartBefore  []PartResult       `json:"partitioned_before_execution_core,omitempty"`
 	Partitioned []PartResult       `json:"partitioned,omitempty"`
 	Windowed    []WindowedResult   `json:"windowed,omitempty"`
 	Join        []JoinResult       `json:"join,omitempty"`
@@ -161,6 +163,26 @@ var baseline = []Result{
 	{Name: "ingest_emit_window", Depth: 10_000, NsPerOp: 152292, AllocsPerOp: 50, BytesPerOp: 754413, TuplesPerSec: 1.7e6},
 	{Name: "ingest_emit_window", Depth: 100_000, NsPerOp: 1411593, AllocsPerOp: 50, BytesPerOp: 6846749, TuplesPerSec: 0.18e6},
 	{Name: "ingest_emit_all", NsPerOp: 12149, AllocsPerOp: 51, BytesPerOp: 31542, TuplesPerSec: 21.1e6},
+}
+
+// partBaseline holds the partitioned-throughput numbers measured
+// immediately before the execution-core rework (global ready-set scan,
+// lock-all shard fan-out, per-shard output baskets) on the same 1-CPU
+// container class, so the scaling table always carries its before/after
+// pair. The headline failure mode was negative scaling under
+// oversubscription: at GOMAXPROCS=4 on one core, 4 shards ran at 0.27x
+// the flat pipeline because every append woke every worker to rescan
+// every transition.
+var partBaseline = []PartResult{
+	{Name: "partitioned_throughput", Cpus: 1, Shards: 1, Tuples: 524288, TuplesPerSec: 6709616, NsPerTuple: 149.0},
+	{Name: "partitioned_throughput", Cpus: 1, Shards: 2, Tuples: 524288, TuplesPerSec: 5097598, NsPerTuple: 196.2},
+	{Name: "partitioned_throughput", Cpus: 1, Shards: 4, Tuples: 524288, TuplesPerSec: 5943288, NsPerTuple: 168.3},
+	{Name: "partitioned_throughput", Cpus: 2, Shards: 1, Tuples: 524288, TuplesPerSec: 6553780, NsPerTuple: 152.6},
+	{Name: "partitioned_throughput", Cpus: 2, Shards: 2, Tuples: 524288, TuplesPerSec: 3060799, NsPerTuple: 326.7},
+	{Name: "partitioned_throughput", Cpus: 2, Shards: 4, Tuples: 524288, TuplesPerSec: 2883754, NsPerTuple: 346.8},
+	{Name: "partitioned_throughput", Cpus: 4, Shards: 1, Tuples: 524288, TuplesPerSec: 4574543, NsPerTuple: 218.6},
+	{Name: "partitioned_throughput", Cpus: 4, Shards: 2, Tuples: 524288, TuplesPerSec: 1261367, NsPerTuple: 792.8},
+	{Name: "partitioned_throughput", Cpus: 4, Shards: 4, Tuples: 524288, TuplesPerSec: 1249942, NsPerTuple: 800.0},
 }
 
 func measure(name string, depth int, tuplesPerOp int, fn func(b *testing.B)) Result {
@@ -976,12 +998,66 @@ func parseCpus(s string) []int {
 	return out
 }
 
+// startProfiles arms the requested pprof profiles and returns the hook
+// that flushes them on exit. Mutex and block profiling are sampled at
+// full rate only when their output file is requested — both bias the
+// timings they observe, so a profiling run's numbers are for hunting
+// contention, not for BENCH_results.json.
+func startProfiles(cpu, mem, mutex, block string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	writeProfile := func(name, path string, debug int) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("%s profile: %v", name, err)
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, debug); err != nil {
+			log.Fatalf("%s profile: %v", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s profile %s\n", name, path)
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "wrote cpu profile %s\n", cpu)
+		}
+		if mem != "" {
+			runtime.GC() // settle allocations so the heap profile is exact
+		}
+		writeProfile("allocs", mem, 0)
+		writeProfile("mutex", mutex, 0)
+		writeProfile("block", block, 0)
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output file ('-' for stdout)")
 	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, join, durability, or all")
 	cpusFlag := flag.String("cpus", "1,2,4", "GOMAXPROCS settings for the partitioned/windowed scenarios")
 	smoke := flag.Bool("smoke", false, "tiny partitioned/windowed workload (CI sanity run)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file on exit")
 	flag.Parse()
+	defer startProfiles(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)()
 
 	var results []Result
 	if *scenario == "all" || *scenario == "hotpath" {
@@ -1054,7 +1130,10 @@ func main() {
 			"batch=256 rows/op; depth is the resident basket backlog during the op. " +
 			"'partitioned' is single-query ingest-to-merge throughput of a grouped continuous " +
 			"query at GOMAXPROCS=cpus with the stream hash-sharded `shards` ways (4096-row " +
-			"batches, 4096 groups); shard scaling needs num_cpu >= shards to materialize. " +
+			"batches, 4096 groups); shard scaling needs num_cpu >= shards to materialize — " +
+			"'partitioned_before_execution_core' is the same scenario before the sharded " +
+			"run-queue / targeted-wakeup / ring-handoff rework (on a 1-CPU container both " +
+			"sides only show the contention tax, not the speedup; see num_cpu). " +
 			"'windowed' is an event-time tumbling-window GROUP BY aligned with the partition key " +
 			"(window 4096 ticks, lateness 512), flat vs sharded, with disorder_pct of the input " +
 			"displaced backward within the lateness bound — late_tuples must stay 0. " +
@@ -1071,6 +1150,7 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 		Baseline:    baseline,
 		Current:     results,
+		PartBefore:  partBaseline,
 		Partitioned: part,
 		Windowed:    win,
 		Join:        join,

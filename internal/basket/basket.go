@@ -16,6 +16,7 @@ package basket
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bat"
 	"repro/internal/catalog"
@@ -23,6 +24,30 @@ import (
 	"repro/internal/storage"
 	"repro/internal/vector"
 )
+
+// Feed is an out-of-lock staging area for arriving tuples — the engine's
+// ingest fan-out publishes shard slices to an SPSC ring (see
+// partition.Inbox) instead of taking every shard basket's lock. The basket
+// admits staged batches lazily: every code path that enters the basket
+// lock first drains the feed, so feed content is indistinguishable from
+// appended content to readers, factories, and checkpoint capture.
+//
+// Drain is only called with the basket lock held, making the basket the
+// single consumer the SPSC contract requires.
+type Feed interface {
+	// Pending returns the number of staged tuples (cheap; lock-free).
+	Pending() int
+	// Drain emits staged batches oldest-first. emit receives the user
+	// columns and the arrival timestamp to stamp them with. A non-nil
+	// error aborts the drain, leaving the remainder staged.
+	Drain(emit func(cols []*vector.Vector, ts int64) error) error
+}
+
+// listener is one append subscriber (a downstream transition's wake hook).
+type listener struct {
+	id uint64
+	fn func()
+}
 
 // Basket is a concurrency-safe stream buffer. It implements
 // catalog.Source so plans can scan it like any table.
@@ -34,9 +59,17 @@ type Basket struct {
 	mu      sync.Mutex
 	table   *storage.Table
 	readers map[string]bat.OID // shared-mode watermarks: next unseen OID
-	// onAppend, when set, is invoked (outside the lock) after every append
-	// — the scheduler uses it to re-evaluate firing conditions.
-	onAppend func()
+	// listeners are invoked (outside the lock) after every append — the
+	// downstream transitions' wake hooks. Copy-on-write so notify() is a
+	// single atomic load on the hot path.
+	listeners atomic.Pointer[[]listener]
+	lisMu     sync.Mutex
+	lisSeq    atomic.Uint64
+	// feed, when set, stages arriving tuples outside the lock; feedEmit is
+	// the pre-bound admission callback (avoids a closure per drain).
+	feed     Feed
+	feedEmit func(cols []*vector.Vector, ts int64) error
+	feedErr  error
 	// capacity, when positive, bounds the basket: appends beyond it shed
 	// the oldest tuples (the paper's load-shedding requirement). shed
 	// counts the victims.
@@ -69,17 +102,105 @@ func (b *Basket) Schema() *catalog.Schema { return b.schema }
 // UserWidth returns the number of user columns (excluding ts).
 func (b *Basket) UserWidth() int { return b.schema.Len() - 1 }
 
-// OnAppend registers the scheduler wake-up hook.
+// OnAppend replaces all append listeners with the single given hook (or
+// none, when fn is nil). It predates Subscribe and is kept for callers
+// that want one broadcast hook; engine wiring uses Subscribe so each
+// downstream transition gets a targeted wake.
 func (b *Basket) OnAppend(fn func()) {
+	b.lisMu.Lock()
+	defer b.lisMu.Unlock()
+	if fn == nil {
+		b.listeners.Store(nil)
+		return
+	}
+	ls := []listener{{id: b.lisSeq.Add(1), fn: fn}}
+	b.listeners.Store(&ls)
+}
+
+// Subscribe registers an append listener and returns its id for
+// Unsubscribe. Listeners run outside the basket lock after every append;
+// the engine subscribes each consuming transition's Handle.Wake here —
+// the transition→input-place edge map of the event-driven scheduler.
+func (b *Basket) Subscribe(fn func()) uint64 {
+	b.lisMu.Lock()
+	defer b.lisMu.Unlock()
+	id := b.lisSeq.Add(1)
+	var cur []listener
+	if p := b.listeners.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]listener, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = listener{id: id, fn: fn}
+	b.listeners.Store(&next)
+	return id
+}
+
+// Unsubscribe removes a listener registered with Subscribe.
+func (b *Basket) Unsubscribe(id uint64) {
+	b.lisMu.Lock()
+	defer b.lisMu.Unlock()
+	p := b.listeners.Load()
+	if p == nil {
+		return
+	}
+	cur := *p
+	next := make([]listener, 0, len(cur))
+	for _, l := range cur {
+		if l.id != id {
+			next = append(next, l)
+		}
+	}
+	if len(next) == 0 {
+		b.listeners.Store(nil)
+		return
+	}
+	b.listeners.Store(&next)
+}
+
+// notify invokes every append listener (outside the basket lock).
+func (b *Basket) notify() {
+	if p := b.listeners.Load(); p != nil {
+		for _, l := range *p {
+			l.fn()
+		}
+	}
+}
+
+// SetFeed attaches a staging feed (nil detaches). Baskets admit staged
+// batches on every lock entry, so the feed's content is visible to all
+// readers without the producer ever taking the basket lock.
+func (b *Basket) SetFeed(f Feed) {
 	b.mu.Lock()
-	b.onAppend = fn
+	b.feed = f
+	if f != nil {
+		b.feedEmit = b.stampedAppendLocked
+	}
 	b.mu.Unlock()
+}
+
+// FeedErr returns the most recent feed admission error, if any.
+func (b *Basket) FeedErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.feedErr
+}
+
+// admitLocked drains staged batches into the table; the caller holds mu.
+func (b *Basket) admitLocked() {
+	if b.feed == nil || b.feed.Pending() == 0 {
+		return
+	}
+	if err := b.feed.Drain(b.feedEmit); err != nil {
+		b.feedErr = err
+	}
 }
 
 // Len returns the number of buffered tuples.
 func (b *Basket) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.admitLocked()
 	return b.table.NumRows()
 }
 
@@ -87,6 +208,7 @@ func (b *Basket) Len() int {
 func (b *Basket) Hseq() bat.OID {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.admitLocked()
 	return b.table.Hseq()
 }
 
@@ -96,31 +218,35 @@ func (b *Basket) Hseq() bat.OID {
 func (b *Basket) Bounds() (hseq bat.OID, n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.admitLocked()
 	return b.table.Hseq(), b.table.NumRows()
 }
 
 // Append adds a batch of user columns, stamping every tuple with the
-// current clock time. It wakes the scheduler hook.
+// current clock time. It wakes the append listeners.
 func (b *Basket) Append(cols []*vector.Vector) error {
 	b.mu.Lock()
-	err := b.LockedAppend(cols)
-	hook := b.onAppend
+	b.admitLocked() // staged tuples arrived earlier; keep FIFO
+	err := b.stampedAppendLocked(cols, b.clock.Now())
 	b.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	if hook != nil {
-		hook()
-	}
+	b.notify()
 	return nil
 }
 
-// LockedAppend is Append for a caller that already holds Lock — used by
-// the engine's sharded fan-out, which appends one batch's slices to
-// every shard basket under all their locks at once so no shard can
-// observe (and process) its slice before the siblings have theirs. The
-// caller fires NotifyAppend after unlocking.
+// LockedAppend is Append for a caller that already holds Lock — retained
+// for callers that append to several baskets under their locks at once.
+// The caller fires NotifyAppend after unlocking. (The engine's sharded
+// fan-out now stages through a Feed instead.)
 func (b *Basket) LockedAppend(cols []*vector.Vector) error {
+	return b.stampedAppendLocked(cols, b.clock.Now())
+}
+
+// stampedAppendLocked is the append core: stamp every tuple with the given
+// arrival time, append, and shed over capacity. Caller holds mu.
+func (b *Basket) stampedAppendLocked(cols []*vector.Vector, now int64) error {
 	if len(cols) != b.UserWidth() {
 		return fmt.Errorf("basket %s: expected %d columns, got %d", b.name, b.UserWidth(), len(cols))
 	}
@@ -129,7 +255,6 @@ func (b *Basket) LockedAppend(cols []*vector.Vector) error {
 		n = cols[0].Len()
 	}
 	ts := vector.NewWithCap(vector.Timestamp, n)
-	now := b.clock.Now()
 	for i := 0; i < n; i++ {
 		ts.AppendInt(now)
 	}
@@ -209,6 +334,7 @@ func (b *Basket) AppendRelation(r *storage.Relation) error {
 func (b *Basket) Snapshot() bat.View {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.admitLocked()
 	return b.table.Snapshot()
 }
 
@@ -217,6 +343,7 @@ func (b *Basket) Snapshot() bat.View {
 func (b *Basket) SnapshotAt() (view bat.View, hseq bat.OID, n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.admitLocked()
 	return b.table.Snapshot(), b.table.Hseq(), b.table.NumRows()
 }
 
@@ -226,13 +353,18 @@ func (b *Basket) SnapshotAt() (view bat.View, hseq bat.OID, n int) {
 func (b *Basket) Stats() (chunks, resident int, dropped, shed int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.admitLocked()
 	chunks, resident, dropped = b.table.Stats()
 	return chunks, resident, dropped, b.shed
 }
 
 // Lock acquires the basket exclusively — the paper's basket.lock() used by
-// factories around their processing step.
-func (b *Basket) Lock() { b.mu.Lock() }
+// factories around their processing step. Staged feed batches are admitted
+// on entry, so a locked reader always sees everything that has arrived.
+func (b *Basket) Lock() {
+	b.mu.Lock()
+	b.admitLocked()
+}
 
 // Unlock releases the basket.
 func (b *Basket) Unlock() { b.mu.Unlock() }
@@ -280,15 +412,11 @@ func (b *Basket) LockedAppendRelation(r *storage.Relation) error {
 	return b.table.AppendBatch(full)
 }
 
-// NotifyAppend invokes the scheduler hook; factories call it after
-// unlocking an output basket they appended to.
+// NotifyAppend invokes the append listeners; factories call it after
+// unlocking an output basket they appended to, and the ingest fan-out
+// calls it after publishing to a feed.
 func (b *Basket) NotifyAppend() {
-	b.mu.Lock()
-	hook := b.onAppend
-	b.mu.Unlock()
-	if hook != nil {
-		hook()
-	}
+	b.notify()
 }
 
 // --- shared-baskets mode -------------------------------------------------
@@ -369,6 +497,7 @@ func (b *Basket) Readers() int {
 func (b *Basket) CaptureState() (cols []vector.Wire, marks map[string]int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.admitLocked() // staged arrivals are part of the cut
 	view := b.table.Snapshot()
 	cols = make([]vector.Wire, view.NumCols())
 	for i := range cols {

@@ -150,7 +150,6 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 	// Stage 0 reads a private replica of the stream; the paper's "extra
 	// basket between q1 and q2" connects consecutive stages.
 	head := basket.New(name+"_s0_in", s.schema, e.clock)
-	head.OnAppend(e.sched.Notify)
 	chain := head
 	for i, p := range preds {
 		attrIdx := s.schema.Index(p.Attr)
@@ -160,10 +159,8 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 		var next *basket.Basket
 		if i+1 < len(preds) {
 			next = basket.New(fmt.Sprintf("%s_s%d_in", name, i+1), s.schema, e.clock)
-			next.OnAppend(e.sched.Notify)
 		}
 		out := basket.New(fmt.Sprintf("%s_s%d_out", name, i), s.schema, e.clock)
-		out.OnAppend(e.sched.Notify)
 		if err := e.cat.Register(out.Name(), catalog.KindBasket, out); err != nil {
 			return nil, err
 		}
@@ -188,10 +185,13 @@ func (e *Engine) RegisterCascade(name, streamName string, preds []CascadePredica
 	e.mu.Unlock()
 	// Cascades are Go-only (no DDL spelling) and therefore not journaled
 	// for recovery, but their firings are still gated so a checkpoint
-	// cut never splits one.
+	// cut never splits one. Each stage wakes on appends to its input
+	// basket, each emitter on appends to its stage's output.
 	for _, st := range c.stages {
-		e.addTransition(st, 0)
-		e.addTransition(st.sub.em, 0)
+		h := e.addTransition(st, 0)
+		st.in.Subscribe(h.Wake)
+		eh := e.addTransition(st.sub.em, 0)
+		st.out.Subscribe(eh.Wake)
 	}
 	return c, nil
 }

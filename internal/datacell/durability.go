@@ -234,12 +234,13 @@ func (g gatedTransition) Fire() error {
 	return g.Transition.Fire()
 }
 
-// addTransition registers a transition, gated on a durable engine.
-func (e *Engine) addTransition(t scheduler.Transition, priority int) {
+// addTransition registers a transition, gated on a durable engine, and
+// returns its scheduler handle so callers can wire targeted wake-ups.
+func (e *Engine) addTransition(t scheduler.Transition, priority int) *scheduler.Handle {
 	if e.dur != nil {
 		t = gatedTransition{Transition: t, gate: &e.gate}
 	}
-	e.sched.AddWithPriority(t, priority)
+	return e.sched.Register(t, priority)
 }
 
 // basketImage is one basket's captured content plus shared-reader marks
@@ -273,6 +274,7 @@ type ckptQuery struct {
 	Out       basketImage
 	Replicas  []basketImage
 	ShardOuts []basketImage
+	Tails     []partition.TailImage
 	Facts     []*factory.State
 	Merge     *partition.WindowedMergeState
 }
@@ -349,6 +351,9 @@ func (e *Engine) captureImage(clean bool) *ckptImage {
 		}
 		for _, so := range q.shardOuts {
 			cq.ShardOuts = append(cq.ShardOuts, captureBasket(so))
+		}
+		for _, t := range q.tails {
+			cq.Tails = append(cq.Tails, t.CaptureState())
 		}
 		for _, f := range q.facts {
 			cq.Facts = append(cq.Facts, f.CaptureState())
@@ -436,6 +441,14 @@ func (q *Query) restoreState(st *ckptQuery) error {
 	}
 	for i, so := range st.ShardOuts {
 		if err := restoreBasket(q.shardOuts[i], so); err != nil {
+			return err
+		}
+	}
+	if len(st.Tails) != len(q.tails) {
+		return fmt.Errorf("%d shard tails, image has %d", len(q.tails), len(st.Tails))
+	}
+	for i, ti := range st.Tails {
+		if err := q.tails[i].RestoreState(ti); err != nil {
 			return err
 		}
 	}
@@ -668,8 +681,13 @@ func (e *Engine) checkpointLoop(stop chan struct{}) {
 	}
 }
 
-// EngineStats reports the engine's durability posture.
+// EngineStats reports the engine's durability posture and the
+// scheduler's activity counters.
 type EngineStats struct {
+	// Scheduler snapshots the execution core: per-transition fired /
+	// claim-miss / coalesced-wake counters and per-worker busy/idle
+	// time. Populated on every engine, durable or not.
+	Scheduler scheduler.Stats
 	// Durable reports whether the engine was opened with a DataDir.
 	Durable bool
 	// WALSegments and WALBytes size the live log; WALLastSeq is the last
@@ -688,17 +706,18 @@ type EngineStats struct {
 	CleanStart       bool
 }
 
-// Stats returns the durability posture. All zero on a non-durable
-// engine except Durable=false.
+// Stats returns the engine statistics. The durability fields are all
+// zero on a non-durable engine.
 func (e *Engine) Stats() EngineStats {
 	d := e.dur
 	if d == nil {
-		return EngineStats{}
+		return EngineStats{Scheduler: e.sched.Stats()}
 	}
 	ws := d.wal.Stats()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return EngineStats{
+		Scheduler:        e.sched.Stats(),
 		Durable:          true,
 		WALSegments:      ws.Segments,
 		WALBytes:         ws.Bytes,

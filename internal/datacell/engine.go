@@ -121,11 +121,23 @@ type stream struct {
 
 	// Partitioned streams only. shardReaders counts the registered
 	// partitioned queries; routing is skipped while it is zero so shard
-	// baskets do not accumulate unread tuples.
+	// baskets do not accumulate unread tuples. The inbox is the
+	// ingest→shard handoff: the fan-out publishes each batch's shard
+	// slices with a single atomic epoch store instead of locking every
+	// shard basket; each shard basket drains its inbox feed on demand.
 	router       *partition.Router
 	shards       []*basket.Basket
+	inbox        *partition.Inbox
 	shardReaders int
 }
+
+// inboxRingBatches sizes each shard's ingest staging ring (in batches);
+// bursts beyond it spill to an unbounded FIFO overflow list.
+// tailRingBatches does the same for the shard-pipeline→merge tails.
+const (
+	inboxRingBatches = 256
+	tailRingBatches  = 256
+)
 
 // New creates an engine. Prefer Open, which validates the configuration
 // and ties the engine's lifetime to a context.
@@ -389,7 +401,6 @@ func (e *Engine) createPartitionedStream(name string, schema *catalog.Schema, sp
 		return fmt.Errorf("%w: stream %q", ErrDuplicateName, name)
 	}
 	b := basket.New(name, schema, e.clock)
-	b.OnAppend(e.sched.Notify)
 	regErr := func() error {
 		if router == nil {
 			return e.cat.Register(name, catalog.KindBasket, b)
@@ -401,9 +412,10 @@ func (e *Engine) createPartitionedStream(name string, schema *catalog.Schema, sp
 	}
 	s := &stream{name: name, schema: schema, primary: b, router: router}
 	if router != nil {
+		s.inbox = partition.NewInbox(spec.Shards, inboxRingBatches)
 		for i := 0; i < spec.Shards; i++ {
 			sh := basket.New(fmt.Sprintf("%s#%d", name, i), schema, e.clock)
-			sh.OnAppend(e.sched.Notify)
+			sh.SetFeed(s.inbox.Shard(i))
 			if err := e.cat.RegisterShard(sh.Name(), catalog.KindBasket, sh, name, i); err != nil {
 				// Roll back: '#' is not a legal identifier, so a collision
 				// means a previous partitioned stream's leftovers — impossible
@@ -600,30 +612,15 @@ func (e *Engine) fanout(s *stream, n int, cols []*vector.Vector) error {
 		// appends break that — a fast shard can fire on its slice and
 		// raise the group clock while a sibling's slice is still in
 		// flight, and the sibling then seals windows those tuples belong
-		// to and mislabels them late. Lock every shard basket (name
-		// order, the factory convention) across the appends instead.
-		locked := append([]*basket.Basket(nil), s.shards...)
-		sort.Slice(locked, func(i, j int) bool { return locked[i].Name() < locked[j].Name() })
-		for _, sh := range locked {
-			sh.Lock()
-		}
-		var appendErr error
+		// to and mislabels them late. The inbox preserves the invariant
+		// without locking every shard basket: all slices are staged on
+		// per-shard rings, then published together with one atomic epoch
+		// store; a shard basket admits only published epochs when it
+		// drains its feed. The append itself is therefore lock-free on
+		// the shard baskets — only the targeted wake below touches them.
+		s.inbox.Publish(parts, e.clock.Now())
 		for i, part := range parts {
-			if part == nil {
-				continue
-			}
-			if err := s.shards[i].LockedAppend(part); err != nil && appendErr == nil {
-				appendErr = err
-			}
-		}
-		for i := len(locked) - 1; i >= 0; i-- {
-			locked[i].Unlock()
-		}
-		if appendErr != nil {
-			return appendErr
-		}
-		for i, part := range parts {
-			if part != nil {
+			if len(part) > 0 && part[0].Len() > 0 {
 				s.shards[i].NotifyAppend()
 			}
 		}
@@ -854,15 +851,24 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			if err != nil || entry.Kind != catalog.KindBasket {
 				continue
 			}
-			b, ok := entry.Source.(*basket.Basket)
-			if !ok {
-				continue
-			}
 			shard := vector.NullValue(vector.Int64)
 			if entry.Shard >= 0 {
 				shard = vector.NewInt(int64(entry.Shard))
 			}
-			chunks, resident, dropped, shed := b.Stats()
+			var chunks, resident int
+			var dropped, shed int64
+			switch src := entry.Source.(type) {
+			case *basket.Basket:
+				chunks, resident, dropped, shed = src.Stats()
+			case *partition.Tail:
+				// Shard-pipeline tails report buffered batches as chunks
+				// and drained tuples as consumed; they never shed.
+				resident = src.Pending()
+				chunks = src.Batches()
+				dropped = src.Drained()
+			default:
+				continue
+			}
 			rel.AppendRow([]vector.Value{
 				vector.NewString(entry.Name),
 				shard,
@@ -870,6 +876,47 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 				vector.NewInt(int64(chunks)),
 				vector.NewInt(dropped),
 				vector.NewInt(shed),
+			})
+		}
+		return rel, nil
+	case sql.ShowScheduler:
+		// Execution-core introspection: one row per transition with its
+		// scheduling counters, then one row per worker with its busy/idle
+		// accounting (counter columns NULL and vice versa).
+		rel := storage.NewRelation(catalog.NewSchema(
+			catalog.Column{Name: "kind", Type: vector.String},
+			catalog.Column{Name: "name", Type: vector.String},
+			catalog.Column{Name: "priority", Type: vector.Int64},
+			catalog.Column{Name: "fired", Type: vector.Int64},
+			catalog.Column{Name: "claim_misses", Type: vector.Int64},
+			catalog.Column{Name: "coalesced_wakes", Type: vector.Int64},
+			catalog.Column{Name: "busy_ns", Type: vector.Int64},
+			catalog.Column{Name: "idle_ns", Type: vector.Int64},
+		))
+		st := e.sched.Stats()
+		null := vector.NullValue(vector.Int64)
+		for _, t := range st.Transitions {
+			rel.AppendRow([]vector.Value{
+				vector.NewString("transition"),
+				vector.NewString(t.Name),
+				vector.NewInt(int64(t.Priority)),
+				vector.NewInt(t.Fired),
+				vector.NewInt(t.ClaimMisses),
+				vector.NewInt(t.CoalescedWakes),
+				null,
+				null,
+			})
+		}
+		for i, w := range st.Workers {
+			rel.AppendRow([]vector.Value{
+				vector.NewString("worker"),
+				vector.NewString(fmt.Sprintf("worker#%d", i)),
+				null,
+				null,
+				null,
+				null,
+				vector.NewInt(w.BusyNS),
+				vector.NewInt(w.IdleNS),
 			})
 		}
 		return rel, nil

@@ -187,7 +187,6 @@ func (e *Engine) registerStreamStream(name, text string, sel *sql.SelectStmt, st
 			return factory.Input{Basket: s.primary, Mode: factory.Shared, ReaderID: name, Bind: src}
 		}
 		replica := basket.New(fmt.Sprintf("%s_in%d", name, idx), s.schema, e.clock)
-		replica.OnAppend(e.sched.Notify)
 		if cfg.shedAt > 0 {
 			replica.SetCapacity(cfg.shedAt)
 		}
@@ -224,7 +223,6 @@ func (e *Engine) registerStreamStream(name, text string, sel *sql.SelectStmt, st
 	}
 
 	out := basket.New(name+"_out", p.Schema(), e.clock)
-	out.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
 		rollback(false)
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
@@ -235,7 +233,7 @@ func (e *Engine) registerStreamStream(name, text string, sel *sql.SelectStmt, st
 		return nil, err
 	}
 	fact, err := factory.New(name, p, e.cat,
-		[]factory.Input{inL, inR}, []*basket.Basket{out},
+		[]factory.Input{inL, inR}, []factory.Sink{out},
 		factory.WithMinTuples(cfg.minTuples),
 		factory.WithClock(e.clock),
 		factory.WithStreamJoin(sj))
@@ -273,7 +271,6 @@ func (e *Engine) registerStreamStream(name, text string, sel *sql.SelectStmt, st
 func (e *Engine) registerPartitionedJoin(name, text string, p plan.Node, an partition.JoinAnalysis, sL, sR *stream, lSrc, rSrc string, cfg queryConfig, buildState func() (*exec.StreamJoin, error)) (*Query, error) {
 	key := strings.ToLower(name)
 	out := basket.New(name+"_out", p.Schema(), e.clock)
-	out.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
 	}
@@ -288,7 +285,7 @@ func (e *Engine) registerPartitionedJoin(name, text string, p plan.Node, an part
 	lClock, rClock := window.NewWatermarkGroup(), window.NewWatermarkGroup()
 	latency := metrics.NewHistogram()
 	facts := make([]*factory.Factory, 0, n)
-	shardOuts := make([]*basket.Basket, 0, n)
+	tails := make([]*partition.Tail, 0, n)
 	fail := func(i int, err error) (*Query, error) {
 		unregister(i)
 		for _, done := range facts {
@@ -297,8 +294,7 @@ func (e *Engine) registerPartitionedJoin(name, text string, p plan.Node, an part
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
-		so := basket.New(fmt.Sprintf("%s_out#%d", name, i), p.Schema(), e.clock)
-		so.OnAppend(e.sched.Notify)
+		so := partition.NewTail(fmt.Sprintf("%s_out#%d", name, i), p.Schema(), tailRingBatches, e.clock)
 		if err := e.cat.RegisterShard(so.Name(), catalog.KindBasket, so, name+"_out", i); err != nil {
 			return fail(i, fmt.Errorf("%w: %q", ErrDuplicateName, so.Name()))
 		}
@@ -310,7 +306,7 @@ func (e *Engine) registerPartitionedJoin(name, text string, p plan.Node, an part
 		inL := factory.Input{Basket: sL.shards[i], Mode: factory.Shared, ReaderID: name, Bind: lSrc}
 		inR := factory.Input{Basket: sR.shards[i], Mode: factory.Shared, ReaderID: name, Bind: rSrc}
 		f, err := factory.New(fmt.Sprintf("%s#%d", name, i), p, e.cat,
-			[]factory.Input{inL, inR}, []*basket.Basket{so},
+			[]factory.Input{inL, inR}, []factory.Sink{so},
 			factory.WithMinTuples(cfg.minTuples),
 			factory.WithClock(e.clock),
 			factory.WithLatency(latency),
@@ -319,21 +315,21 @@ func (e *Engine) registerPartitionedJoin(name, text string, p plan.Node, an part
 			return fail(i+1, err)
 		}
 		facts = append(facts, f)
-		shardOuts = append(shardOuts, so)
+		tails = append(tails, so)
 	}
-	merge := partition.NewMerge(name+"_merge", "", shardOuts, out, nil, e.cat)
+	merge := partition.NewMerge(name+"_merge", "", tails, out, nil, e.cat)
 
 	q := &Query{
-		Name:      name,
-		SQL:       text,
-		Strategy:  cfg.strategy,
-		streams:   []string{lSrc, rSrc},
-		facts:     facts,
-		merge:     merge,
-		out:       out,
-		shardIns:  append(append([]*basket.Basket(nil), sL.shards...), sR.shards...),
-		shardOuts: shardOuts,
-		engine:    e,
+		Name:     name,
+		SQL:      text,
+		Strategy: cfg.strategy,
+		streams:  []string{lSrc, rSrc},
+		facts:    facts,
+		merge:    merge,
+		out:      out,
+		shardIns: append(append([]*basket.Basket(nil), sL.shards...), sR.shards...),
+		tails:    tails,
+		engine:   e,
 	}
 	if cfg.subDepth > 0 {
 		emitter := adapters.NewChannelEmitter(name+"_emit", out, cfg.subDepth, cfg.policy)

@@ -45,10 +45,12 @@ type Query struct {
 	facts     []*factory.Factory
 	merge     mergeStage // nil when unpartitioned
 	out       *basket.Basket
-	shardIns  []*basket.Basket // stream-owned shard baskets (partitioned only)
-	shardOuts []*basket.Basket // per-shard emission baskets (partitioned only)
-	sub       *Subscription    // nil when the query polls via SQL
-	replicas  []*basket.Basket // separate strategy only (one per joined stream)
+	shardIns  []*basket.Basket  // stream-owned shard baskets (partitioned only)
+	shardOuts []*basket.Basket  // per-shard emission baskets (non-aligned windowed merges only)
+	tails     []*partition.Tail // per-shard SPSC handoff rings (plain/aligned merges)
+	unsubs    []func()          // basket listener detach hooks, run at unregister
+	sub       *Subscription     // nil when the query polls via SQL
+	replicas  []*basket.Basket  // separate strategy only (one per joined stream)
 	engine    *Engine
 	durable   bool // state captured by checkpoints (durable engines only)
 }
@@ -594,7 +596,6 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		in = factory.Input{Basket: s.primary, Mode: factory.Shared, ReaderID: name, Bind: streamName}
 	default:
 		replica = basket.New(name+"_in", s.schema, e.clock)
-		replica.OnAppend(e.sched.Notify)
 		if cfg.shedAt > 0 {
 			replica.SetCapacity(cfg.shedAt)
 		}
@@ -630,7 +631,6 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	// Output basket: the plan's schema (plus its own delivery ts), exposed
 	// in the catalog for one-time inspection.
 	out := basket.New(name+"_out", p.Schema(), e.clock)
-	out.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
 		rollback(false)
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
@@ -656,7 +656,7 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 		}
 		fopts = append(fopts, factory.WithStreamJoin(sj))
 	}
-	fact, err := factory.New(name, p, e.cat, []factory.Input{in}, []*basket.Basket{out}, fopts...)
+	fact, err := factory.New(name, p, e.cat, []factory.Input{in}, []factory.Sink{out}, fopts...)
 	if err != nil {
 		rollback(true)
 		return nil, err
@@ -691,7 +691,10 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 // delivery-frontier hook for exactly-once resumption, plus any
 // checkpoint-cadence tightening), then scheduler registration — with
 // gate-wrapped transitions on a durable engine so checkpoints cut
-// between firings, never through one.
+// between firings, never through one. Each transition's input places
+// are subscribed to its scheduler handle, so an append wakes exactly
+// the transitions it can make fireable instead of rescanning the net;
+// the detach hooks accumulate in q.unsubs for unregistration.
 func (e *Engine) installQuery(q *Query, cfg queryConfig) {
 	q.durable = cfg.durable && e.dur != nil
 	if q.durable {
@@ -702,14 +705,33 @@ func (e *Engine) installQuery(q *Query, cfg queryConfig) {
 		e.dur.tighten(time.Duration(cfg.ckptEvery))
 	}
 	for _, f := range q.facts {
-		e.addTransition(f, cfg.priority)
+		h := e.addTransition(f, cfg.priority)
+		for _, in := range f.InputBaskets() {
+			q.subscribe(in, h)
+		}
 	}
 	if q.merge != nil {
-		e.addTransition(q.merge, cfg.priority)
+		h := e.addTransition(q.merge, cfg.priority)
+		if m, ok := q.merge.(*partition.Merge); ok {
+			// Plain/aligned merges consume SPSC tails: the producer-side
+			// push invokes the wake hook directly, no basket listener.
+			m.SetWake(h.Wake)
+		}
+		for _, so := range q.shardOuts {
+			q.subscribe(so, h)
+		}
 	}
 	if q.sub != nil {
-		e.addTransition(q.sub.em, cfg.priority)
+		h := e.addTransition(q.sub.em, cfg.priority)
+		q.subscribe(q.out, h)
 	}
+}
+
+// subscribe wires a basket append to a transition wake-up and records the
+// detach hook for unregisterContinuous.
+func (q *Query) subscribe(b *basket.Basket, h *scheduler.Handle) {
+	id := b.Subscribe(h.Wake)
+	q.unsubs = append(q.unsubs, func() { b.Unsubscribe(id) })
 }
 
 // CheckpointInfo reports a query's durability posture (see
@@ -756,7 +778,6 @@ func (q *Query) Checkpoint() CheckpointInfo {
 func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p plan.Node, an partition.Analysis, cfg queryConfig, joinBuilder func() (*exec.StreamJoin, error)) (*Query, error) {
 	key := strings.ToLower(name)
 	out := basket.New(name+"_out", p.Schema(), e.clock)
-	out.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
 	}
@@ -770,10 +791,9 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 	n := len(s.shards)
 	latency := metrics.NewHistogram()
 	facts := make([]*factory.Factory, 0, n)
-	shardOuts := make([]*basket.Basket, 0, n)
+	tails := make([]*partition.Tail, 0, n)
 	for i := 0; i < n; i++ {
-		so := basket.New(fmt.Sprintf("%s_out#%d", name, i), an.ShardPlan.Schema(), e.clock)
-		so.OnAppend(e.sched.Notify)
+		so := partition.NewTail(fmt.Sprintf("%s_out#%d", name, i), an.ShardPlan.Schema(), tailRingBatches, e.clock)
 		if err := e.cat.RegisterShard(so.Name(), catalog.KindBasket, so, name+"_out", i); err != nil {
 			unregister(i)
 			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, so.Name())
@@ -796,7 +816,7 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 			fopts = append(fopts, factory.WithStreamJoin(sj))
 		}
 		f, err := factory.New(fmt.Sprintf("%s#%d", name, i), an.ShardPlan, e.cat,
-			[]factory.Input{in}, []*basket.Basket{so}, fopts...)
+			[]factory.Input{in}, []factory.Sink{so}, fopts...)
 		if err != nil {
 			unregister(i + 1)
 			for _, done := range facts {
@@ -805,21 +825,21 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 			return nil, err
 		}
 		facts = append(facts, f)
-		shardOuts = append(shardOuts, so)
+		tails = append(tails, so)
 	}
-	merge := partition.NewMerge(name+"_merge", an.MergeSource, shardOuts, out, an.MergePlan, e.cat)
+	merge := partition.NewMerge(name+"_merge", an.MergeSource, tails, out, an.MergePlan, e.cat)
 
 	q := &Query{
-		Name:      name,
-		SQL:       text,
-		Strategy:  cfg.strategy,
-		streams:   []string{streamName},
-		facts:     facts,
-		merge:     merge,
-		out:       out,
-		shardIns:  s.shards,
-		shardOuts: shardOuts,
-		engine:    e,
+		Name:     name,
+		SQL:      text,
+		Strategy: cfg.strategy,
+		streams:  []string{streamName},
+		facts:    facts,
+		merge:    merge,
+		out:      out,
+		shardIns: s.shards,
+		tails:    tails,
+		engine:   e,
 	}
 	if cfg.subDepth > 0 {
 		emitter := adapters.NewChannelEmitter(name+"_emit", out, cfg.subDepth, cfg.policy)
@@ -846,7 +866,6 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *stream, p plan.Node, wan partition.WindowedAnalysis, w *sql.WindowClause, cfg queryConfig) (*Query, error) {
 	key := strings.ToLower(name)
 	out := basket.New(name+"_out", p.Schema(), e.clock)
-	out.OnAppend(e.sched.Notify)
 	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
 	}
@@ -868,7 +887,11 @@ func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *s
 	n := len(s.shards)
 	latency := metrics.NewHistogram()
 	facts := make([]*factory.Factory, 0, n)
-	shardOuts := make([]*basket.Basket, 0, n)
+	// Aligned shard windows emit final results and hand them to the merge
+	// over SPSC tails; non-aligned shards emit window-tagged partials into
+	// baskets the WindowedMerge buckets by window end.
+	var shardOuts []*basket.Basket
+	var tails []*partition.Tail
 	fail := func(i int, err error) (*Query, error) {
 		unregister(i)
 		for _, done := range facts {
@@ -882,10 +905,21 @@ func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *s
 			return fail(i, err)
 		}
 		runner.ShareWatermark(group)
-		so := basket.New(fmt.Sprintf("%s_out#%d", name, i), shardSchema, e.clock)
-		so.OnAppend(e.sched.Notify)
-		if err := e.cat.RegisterShard(so.Name(), catalog.KindBasket, so, name+"_out", i); err != nil {
-			return fail(i, fmt.Errorf("%w: %q", ErrDuplicateName, so.Name()))
+		var sink factory.Sink
+		if wan.Aligned {
+			t := partition.NewTail(fmt.Sprintf("%s_out#%d", name, i), shardSchema, tailRingBatches, e.clock)
+			if err := e.cat.RegisterShard(t.Name(), catalog.KindBasket, t, name+"_out", i); err != nil {
+				return fail(i, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name()))
+			}
+			tails = append(tails, t)
+			sink = t
+		} else {
+			so := basket.New(fmt.Sprintf("%s_out#%d", name, i), shardSchema, e.clock)
+			if err := e.cat.RegisterShard(so.Name(), catalog.KindBasket, so, name+"_out", i); err != nil {
+				return fail(i, fmt.Errorf("%w: %q", ErrDuplicateName, so.Name()))
+			}
+			shardOuts = append(shardOuts, so)
+			sink = so
 		}
 		in := factory.Input{Basket: s.shards[i], Mode: factory.Shared, ReaderID: name, Bind: streamName}
 		fopts := []factory.Option{
@@ -898,16 +932,15 @@ func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *s
 			fopts = append(fopts, factory.WithWindowEndTag())
 		}
 		f, err := factory.New(fmt.Sprintf("%s#%d", name, i), wan.ShardPlan, e.cat,
-			[]factory.Input{in}, []*basket.Basket{so}, fopts...)
+			[]factory.Input{in}, []factory.Sink{sink}, fopts...)
 		if err != nil {
 			return fail(i+1, err)
 		}
 		facts = append(facts, f)
-		shardOuts = append(shardOuts, so)
 	}
 	var merge mergeStage
 	if wan.Aligned {
-		merge = partition.NewMerge(name+"_merge", "", shardOuts, out, nil, e.cat)
+		merge = partition.NewMerge(name+"_merge", "", tails, out, nil, e.cat)
 	} else {
 		frontiers := make([]func() int64, n)
 		for i, f := range facts {
@@ -927,6 +960,7 @@ func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *s
 		out:       out,
 		shardIns:  s.shards,
 		shardOuts: shardOuts,
+		tails:     tails,
 		engine:    e,
 	}
 	if cfg.subDepth > 0 {
@@ -1073,6 +1107,15 @@ func (e *Engine) unregisterContinuous(name string) error {
 		}
 	}
 	e.mu.Unlock()
+	// Detach the targeted wake-ups first: once the listeners are gone, no
+	// append can re-enqueue the transitions the removals below tear down.
+	for _, unsub := range q.unsubs {
+		unsub()
+	}
+	q.unsubs = nil
+	for _, t := range q.tails {
+		t.SetWake(nil)
+	}
 	for _, f := range q.facts {
 		e.sched.Remove(f.Name())
 		// Close releases shared-reader watermarks, so shard (or shared)
@@ -1085,7 +1128,7 @@ func (e *Engine) unregisterContinuous(name string) error {
 	if q.sub != nil {
 		q.sub.closeWith(ErrSubscriptionClosed)
 	}
-	for i := range q.shardOuts {
+	for i := 0; i < len(q.shardOuts)+len(q.tails); i++ {
 		_ = e.cat.Drop(fmt.Sprintf("%s_out#%d", q.Name, i))
 	}
 	return e.cat.Drop(name + "_out")

@@ -1,0 +1,142 @@
+package datacell
+
+// Engine-level coverage of the execution core: dropping a query while
+// producers hammer its stream must fence cleanly (no fire after
+// teardown, no race), and SHOW SCHEDULER must expose the targeted
+// wake-up counters.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vector"
+)
+
+// TestDropQueryUnderConcurrentIngest is the Remove-fence regression:
+// several producers ingest a partitioned stream while one of two
+// continuous queries is dropped mid-flight. The drop must not race with
+// in-flight firings (the scheduler fences Remove until the transition's
+// current firing finishes) and the surviving query must keep producing.
+func TestDropQueryUnderConcurrentIngest(t *testing.T) {
+	ctx := context.Background()
+	e := New(Config{Workers: 4})
+	if _, err := e.Exec(ctx, "CREATE BASKET s (k INT, v INT) WITH (partitions = 4, partition_by = k)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ctx, `CREATE CONTINUOUS QUERY doomed WITH (depth = 4096) AS
+		SELECT * FROM [SELECT * FROM s] AS x WHERE x.v >= 0`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ctx, `CREATE CONTINUOUS QUERY survivor WITH (depth = 4096) AS
+		SELECT * FROM [SELECT * FROM s] AS x WHERE x.v >= 0`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const producers, batches, batchSize = 4, 40, 10
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				rows := make([][]vector.Value, batchSize)
+				for i := range rows {
+					rows[i] = []vector.Value{
+						vector.NewInt(int64(p*131 + b*17 + i)),
+						vector.NewInt(int64(b*batchSize + i)),
+					}
+				}
+				if err := e.Ingest(ctx, "s", rows); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Drop the first query roughly mid-stream, from its own goroutine so
+	// the teardown overlaps live ingest and firing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		if _, err := e.Exec(ctx, "DROP CONTINUOUS QUERY doomed"); err != nil {
+			t.Error(err)
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+	if !stop.Load() {
+		t.Fatal("drop goroutine did not run")
+	}
+	if _, err := e.Query("doomed"); err == nil {
+		t.Fatal("doomed still registered after drop")
+	}
+
+	// The survivor must still deliver fresh tuples end to end.
+	q, err := e.Query("survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := q.Stats().TuplesOut
+	if err := e.Ingest(ctx, "s", [][]vector.Value{{vector.NewInt(1), vector.NewInt(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Stats().TuplesOut <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor stalled at %d tuples out", q.Stats().TuplesOut)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Scheduler().Err(); err != nil {
+		t.Fatalf("scheduler error after drop under ingest: %v", err)
+	}
+}
+
+// TestShowScheduler drives a query, then checks SHOW SCHEDULER exposes
+// per-transition fired counters and per-worker clocks.
+func TestShowScheduler(t *testing.T) {
+	ctx := context.Background()
+	e := New(Config{Workers: 2})
+	if _, err := e.Exec(ctx, "CREATE BASKET s (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ctx, `CREATE CONTINUOUS QUERY q WITH (polling = true) AS
+		SELECT * FROM [SELECT * FROM s] AS x WHERE x.v > 0`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(ctx, "s", [][]vector.Value{{vector.NewInt(1)}, {vector.NewInt(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	rel, err := e.Exec(ctx, "SHOW SCHEDULER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"kind", "name", "priority", "fired", "claim_misses", "coalesced_wakes", "busy_ns", "idle_ns"}
+	for i, w := range wantCols {
+		if rel.Schema.Columns[i].Name != w {
+			t.Fatalf("SHOW SCHEDULER column %d = %s, want %s", i, rel.Schema.Columns[i].Name, w)
+		}
+	}
+	fired := map[string]int64{}
+	for i := 0; i < rel.NumRows(); i++ {
+		row := rel.Row(i)
+		if row[0].S == "transition" {
+			fired[row[1].S] = row[3].I
+		}
+	}
+	if n, ok := fired["q"]; !ok || n < 1 {
+		t.Fatalf("transition q fired = %d, %v (rows: %v)", n, ok, fired)
+	}
+}

@@ -42,6 +42,14 @@ const (
 	Shared
 )
 
+// Sink receives a factory's result batches. Baskets are sinks; so are the
+// SPSC tails that hand a partitioned query's shard emissions to its merge
+// transition without a basket lock.
+type Sink interface {
+	Name() string
+	AppendRelation(*storage.Relation) error
+}
+
 // Input binds one plan scan source to a basket.
 type Input struct {
 	Basket *basket.Basket
@@ -81,7 +89,7 @@ type Factory struct {
 	clock   metrics.Clock
 
 	inputs  []Input
-	outputs []*basket.Basket
+	outputs []Sink
 
 	// minTuples is the firing threshold (§2.4: "the system may explicitly
 	// require a basket to have a minimum of n tuples").
@@ -191,7 +199,7 @@ func WithLatency(h *metrics.Histogram) Option {
 }
 
 // New builds a factory around a compiled plan.
-func New(name string, p plan.Node, cat *catalog.Catalog, inputs []Input, outputs []*basket.Basket, opts ...Option) (*Factory, error) {
+func New(name string, p plan.Node, cat *catalog.Catalog, inputs []Input, outputs []Sink, opts ...Option) (*Factory, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("factory %s: needs at least one input basket", name)
 	}
@@ -234,6 +242,17 @@ func (f *Factory) Name() string { return f.name }
 
 // Plan exposes the compiled plan (diagnostics).
 func (f *Factory) Plan() plan.Node { return f.plan }
+
+// InputBaskets returns the factory's input baskets in input order — the
+// places whose appends make this transition fireable. The engine
+// subscribes the factory's scheduler handle to each.
+func (f *Factory) InputBaskets() []*basket.Basket {
+	out := make([]*basket.Basket, len(f.inputs))
+	for i, in := range f.inputs {
+		out[i] = in.Basket
+	}
+	return out
+}
 
 // Stats returns a copy of the cumulative counters.
 func (f *Factory) Stats() Stats {

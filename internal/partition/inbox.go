@@ -1,0 +1,153 @@
+package partition
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ring"
+	"repro/internal/vector"
+)
+
+// Inbox is the lock-free ingest→shard handoff: the fan-out publishes one
+// batch's shard slices to per-shard SPSC rings with a single atomic epoch
+// store per batch, replacing the old discipline of locking every shard
+// basket at once.
+//
+// The atomicity invariant the old all-locks scheme provided is preserved
+// by epoch publication: each slice carries the batch's epoch, and shard
+// consumers only admit items with epoch ≤ the published epoch, which is
+// advanced (release store) only after every shard's slice is staged. No
+// shard can therefore process its slice of a batch before the sibling
+// slices are visible — exactly what the shared watermark group of a
+// partitioned windowed query assumes ("every tuple below my group read
+// was already routed to my input").
+//
+// Producers are serialized by pmu (the engine's fan-out may be called
+// from many ingest goroutines); each shard's consumer is the shard basket
+// itself, which drains under its own lock (see basket.Feed).
+type Inbox struct {
+	pmu    sync.Mutex
+	epoch  atomic.Int64
+	shards []*InboxShard
+}
+
+// inboxBatch is one shard slice of one published batch.
+type inboxBatch struct {
+	epoch int64
+	ts    int64
+	cols  []*vector.Vector
+}
+
+// InboxShard is one shard's staging queue; it implements basket.Feed.
+type InboxShard struct {
+	parent  *Inbox
+	ring    *ring.SPSC[inboxBatch]
+	pending atomic.Int64 // staged tuples
+	// Overflow preserves FIFO when the ring fills: once any item has gone
+	// to the overflow list, later items follow it until the consumer has
+	// drained the list (hasOverflow gates the producer's fast path).
+	hasOverflow atomic.Bool
+	ovMu        sync.Mutex
+	overflow    []inboxBatch
+}
+
+// NewInbox creates an inbox with one staging ring of the given capacity
+// (in batches) per shard.
+func NewInbox(shards, capacity int) *Inbox {
+	ib := &Inbox{shards: make([]*InboxShard, shards)}
+	for i := range ib.shards {
+		ib.shards[i] = &InboxShard{parent: ib, ring: ring.New[inboxBatch](capacity)}
+	}
+	return ib
+}
+
+// Shard returns shard i's feed.
+func (ib *Inbox) Shard(i int) *InboxShard { return ib.shards[i] }
+
+// Publish stages one batch's shard slices (parts[i] goes to shard i; nil
+// or empty slices are skipped) and then publishes them with a single
+// atomic epoch store. ts is the arrival timestamp the slices will be
+// stamped with on admission.
+func (ib *Inbox) Publish(parts [][]*vector.Vector, ts int64) {
+	ib.pmu.Lock()
+	ep := ib.epoch.Load() + 1
+	for i, part := range parts {
+		if len(part) == 0 || part[0].Len() == 0 {
+			continue
+		}
+		ib.shards[i].put(inboxBatch{epoch: ep, ts: ts, cols: part})
+	}
+	ib.epoch.Store(ep) // release: all slices of epoch ep are now staged
+	ib.pmu.Unlock()
+}
+
+// put stages one slice; the caller holds pmu (single producer).
+func (sh *InboxShard) put(b inboxBatch) {
+	if sh.hasOverflow.Load() || !sh.ring.Push(b) {
+		sh.ovMu.Lock()
+		// The consumer may have drained the overflow (and cleared the
+		// flag) while we waited for the lock; retry the fast path so the
+		// ring is preferred again.
+		if !sh.hasOverflow.Load() && len(sh.overflow) == 0 && sh.ring.Push(b) {
+			sh.ovMu.Unlock()
+		} else {
+			sh.overflow = append(sh.overflow, b)
+			sh.hasOverflow.Store(true)
+			sh.ovMu.Unlock()
+		}
+	}
+	sh.pending.Add(int64(b.cols[0].Len()))
+}
+
+// Pending implements basket.Feed.
+func (sh *InboxShard) Pending() int { return int(sh.pending.Load()) }
+
+// Drain implements basket.Feed: emit every staged batch whose epoch has
+// been published, oldest first. The caller (the shard basket, under its
+// lock) is the single consumer.
+func (sh *InboxShard) Drain(emit func(cols []*vector.Vector, ts int64) error) error {
+	ep := sh.parent.epoch.Load()
+	for {
+		b, ok := sh.ring.Peek()
+		if !ok || b.epoch > ep {
+			break
+		}
+		sh.ring.Pop()
+		sh.pending.Add(-int64(b.cols[0].Len()))
+		if err := emit(b.cols, b.ts); err != nil {
+			return err
+		}
+	}
+	if !sh.hasOverflow.Load() {
+		return nil
+	}
+	sh.ovMu.Lock()
+	defer sh.ovMu.Unlock()
+	// Overflow items are strictly newer than anything left in the ring;
+	// if the ring still holds items (epoch > ep), the overflow does too,
+	// and the loop below stops immediately — FIFO is preserved.
+	i := 0
+	for ; i < len(sh.overflow); i++ {
+		b := sh.overflow[i]
+		if b.epoch > ep {
+			break
+		}
+		sh.pending.Add(-int64(b.cols[0].Len()))
+		if err := emit(b.cols, b.ts); err != nil {
+			i++
+			break
+		}
+	}
+	if i > 0 {
+		rest := len(sh.overflow) - i
+		copy(sh.overflow, sh.overflow[i:])
+		for j := rest; j < len(sh.overflow); j++ {
+			sh.overflow[j] = inboxBatch{}
+		}
+		sh.overflow = sh.overflow[:rest]
+	}
+	if len(sh.overflow) == 0 && sh.ring.Len() == 0 {
+		sh.hasOverflow.Store(false)
+	}
+	return nil
+}

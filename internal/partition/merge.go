@@ -175,15 +175,15 @@ func aligned(agg *plan.Aggregate, sc *plan.Scan, partitionBy string) bool {
 }
 
 // partialScan builds the merge plan's scan over the union of drained
-// shard emissions. The shard output baskets stamp an implicit ts column;
-// the scan reads through it and emits only the partial columns.
+// shard emissions. Shard pipelines hand the merge bare partial columns
+// (no implicit ts — the SPSC tail carries batches, not basket rows), so
+// the scan reads the partial schema directly.
 func partialScan(partial *catalog.Schema, source string) *plan.Scan {
-	src := partial.WithTimestamp()
 	cols := make([]int, partial.Len())
 	for i := range cols {
 		cols[i] = i
 	}
-	return &plan.Scan{Source: source, Kind: catalog.KindBasket, Cols: cols, Src: src, Out: partial}
+	return &plan.Scan{Source: source, Kind: catalog.KindBasket, Cols: cols, Src: partial, Out: partial}
 }
 
 // distinctMergePlan re-deduplicates the union of shard emissions.
@@ -249,35 +249,47 @@ func reaggMergePlan(p plan.Node, agg *plan.Aggregate, source string) (plan.Node,
 }
 
 // Merge is the transition that recombines shard emissions into the
-// query's final output basket. It drains the shard output baskets in
-// shard order — preserving each shard's emission order — and either
-// appends the union directly (concat) or runs the merge plan over it
-// (global distinct / re-aggregation). It implements
-// scheduler.Transition; the scheduler's per-transition claim flag keeps
-// firings serial, so merged batches never interleave.
+// query's final output basket. Shard pipelines hand it result batches
+// over per-shard SPSC tails; firing drains the tails in shard order —
+// preserving each shard's emission order — and either appends the union
+// directly (concat) or runs the merge plan over it (global distinct /
+// re-aggregation). It implements scheduler.Transition; the scheduler's
+// claim machine keeps firings serial, so merged batches never interleave.
 type Merge struct {
-	name      string
-	source    string // merge-plan scan override key
-	shardOuts []*basket.Basket
-	out       *basket.Basket
-	plan      plan.Node // nil = concat
-	cat       *catalog.Catalog
-	merged    int64 // atomic: partial tuples drained so far
+	name   string
+	source string // merge-plan scan override key
+	tails  []*Tail
+	out    *basket.Basket
+	plan   plan.Node // nil = concat
+	cat    *catalog.Catalog
+	merged int64 // atomic: partial tuples drained so far
 }
 
 // NewMerge builds the merge transition. mergePlan may be nil for plain
 // concatenation; source must match the Analysis' MergeSource.
-func NewMerge(name, source string, shardOuts []*basket.Basket, out *basket.Basket, mergePlan plan.Node, cat *catalog.Catalog) *Merge {
-	return &Merge{name: name, source: source, shardOuts: shardOuts, out: out, plan: mergePlan, cat: cat}
+func NewMerge(name, source string, tails []*Tail, out *basket.Basket, mergePlan plan.Node, cat *catalog.Catalog) *Merge {
+	return &Merge{name: name, source: source, tails: tails, out: out, plan: mergePlan, cat: cat}
 }
 
 // Name implements scheduler.Transition.
 func (m *Merge) Name() string { return m.name }
 
+// SetWake attaches the merge's scheduler wake hook to every input tail,
+// so a shard emission wakes exactly this transition.
+func (m *Merge) SetWake(fn func()) {
+	for _, t := range m.tails {
+		t.SetWake(fn)
+	}
+}
+
+// Tails returns the merge's input tails (checkpoint capture).
+func (m *Merge) Tails() []*Tail { return m.tails }
+
 // Ready implements scheduler.Transition: fire when any shard emitted.
+// Pending is an atomic counter, so readiness costs no locks.
 func (m *Merge) Ready() bool {
-	for _, b := range m.shardOuts {
-		if b.Len() > 0 {
+	for _, t := range m.tails {
+		if t.Pending() > 0 {
 			return true
 		}
 	}
@@ -288,8 +300,8 @@ func (m *Merge) Ready() bool {
 // merge backlog surfaced by SHOW QUERIES.
 func (m *Merge) Lag() int {
 	n := 0
-	for _, b := range m.shardOuts {
-		n += b.Len()
+	for _, t := range m.tails {
+		n += t.Pending()
 	}
 	return n
 }
@@ -297,23 +309,23 @@ func (m *Merge) Lag() int {
 // Merged returns the cumulative number of partial tuples drained.
 func (m *Merge) Merged() int64 { return atomic.LoadInt64(&m.merged) }
 
-// Fire implements scheduler.Transition. It pins a snapshot of every
-// shard output, appends one merged batch to the output basket, and only
-// then consumes the snapshotted prefix — the factory convention: a
-// failed firing leaves its inputs in place for retry, losing nothing.
-// Snapshots stay valid across concurrent shard appends (tail chunks are
-// windowed out of a view), and later appends survive the prefix drop.
+// Fire implements scheduler.Transition. It peeks every tail's buffered
+// batches without consuming, appends one merged batch to the output
+// basket, and only then discards the peeked prefix — the factory
+// convention: a failed firing leaves its inputs in place for retry,
+// losing nothing. Batches pushed concurrently with the firing stay
+// buffered for the next one (the push wakes the merge again).
 func (m *Merge) Fire() error {
-	counts := make([]int, len(m.shardOuts))
+	counts := make([]int, len(m.tails))
 	var chunks []bat.Chunk
 	total := 0
-	for i, b := range m.shardOuts {
-		b.Lock()
-		view, n := b.LockedSnapshot()
-		b.Unlock()
-		counts[i] = n
-		total += n
-		chunks = append(chunks, view.Chunks...)
+	for i, t := range m.tails {
+		t.cmu.Lock()
+		counts[i] = t.peekAll(func(it tailItem) {
+			chunks = append(chunks, bat.Chunk{Cols: it.cols})
+			total += it.cols[0].Len()
+		})
+		t.cmu.Unlock()
 	}
 	if total == 0 {
 		return nil
@@ -324,7 +336,7 @@ func (m *Merge) Fire() error {
 
 	var rel *storage.Relation
 	if m.plan == nil {
-		rel = &storage.Relation{Schema: m.shardOuts[0].Schema(), Cols: union.Columns()}
+		rel = &storage.Relation{Schema: m.out.Schema(), Cols: union.Columns()}
 	} else {
 		ctx := exec.NewContext(m.cat)
 		ctx.Overrides[strings.ToLower(m.source)] = union
@@ -337,13 +349,13 @@ func (m *Merge) Fire() error {
 	if err := m.out.AppendRelation(rel); err != nil {
 		return fmt.Errorf("merge %s: %w", m.name, err)
 	}
-	for i, b := range m.shardOuts {
+	for i, t := range m.tails {
 		if counts[i] == 0 {
 			continue
 		}
-		b.Lock()
-		b.LockedDropPrefix(counts[i])
-		b.Unlock()
+		t.cmu.Lock()
+		t.discard(counts[i])
+		t.cmu.Unlock()
 	}
 	atomic.AddInt64(&m.merged, int64(total))
 	return nil

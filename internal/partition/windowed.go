@@ -348,11 +348,9 @@ func (m *WindowedMerge) Fire() error {
 	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
 	for _, end := range due {
 		rel := m.pending[end]
-		// The merge plan scans the partial columns plus the implicit ts;
-		// the wend tag is dropped from the override.
-		cols := make([]*vector.Vector, 0, len(rel.Cols)-1)
-		cols = append(cols, rel.Cols[:m.wendIdx]...)
-		cols = append(cols, rel.Cols[m.wendIdx+1:]...)
+		// The merge plan scans the bare partial columns; the wend tag and
+		// the baskets' implicit ts are dropped from the override.
+		cols := rel.Cols[:m.wendIdx]
 		ctx := exec.NewContext(m.cat)
 		ctx.Overrides[strings.ToLower(m.source)] = bat.ViewOf(cols...)
 		res, err := exec.Run(m.plan, ctx)

@@ -1,0 +1,91 @@
+// Package ring provides a bounded single-producer/single-consumer ring
+// buffer used on the execution hot paths (ingest-fanout -> shard basket,
+// shard pipeline -> merge).  Push and Pop are lock-free: one atomic store
+// each, no allocation.  The "single" in SPSC means at most one goroutine
+// on each side at a time; callers that rotate producers or consumers must
+// establish happens-before between them (e.g. via a mutex handoff).
+package ring
+
+import "sync/atomic"
+
+// SPSC is a bounded power-of-two ring buffer.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	_    [48]byte // keep head/tail off the buf header's cache line
+	head atomic.Uint64
+	_    [56]byte // head and tail on separate cache lines
+	tail atomic.Uint64
+}
+
+// New returns a ring with capacity rounded up to a power of two (min 8).
+func New[T any](capacity int) *SPSC[T] {
+	n := uint64(8)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: n - 1}
+}
+
+// Cap returns the fixed capacity of the ring.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered items. It is a racy snapshot when
+// called concurrently with Push/Pop, but never exceeds Cap.
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Push appends v; it reports false when the ring is full. Producer-side only.
+func (r *SPSC[T]) Push(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1) // release: publishes the slot write
+	return true
+}
+
+// Pop removes and returns the oldest item. Consumer-side only.
+func (r *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero // release references for GC
+	r.head.Store(h + 1)    // release: frees the slot for the producer
+	return v, true
+}
+
+// Peek returns the oldest item without removing it. Consumer-side only.
+func (r *SPSC[T]) Peek() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return zero, false
+	}
+	return r.buf[h&r.mask], true
+}
+
+// Do calls fn for each buffered item, oldest first, without consuming.
+// Consumer-side only: the slots below the observed tail are stable because
+// only the consumer advances head.
+func (r *SPSC[T]) Do(fn func(T)) {
+	t := r.tail.Load()
+	for h := r.head.Load(); h < t; h++ {
+		fn(r.buf[h&r.mask])
+	}
+}
+
+// PopN discards the n oldest items (n must not exceed Len). Consumer-side only.
+func (r *SPSC[T]) PopN(n int) {
+	var zero T
+	h := r.head.Load()
+	for i := 0; i < n; i++ {
+		r.buf[(h+uint64(i))&r.mask] = zero
+	}
+	r.head.Store(h + uint64(n))
+}

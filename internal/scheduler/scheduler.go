@@ -8,13 +8,32 @@
 //
 //   - Step/Drain: deterministic, single-threaded firing on the caller's
 //     goroutine — used by tests and the benchmark harness.
-//   - Start/Stop: a worker pool woken by basket appends — the
-//     multi-threaded architecture of the paper.
+//   - Start/Stop: an event-driven worker pool — the multi-threaded
+//     architecture of the paper. Baskets wake the specific transitions
+//     they feed via Handle.Wake; each wake enqueues the transition onto a
+//     per-worker run-queue (with work-stealing), so there is no global
+//     scan and no allocation on the firing path.
 //
 // A scheduler must be driven by exactly one of the two modes at a time.
+//
+// Each registered transition owns a four-state claim machine:
+//
+//	idle ──Wake──▶ queued ──worker pop──▶ running ──done──▶ idle
+//	                            ▲                │
+//	                            └── runningDirty ◀─ Wake while running
+//
+// Wakes arriving while the transition is queued or running coalesce: N
+// appends during one firing produce at most one re-enqueue (runningDirty).
+// After a firing the worker re-checks Ready and self-requeues at the tail
+// of its run-queue, so a continuously-ready transition keeps running
+// without starving others and without any periodic polling in the workers.
+// Time-based windows are advanced by the engine's dedicated timer
+// goroutine (which calls Notify), not by per-worker tickers.
 package scheduler
 
 import (
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,21 +50,198 @@ type Transition interface {
 	Fire() error
 }
 
-// entry pairs a transition with its priority and its concurrent-mode
-// claim flag (the flag travels with the transition across reorderings).
-type entry struct {
+// Handle claim-machine states.
+const (
+	stateIdle int32 = iota
+	stateQueued
+	stateRunning
+	stateRunningDirty
+)
+
+// Handle is a registered transition's scheduling identity. Baskets (and
+// other upstream places) hold the handles of the transitions they feed and
+// call Wake on append — the transition→input-place edge map of the
+// event-driven ready-set.
+type Handle struct {
 	t    Transition
+	s    *Scheduler
 	prio int
-	busy int32
+
+	state   atomic.Int32
+	removed atomic.Bool
+
+	fired     atomic.Int64 // completed firings
+	misses    atomic.Int64 // dequeued while not ready (claim misses)
+	coalesced atomic.Int64 // wakes absorbed by queued/running states
+}
+
+// Name returns the underlying transition's name.
+func (h *Handle) Name() string { return h.t.Name() }
+
+// Fired returns the number of times this transition has fired.
+func (h *Handle) Fired() int64 { return h.fired.Load() }
+
+// Misses returns the number of times the transition was dequeued but
+// found not ready (wasted scans).
+func (h *Handle) Misses() int64 { return h.misses.Load() }
+
+// Coalesced returns the number of wakes absorbed without a new enqueue.
+func (h *Handle) Coalesced() int64 { return h.coalesced.Load() }
+
+// Wake marks the transition potentially fireable. It is safe from any
+// goroutine, never blocks, and never allocates. Wakes while the transition
+// is already queued or running coalesce into at most one re-enqueue.
+func (h *Handle) Wake() {
+	for {
+		switch h.state.Load() {
+		case stateIdle:
+			p := h.s.pool.Load()
+			if p == nil {
+				return // deterministic mode: Step scans everything
+			}
+			if h.state.CompareAndSwap(stateIdle, stateQueued) {
+				p.enqueue(h, -1)
+				return
+			}
+		case stateQueued:
+			h.coalesced.Add(1)
+			return
+		case stateRunning:
+			if h.state.CompareAndSwap(stateRunning, stateRunningDirty) {
+				h.coalesced.Add(1)
+				return
+			}
+		case stateRunningDirty:
+			h.coalesced.Add(1)
+			return
+		}
+	}
+}
+
+// runq is one worker's run-queue: a growable power-of-two ring deque.
+// Steady state never grows, so pushes and pops allocate nothing. A mutex
+// (not a lock-free deque) keeps it simple; it is per-worker, so contention
+// is limited to stealing.
+type runq struct {
+	mu   sync.Mutex
+	buf  []*Handle
+	head uint64
+	tail uint64
+}
+
+func newRunq() *runq { return &runq{buf: make([]*Handle, 64)} }
+
+func (q *runq) push(h *Handle) {
+	q.mu.Lock()
+	if q.tail-q.head == uint64(len(q.buf)) {
+		bigger := make([]*Handle, len(q.buf)*2)
+		for i := q.head; i < q.tail; i++ {
+			bigger[i%uint64(len(bigger))] = q.buf[i%uint64(len(q.buf))]
+		}
+		q.buf = bigger
+	}
+	q.buf[q.tail%uint64(len(q.buf))] = h
+	q.tail++
+	q.mu.Unlock()
+}
+
+// pop removes the oldest handle (FIFO keeps firing order fair).
+func (q *runq) pop() *Handle {
+	q.mu.Lock()
+	if q.head == q.tail {
+		q.mu.Unlock()
+		return nil
+	}
+	h := q.buf[q.head%uint64(len(q.buf))]
+	q.buf[q.head%uint64(len(q.buf))] = nil
+	q.head++
+	q.mu.Unlock()
+	return h
+}
+
+// pool is one Start/Stop generation of the worker fleet.
+type pool struct {
+	queues []*runq
+	// beds[i] parks worker i; sleepers tracks parked workers as a bitmask
+	// so a wake costs one atomic load when everyone is busy.
+	beds     []chan struct{}
+	sleepers atomic.Uint64
+	done     chan struct{}
+	rr       atomic.Uint64
+}
+
+// enqueue places h on a run-queue. from names the calling worker (its own
+// queue is used, keeping self-requeues local); -1 round-robins.
+func (p *pool) enqueue(h *Handle, from int) {
+	i := from
+	if i < 0 {
+		i = int(p.rr.Add(1) % uint64(len(p.queues)))
+	}
+	p.queues[i].push(h)
+	p.wakeOne()
+}
+
+func (p *pool) wakeOne() {
+	for {
+		m := p.sleepers.Load()
+		if m == 0 {
+			return
+		}
+		id := bits.TrailingZeros64(m)
+		if p.sleepers.CompareAndSwap(m, m&^(1<<uint(id))) {
+			select {
+			case p.beds[id] <- struct{}{}:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// popAny pops from the worker's own queue, then steals round-robin.
+func (p *pool) popAny(id int) *Handle {
+	if h := p.queues[id].pop(); h != nil {
+		return h
+	}
+	n := len(p.queues)
+	for off := 1; off < n; off++ {
+		if h := p.queues[(id+off)%n].pop(); h != nil {
+			return h
+		}
+	}
+	return nil
+}
+
+// WorkerStats reports one worker's accumulated busy/idle time.
+type WorkerStats struct {
+	BusyNS int64
+	IdleNS int64
+}
+
+// TransitionStats reports one transition's scheduling counters.
+type TransitionStats struct {
+	Name           string
+	Priority       int
+	Fired          int64
+	ClaimMisses    int64
+	CoalescedWakes int64
+}
+
+// Stats is a snapshot of scheduler activity.
+type Stats struct {
+	Fired          int64
+	ClaimMisses    int64
+	CoalescedWakes int64
+	Workers        []WorkerStats
+	Transitions    []TransitionStats
 }
 
 // Scheduler organizes transition execution.
 type Scheduler struct {
 	mu      sync.Mutex
-	entries []*entry
+	entries []*Handle // priority order; ties keep registration order
 
-	wake    chan struct{}
-	done    chan struct{}
+	pool    atomic.Pointer[pool]
 	wg      sync.WaitGroup
 	started bool
 
@@ -56,23 +252,25 @@ type Scheduler struct {
 	errMu   sync.Mutex
 	lastErr error
 	fired   int64
+
+	workerStats []workerClock
+}
+
+type workerClock struct {
+	busyNS atomic.Int64
+	idleNS atomic.Int64
 }
 
 // New returns an empty scheduler.
-func New() *Scheduler {
-	return &Scheduler{wake: make(chan struct{}, 1)}
-}
+func New() *Scheduler { return &Scheduler{} }
 
-// Add registers a transition at priority 0.
-func (s *Scheduler) Add(t Transition) { s.AddWithPriority(t, 0) }
-
-// AddWithPriority registers a transition. Higher-priority transitions are
-// scanned (and therefore fired) first — the paper's "different query
-// priorities" hook. Ties keep registration order.
-func (s *Scheduler) AddWithPriority(t Transition, priority int) {
+// Register adds a transition and returns its wake handle. Higher-priority
+// transitions are scanned (and therefore fired) first in Step mode and
+// seeded first on Start — the paper's "different query priorities" hook.
+// Ties keep registration order.
+func (s *Scheduler) Register(t Transition, priority int) *Handle {
+	h := &Handle{t: t, s: s, prio: priority}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Insert before the first strictly lower priority, keeping stability.
 	pos := len(s.entries)
 	for i, e := range s.entries {
 		if e.prio < priority {
@@ -82,18 +280,46 @@ func (s *Scheduler) AddWithPriority(t Transition, priority int) {
 	}
 	s.entries = append(s.entries, nil)
 	copy(s.entries[pos+1:], s.entries[pos:])
-	s.entries[pos] = &entry{t: t, prio: priority}
+	s.entries[pos] = h
+	s.mu.Unlock()
+	// If the pool is live, let the new transition compete immediately.
+	h.Wake()
+	return h
 }
 
-// Remove unregisters a transition by name.
+// Add registers a transition at priority 0.
+func (s *Scheduler) Add(t Transition) { s.Register(t, 0) }
+
+// AddWithPriority registers a transition at the given priority.
+func (s *Scheduler) AddWithPriority(t Transition, priority int) { s.Register(t, priority) }
+
+// Remove unregisters a transition by name and fences in-flight claims: it
+// does not return while a worker is firing the transition, so callers can
+// tear the transition's state down safely afterwards.
 func (s *Scheduler) Remove(name string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var h *Handle
 	for i, e := range s.entries {
 		if e.t.Name() == name {
+			h = e
 			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h.removed.Store(true)
+	// Wait out an in-flight firing. A queued (not yet claimed) handle is
+	// fine: workers check removed before firing. With no pool running
+	// nothing can be mid-fire, so the fence is a no-op.
+	for s.pool.Load() != nil {
+		st := h.state.Load()
+		if st != stateRunning && st != stateRunningDirty {
 			return
 		}
+		runtime.Gosched()
 	}
 }
 
@@ -109,23 +335,32 @@ func (s *Scheduler) Transitions() []Transition {
 	return out
 }
 
-// Notify wakes the worker pool; baskets call it on append.
+// Notify wakes every registered transition — the legacy broadcast kick.
+// The engine's timer goroutine calls it so time-based windows advance;
+// hot-path appends should use the per-transition Handle.Wake instead.
 func (s *Scheduler) Notify() {
-	select {
-	case s.wake <- struct{}{}:
-	default:
+	if s.pool.Load() == nil {
+		return
 	}
+	s.mu.Lock()
+	for _, h := range s.entries {
+		h.Wake()
+	}
+	s.mu.Unlock()
 }
 
 // Step runs one deterministic pass: every currently-ready transition fires
 // once, in registration order. It returns the number of firings.
 func (s *Scheduler) Step() int {
+	s.mu.Lock()
+	es := append([]*Handle(nil), s.entries...)
+	s.mu.Unlock()
 	fired := 0
-	for _, t := range s.Transitions() {
-		if !t.Ready() {
+	for _, h := range es {
+		if h.removed.Load() || !h.t.Ready() {
 			continue
 		}
-		s.fire(t)
+		s.fire(h)
 		fired++
 	}
 	return fired
@@ -146,14 +381,15 @@ func (s *Scheduler) Drain(maxRounds int) int {
 	return total
 }
 
-func (s *Scheduler) fire(t Transition) {
+func (s *Scheduler) fire(h *Handle) {
 	atomic.AddInt64(&s.fired, 1)
-	if err := t.Fire(); err != nil {
+	h.fired.Add(1)
+	if err := h.t.Fire(); err != nil {
 		s.errMu.Lock()
 		s.lastErr = err
 		s.errMu.Unlock()
 		if s.OnError != nil {
-			s.OnError(t.Name(), err)
+			s.OnError(h.t.Name(), err)
 		}
 	}
 }
@@ -168,70 +404,156 @@ func (s *Scheduler) Err() error {
 	return s.lastErr
 }
 
-// Start launches the worker pool (concurrent mode). Each worker scans for
-// a ready, unclaimed transition and fires it; with nothing ready, workers
-// sleep until a basket append notifies them (with a periodic fallback scan
-// so time-based windows advance).
+// Stats returns a snapshot of scheduler counters: total and per-transition
+// firings, claim misses (dequeued-but-not-ready scans), coalesced wakes,
+// and per-worker busy/idle time.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	ts := make([]TransitionStats, len(s.entries))
+	var misses, coalesced int64
+	for i, h := range s.entries {
+		ts[i] = TransitionStats{
+			Name:           h.t.Name(),
+			Priority:       h.prio,
+			Fired:          h.fired.Load(),
+			ClaimMisses:    h.misses.Load(),
+			CoalescedWakes: h.coalesced.Load(),
+		}
+		misses += ts[i].ClaimMisses
+		coalesced += ts[i].CoalescedWakes
+	}
+	ws := make([]WorkerStats, len(s.workerStats))
+	for i := range s.workerStats {
+		ws[i] = WorkerStats{
+			BusyNS: s.workerStats[i].busyNS.Load(),
+			IdleNS: s.workerStats[i].idleNS.Load(),
+		}
+	}
+	s.mu.Unlock()
+	return Stats{
+		Fired:          s.Fired(),
+		ClaimMisses:    misses,
+		CoalescedWakes: coalesced,
+		Workers:        ws,
+		Transitions:    ts,
+	}
+}
+
+// Start launches the worker pool (concurrent mode). Workers drain their
+// run-queues, steal from each other when empty, and park on a per-worker
+// channel otherwise; there is no polling in the workers.
 func (s *Scheduler) Start(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 64 {
+		workers = 64 // sleeper bitmask width
+	}
 	s.mu.Lock()
 	if s.started {
 		s.mu.Unlock()
 		return
 	}
 	s.started = true
-	s.done = make(chan struct{})
+	p := &pool{
+		queues: make([]*runq, workers),
+		beds:   make([]chan struct{}, workers),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.queues[i] = newRunq()
+		p.beds[i] = make(chan struct{}, 1)
+	}
+	s.workerStats = make([]workerClock, workers)
+	// Seed: everything currently registered competes from the start, in
+	// priority order.
+	seed := append([]*Handle(nil), s.entries...)
+	s.pool.Store(p)
 	s.mu.Unlock()
-	if workers < 1 {
-		workers = 1
+	for _, h := range seed {
+		// A handle stuck in queued from a previous generation sits in a
+		// dead queue; re-enqueue it directly.
+		if h.state.Load() == stateQueued {
+			p.enqueue(h, -1)
+		} else {
+			h.Wake()
+		}
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(p, w)
 	}
 }
 
-func (s *Scheduler) worker() {
+func (s *Scheduler) worker(p *pool, id int) {
 	defer s.wg.Done()
-	tick := time.NewTicker(time.Millisecond)
-	defer tick.Stop()
+	clock := &s.workerStats[id]
 	for {
-		if s.fireOne() {
-			// Keep going while there is work — but let Stop interrupt a
-			// continuously-ready net.
-			select {
-			case <-s.done:
-				return
-			default:
-			}
-			continue
-		}
 		select {
-		case <-s.done:
+		case <-p.done:
 			return
-		case <-s.wake:
-		case <-tick.C:
+		default:
 		}
+		h := p.popAny(id)
+		if h == nil {
+			// Park protocol: advertise, re-scan (an enqueue may have raced
+			// with the advertisement), then sleep.
+			bit := uint64(1) << uint(id)
+			p.sleepers.Or(bit)
+			if h = p.popAny(id); h != nil {
+				p.sleepers.And(^bit)
+				select { // drop a stale wake token, if any
+				case <-p.beds[id]:
+				default:
+				}
+			} else {
+				t0 := time.Now()
+				select {
+				case <-p.done:
+					return
+				case <-p.beds[id]:
+				}
+				clock.idleNS.Add(int64(time.Since(t0)))
+				continue
+			}
+		}
+		s.runHandle(p, id, h, clock)
 	}
 }
 
-// fireOne claims and fires the first ready transition; it reports whether
-// it fired anything.
-func (s *Scheduler) fireOne() bool {
-	s.mu.Lock()
-	es := append([]*entry(nil), s.entries...)
-	s.mu.Unlock()
-	for _, e := range es {
-		if !atomic.CompareAndSwapInt32(&e.busy, 0, 1) {
-			continue
-		}
-		if e.t.Ready() {
-			s.fire(e.t)
-			atomic.StoreInt32(&e.busy, 0)
-			return true
-		}
-		atomic.StoreInt32(&e.busy, 0)
+// runHandle claims, checks, and fires one dequeued handle, then settles
+// its state machine.
+func (s *Scheduler) runHandle(p *pool, id int, h *Handle, clock *workerClock) {
+	if !h.state.CompareAndSwap(stateQueued, stateRunning) {
+		return // defensive: only a pop should claim a queued handle
 	}
-	return false
+	if h.removed.Load() {
+		h.state.Store(stateIdle)
+		return
+	}
+	if h.t.Ready() {
+		t0 := time.Now()
+		s.fire(h)
+		clock.busyNS.Add(int64(time.Since(t0)))
+	} else {
+		h.misses.Add(1)
+	}
+	// Epilogue: settle running → idle, honoring wakes that arrived during
+	// the firing (runningDirty) and re-queuing while still ready so a
+	// continuously-ready net keeps draining without polling.
+	if h.state.CompareAndSwap(stateRunning, stateIdle) {
+		if !h.removed.Load() && h.t.Ready() {
+			h.Wake()
+		}
+		return
+	}
+	// Dirty: new tokens arrived mid-fire; exactly one re-enqueue.
+	h.state.Store(stateQueued)
+	if h.removed.Load() {
+		h.state.Store(stateIdle)
+		return
+	}
+	p.enqueue(h, id)
 }
 
 // Stop terminates the worker pool and waits for in-flight firings.
@@ -242,7 +564,9 @@ func (s *Scheduler) Stop() {
 		return
 	}
 	s.started = false
-	close(s.done)
+	p := s.pool.Load()
+	s.pool.Store(nil)
+	close(p.done)
 	s.mu.Unlock()
 	s.wg.Wait()
 }

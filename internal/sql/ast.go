@@ -76,6 +76,7 @@ const (
 	ShowBaskets
 	ShowTables
 	ShowStreams
+	ShowScheduler
 )
 
 // String names the target.
@@ -87,12 +88,15 @@ func (k ShowKind) String() string {
 		return "TABLES"
 	case ShowStreams:
 		return "STREAMS"
+	case ShowScheduler:
+		return "SCHEDULER"
 	default:
 		return "QUERIES"
 	}
 }
 
-// ShowStmt is SHOW QUERIES / SHOW BASKETS / SHOW TABLES / SHOW STREAMS.
+// ShowStmt is SHOW QUERIES / SHOW BASKETS / SHOW TABLES / SHOW STREAMS /
+// SHOW SCHEDULER.
 type ShowStmt struct {
 	What ShowKind
 }

@@ -44,7 +44,7 @@ var keywords = map[string]bool{
 	"MAX": true, "AVG": true, "DELETE": true, "WINDOW": true, "SLIDE": true,
 	"RANGE": true, "ROWS": true, "EVERY": true, "CONTINUOUS": true,
 	"QUERY": true, "WITH": true, "SHOW": true, "QUERIES": true,
-	"BASKETS": true, "TABLES": true, "STREAMS": true,
+	"BASKETS": true, "TABLES": true, "STREAMS": true, "SCHEDULER": true,
 }
 
 // Lex tokenizes the input. It returns an error for unterminated strings or

@@ -118,8 +118,10 @@ func (p *parser) parseShow() (Statement, error) {
 		return &ShowStmt{What: ShowTables}, nil
 	case p.acceptKeyword("STREAMS"):
 		return &ShowStmt{What: ShowStreams}, nil
+	case p.acceptKeyword("SCHEDULER"):
+		return &ShowStmt{What: ShowScheduler}, nil
 	default:
-		return nil, p.errorf("expected QUERIES, BASKETS, TABLES, or STREAMS after SHOW")
+		return nil, p.errorf("expected QUERIES, BASKETS, TABLES, STREAMS, or SCHEDULER after SHOW")
 	}
 }
 
