@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-go bench-profile bench-sched bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke bench-durability bench-durability-smoke check
+.PHONY: build test race vet fmt bench bench-go bench-profile bench-sched bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke bench-durability bench-durability-smoke bench-obs bench-obs-smoke check
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,17 @@ bench-durability:
 # exercising group commit, the copy-and-reopen crash image, and replay.
 bench-durability-smoke:
 	$(GO) run ./cmd/hotpathbench -scenario durability -smoke -o -
+
+# bench-obs runs the instrumentation-overhead A/B: the partitioned
+# workload with the observability layer on vs off, interleaved
+# best-of-3; fails if the instrumentation tax exceeds 5% ns/tuple.
+bench-obs:
+	$(GO) run ./cmd/hotpathbench -scenario obs -o -
+
+# bench-obs-smoke is the CI sanity run: tiny workload, looser (25%)
+# overhead gate since scheduler noise dominates short runs.
+bench-obs-smoke:
+	$(GO) run ./cmd/hotpathbench -scenario obs -smoke -o -
 
 # bench-go runs the paper-experiment testing.B benchmarks once each.
 bench-go:

@@ -20,6 +20,8 @@
 //	           subsequent lines are comma-separated tuples.
 //	-results : the first line names a continuous query; result tuples follow.
 //	-sql     : one-time SQL per line; results return as text.
+//	-metrics : observability HTTP endpoint (/metrics Prometheus text,
+//	           /healthz, /debug/pprof/); empty disables it.
 package main
 
 import (
@@ -41,12 +43,18 @@ func main() {
 	sqlAddr := flag.String("sql", "127.0.0.1:7713", "one-time SQL listener")
 	initFile := flag.String("init", "", "statement script executed at startup")
 	workers := flag.Int("workers", 4, "scheduler workers")
+	metricsAddr := flag.String("metrics", "", "observability HTTP listener (/metrics, /healthz, /debug/pprof/); empty = off")
+	dataDir := flag.String("data", "", "durable data directory (WAL + checkpoints); empty = in-memory")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	eng, err := datacell.Open(ctx, datacell.Config{Workers: *workers})
+	eng, err := datacell.Open(ctx, datacell.Config{
+		Workers:     *workers,
+		MetricsAddr: *metricsAddr,
+		DataDir:     *dataDir,
+	})
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
@@ -78,7 +86,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("datacelld: ingest=%s results=%s sql=%s", in, res, ctl)
+	if m := eng.MetricsAddr(); m != "" {
+		log.Printf("datacelld: ingest=%s results=%s sql=%s metrics=http://%s/metrics", in, res, ctl, m)
+	} else {
+		log.Printf("datacelld: ingest=%s results=%s sql=%s", in, res, ctl)
+	}
 
 	<-ctx.Done()
 	log.Printf("datacelld: shutting down")

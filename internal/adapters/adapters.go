@@ -268,6 +268,38 @@ type ChannelEmitter struct {
 	delivered int64
 	suppress  int64
 	onDeliver func(delivered int64)
+
+	// Latency observation (guarded by sendMu). The engine samples ~1/N
+	// result batches: the factory result hook stamps the batch's newest
+	// input timestamp and the emission instant via StampE2E, and the
+	// next delivery reports both distances to latFn.
+	latNow      func() int64
+	latFn       func(deliveryNS, e2eNS int64, rows int)
+	e2eIngestTS int64
+	e2eEmitTS   int64
+}
+
+// SetLatencyObserver arms delivery-latency sampling: now is the engine
+// clock, fn receives (delivery latency, end-to-end latency, rows) for
+// each delivery whose batch was stamped via StampE2E. e2eNS is -1 when
+// the stamp carried no input timestamp.
+func (e *ChannelEmitter) SetLatencyObserver(now func() int64, fn func(deliveryNS, e2eNS int64, rows int)) {
+	e.sendMu.Lock()
+	e.latNow, e.latFn = now, fn
+	e.sendMu.Unlock()
+}
+
+// StampE2E marks the in-flight result batch as a latency sample.
+// ingestTS is the newest input-tuple timestamp the batch covers (<= 0
+// when unknown). Called from the factory result hook, i.e. after the
+// results reached the output basket but before the emitter fires.
+func (e *ChannelEmitter) StampE2E(ingestTS int64) {
+	e.sendMu.Lock()
+	if e.latFn != nil {
+		e.e2eIngestTS = ingestTS
+		e.e2eEmitTS = e.latNow()
+	}
+	e.sendMu.Unlock()
 }
 
 // NewChannelEmitter builds a channel emitter with the given buffer depth
@@ -287,6 +319,9 @@ func NewChannelEmitter(name string, source *basket.Basket, depth int, policy Bac
 
 // Name implements scheduler.Transition.
 func (e *ChannelEmitter) Name() string { return e.name }
+
+// Policy returns the emitter's backpressure policy.
+func (e *ChannelEmitter) Policy() Backpressure { return e.policy }
 
 // Ready implements scheduler.Transition. Under the blocking policy the
 // emitter stays not-ready while the subscriber's channel is full, exerting
@@ -421,5 +456,14 @@ func (e *ChannelEmitter) markDelivered(n int) {
 	e.delivered += int64(n)
 	if e.onDeliver != nil {
 		e.onDeliver(e.delivered)
+	}
+	if e.latFn != nil && e.e2eEmitTS != 0 {
+		now := e.latNow()
+		e2e := int64(-1)
+		if e.e2eIngestTS > 0 {
+			e2e = now - e.e2eIngestTS
+		}
+		e.latFn(now-e.e2eEmitTS, e2e, n)
+		e.e2eEmitTS, e.e2eIngestTS = 0, 0
 	}
 }

@@ -493,6 +493,13 @@ func (e *Engine) checkpoint(clean bool) error {
 	d := e.dur
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	if e.obs != nil {
+		start := time.Now()
+		defer func() {
+			e.obs.checkpoints.Inc()
+			e.obs.checkpointNS.Observe(time.Since(start).Nanoseconds())
+		}()
+	}
 
 	e.gate.Lock()
 	img := e.captureImage(clean)
@@ -525,7 +532,14 @@ func (e *Engine) checkpoint(clean bool) error {
 // suppression — the whole crash-recovery path. Called by Open before
 // the engine is visible to any other goroutine.
 func (e *Engine) initDurability(cfg Config) error {
-	w, err := wal.Open(filepath.Join(cfg.DataDir, walSubdir), wal.Options{SegmentBytes: cfg.WALSegmentBytes})
+	wopts := wal.Options{SegmentBytes: cfg.WALSegmentBytes}
+	if e.obs != nil {
+		wopts.OnSync = func(d time.Duration) {
+			e.obs.walFsyncs.Inc()
+			e.obs.walFsyncNS.Observe(d.Nanoseconds())
+		}
+	}
+	w, err := wal.Open(filepath.Join(cfg.DataDir, walSubdir), wopts)
 	if err != nil {
 		return err
 	}
@@ -706,50 +720,71 @@ type EngineStats struct {
 	CleanStart       bool
 }
 
+// durSnapshot is one consistent cut through the durability state: the
+// WAL's physical stats and the checkpoint bookkeeping are captured under
+// a single d.mu hold, so no reader can pair a fresh log sequence with a
+// stale checkpoint sequence (or vice versa). Every read-side consumer —
+// Engine.Stats, SHOW QUERIES, Query.Checkpoint, the metrics collectors —
+// goes through this one accessor.
+type durSnapshot struct {
+	durable          bool
+	wal              wal.Stats
+	ckptSeq          int64
+	ckptTime         time.Time
+	recoveredRecords int64
+	recoveredClean   bool
+}
+
+// snapshot captures a consistent durability cut. Safe on a nil receiver
+// (non-durable engine): all fields stay zero.
+func (d *durability) snapshot() durSnapshot {
+	if d == nil {
+		return durSnapshot{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Lock order d.mu → wal's internal mutex; the WAL never calls back
+	// into durability, so the order cannot invert.
+	return durSnapshot{
+		durable:          true,
+		wal:              d.wal.Stats(),
+		ckptSeq:          d.lastCkptSeq,
+		ckptTime:         d.lastCkptTime,
+		recoveredRecords: d.recoveredRecords,
+		recoveredClean:   d.recoveredClean,
+	}
+}
+
+// replayLag is the number of WAL records past the snapshot's checkpoint.
+func (s durSnapshot) replayLag() int64 {
+	return max(s.wal.LastSeq-s.ckptSeq, 0)
+}
+
 // Stats returns the engine statistics. The durability fields are all
 // zero on a non-durable engine.
 func (e *Engine) Stats() EngineStats {
-	d := e.dur
-	if d == nil {
-		return EngineStats{Scheduler: e.sched.Stats()}
-	}
-	ws := d.wal.Stats()
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	snap := e.dur.snapshot()
 	return EngineStats{
 		Scheduler:        e.sched.Stats(),
-		Durable:          true,
-		WALSegments:      ws.Segments,
-		WALBytes:         ws.Bytes,
-		WALLastSeq:       ws.LastSeq,
-		CheckpointSeq:    d.lastCkptSeq,
-		LastCheckpoint:   d.lastCkptTime,
-		RecoveredRecords: d.recoveredRecords,
-		CleanStart:       d.recoveredClean,
+		Durable:          snap.durable,
+		WALSegments:      snap.wal.Segments,
+		WALBytes:         snap.wal.Bytes,
+		WALLastSeq:       snap.wal.LastSeq,
+		CheckpointSeq:    snap.ckptSeq,
+		LastCheckpoint:   snap.ckptTime,
+		RecoveredRecords: snap.recoveredRecords,
+		CleanStart:       snap.recoveredClean,
 	}
 }
 
 // replayLag returns the number of WAL records past the last checkpoint
 // (0 on a non-durable engine).
 func (e *Engine) replayLag() int64 {
-	d := e.dur
-	if d == nil {
-		return 0
-	}
-	last := d.wal.LastSeq()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return max(last-d.lastCkptSeq, 0)
+	return e.dur.snapshot().replayLag()
 }
 
 // lastCheckpointTime returns when the newest checkpoint was written
 // (zero time when none, or on a non-durable engine).
 func (e *Engine) lastCheckpointTime() time.Time {
-	d := e.dur
-	if d == nil {
-		return time.Time{}
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.lastCkptTime
+	return e.dur.snapshot().ckptTime
 }

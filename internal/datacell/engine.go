@@ -13,6 +13,8 @@ package datacell
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -71,6 +73,15 @@ type Config struct {
 	CheckpointInterval time.Duration
 	// WALSegmentBytes caps one log segment (default 64 MiB).
 	WALSegmentBytes int64
+	// MetricsAddr, when non-empty, serves the observability HTTP
+	// endpoint (/metrics Prometheus text, /healthz, /debug/pprof/) on
+	// the given listen address. ":0" picks a free port (see
+	// Engine.MetricsAddr). Only Open honors it; New ignores it.
+	MetricsAddr string
+	// DisableMetrics turns the metrics registry and all hot-path
+	// instrumentation off (used by benchmarks to measure the
+	// instrumentation tax; MetricsAddr then cannot be served).
+	DisableMetrics bool
 }
 
 // Engine lifecycle states.
@@ -94,15 +105,21 @@ type Engine struct {
 	gate sync.RWMutex
 	dur  *durability // nil unless opened with Config.DataDir
 
-	mu        sync.Mutex
-	streams   map[string]*stream
-	tables    map[string]*storage.Table
-	queries   map[string]*Query
-	cascades  map[string]*Cascade
-	subs      []*Subscription
-	workers   int
-	state     int
-	flushStop chan struct{}
+	// obs is the metrics/tracing surface; nil when Config.DisableMetrics
+	// is set. Hot-path call sites guard with `if e.obs != nil`.
+	obs *engineObs
+
+	mu         sync.Mutex
+	metricsLn  net.Listener // bound metrics endpoint (nil unless served)
+	metricsSrv *http.Server
+	streams    map[string]*stream
+	tables     map[string]*storage.Table
+	queries    map[string]*Query
+	cascades   map[string]*Cascade
+	subs       []*Subscription
+	workers    int
+	state      int
+	flushStop  chan struct{}
 	// done is closed exactly once, on Stop; context watchers select on it.
 	done chan struct{}
 }
@@ -150,7 +167,7 @@ func New(cfg Config) *Engine {
 	if workers < 1 {
 		workers = 2
 	}
-	return &Engine{
+	e := &Engine{
 		clock:    clock,
 		cat:      catalog.New(),
 		sched:    scheduler.New(),
@@ -161,6 +178,10 @@ func New(cfg Config) *Engine {
 		workers:  workers,
 		done:     make(chan struct{}),
 	}
+	if !cfg.DisableMetrics {
+		e.obs = newEngineObs(e)
+	}
+	return e
 }
 
 // Open creates an engine whose lifetime is bounded by ctx: when ctx is
@@ -179,6 +200,14 @@ func Open(ctx context.Context, cfg Config) (*Engine, error) {
 	e := New(cfg)
 	if cfg.DataDir != "" {
 		if err := e.initDurability(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MetricsAddr != "" {
+		if err := e.startMetricsServer(cfg.MetricsAddr); err != nil {
+			if e.dur != nil {
+				_ = e.dur.wal.Close()
+			}
 			return nil, err
 		}
 	}
@@ -305,6 +334,7 @@ func (e *Engine) Stop(ctx context.Context) error {
 			drainErr = err
 		}
 	}
+	e.stopMetricsServer()
 	close(e.done)
 	e.mu.Lock()
 	subs := append([]*Subscription(nil), e.subs...)
@@ -559,7 +589,13 @@ func (e *Engine) IngestColumns(ctx context.Context, streamName string, cols []*v
 // and the fan-out share one gate hold, so the log order matches the
 // apply order.
 func (e *Engine) ingest(ctx context.Context, s *stream, n int, cols []*vector.Vector) error {
-	if err := e.dur.logIngest(ctx, s.name, cols); err != nil {
+	if e.dur != nil && e.obs != nil {
+		start := time.Now()
+		if err := e.dur.logIngest(ctx, s.name, cols); err != nil {
+			return err
+		}
+		e.obs.walCommitNS.Observe(time.Since(start).Nanoseconds())
+	} else if err := e.dur.logIngest(ctx, s.name, cols); err != nil {
 		return err
 	}
 	return e.fanout(s, n, cols)
@@ -583,6 +619,10 @@ func (e *Engine) lookupStream(name string) (*stream, error) {
 // replica slice is copy-on-write (see registerParsed), so the snapshot
 // taken under e.mu is used as-is instead of being recloned on every call.
 func (e *Engine) fanout(s *stream, n int, cols []*vector.Vector) error {
+	if e.obs != nil {
+		e.obs.ingestBatches.Inc()
+		e.obs.ingestTuples.Add(int64(n))
+	}
 	e.mu.Lock()
 	s.ingested += int64(n)
 	primary := s.primary
@@ -712,7 +752,12 @@ func (e *Engine) Exec(ctx context.Context, text string) (*storage.Relation, erro
 	case *sql.DropStmt:
 		return nil, logDDL(e.drop(x.Name))
 	case *sql.ShowStmt:
+		if x.What == sql.ShowTrace {
+			return e.showTrace(x.Name)
+		}
 		return e.show(x.What)
+	case *sql.ExplainStmt:
+		return e.explainAnalyze(x.Target)
 	case *sql.InsertStmt:
 		selfLogged, err := e.insert(ctx, x)
 		if err != nil {
@@ -770,11 +815,12 @@ func (e *Engine) show(what sql.ShowKind) (*storage.Relation, error) {
 			catalog.Column{Name: "replay_lag", Type: vector.Int64},
 			catalog.Column{Name: "sql", Type: vector.String},
 		))
+		snap := e.dur.snapshot()
 		lastCkpt := vector.NullValue(vector.Timestamp)
-		if t := e.lastCheckpointTime(); !t.IsZero() {
-			lastCkpt = vector.NewTimestamp(t.UnixNano())
+		if !snap.ckptTime.IsZero() {
+			lastCkpt = vector.NewTimestamp(snap.ckptTime.UnixNano())
 		}
-		lag := e.replayLag()
+		lag := snap.replayLag()
 		qs := e.Queries()
 		sort.Slice(qs, func(i, j int) bool { return qs[i].Name < qs[j].Name })
 		for _, q := range qs {

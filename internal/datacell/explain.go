@@ -1,0 +1,186 @@
+package datacell
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// explainAnalyze renders a continuous query's live pipeline topology as
+// a relation: one row per operator (inputs, shard factories with their
+// compiled plan nodes, merge stage, tails, output basket, emitter),
+// annotated with cumulative tuple counters. The row order follows the
+// dataflow: source streams, then shard pipelines, then recombination,
+// then delivery.
+func (e *Engine) explainAnalyze(name string) (*storage.Relation, error) {
+	q, err := e.Query(name)
+	if err != nil {
+		return nil, err
+	}
+	rel := storage.NewRelation(catalog.NewSchema(
+		catalog.Column{Name: "operator", Type: vector.String},
+		catalog.Column{Name: "name", Type: vector.String},
+		catalog.Column{Name: "shard", Type: vector.Int64},
+		catalog.Column{Name: "detail", Type: vector.String},
+		catalog.Column{Name: "tuples_in", Type: vector.Int64},
+		catalog.Column{Name: "tuples_out", Type: vector.Int64},
+		catalog.Column{Name: "firings", Type: vector.Int64},
+		catalog.Column{Name: "backlog", Type: vector.Int64},
+	))
+	nullInt := vector.NullValue(vector.Int64)
+	row := func(op, name string, shard vector.Value, detail string, in, out, firings, backlog vector.Value) {
+		rel.AppendRow([]vector.Value{
+			vector.NewString(op), vector.NewString(name), shard,
+			vector.NewString(detail), in, out, firings, backlog,
+		})
+	}
+	n := func(v int64) vector.Value { return vector.NewInt(v) }
+
+	// Query header: shape, strategy, and the pipeline-wide totals.
+	strat := q.Strategy.String()
+	if q.Partitioned() {
+		strat = "partitioned"
+	}
+	shape := "flat"
+	switch {
+	case q.Stats().JoinState > 0 || strings.Contains(strings.ToUpper(q.SQL), " JOIN "):
+		shape = "join"
+	case hasWindow(q):
+		shape = "windowed"
+	}
+	if q.Partitioned() {
+		shape += fmt.Sprintf(", %d shards", q.Shards())
+	}
+	total := q.Stats()
+	row("query", q.Name, nullInt,
+		fmt.Sprintf("strategy=%s shape=%s", strat, shape),
+		n(total.TuplesIn), n(total.TuplesOut), n(total.Firings), nullInt)
+
+	// Source streams with their arrival counters and primary backlog.
+	for _, sn := range q.streams {
+		e.mu.Lock()
+		s := e.streams[strings.ToLower(sn)]
+		e.mu.Unlock()
+		if s == nil {
+			continue
+		}
+		e.mu.Lock()
+		ingested := s.ingested
+		e.mu.Unlock()
+		row("stream", s.name, nullInt,
+			fmt.Sprintf("shards=%d", max(len(s.shards), 1)),
+			nullInt, n(ingested), nullInt, n(int64(s.primary.Len())))
+	}
+
+	// Shard pipelines: one factory row per shard (shard NULL when the
+	// query is unpartitioned), each followed by its compiled plan tree.
+	for i, f := range q.facts {
+		shard := nullInt
+		if q.Partitioned() {
+			shard = n(int64(i))
+		}
+		st := f.Stats()
+		detail := ""
+		if wm, ok := f.WindowWatermark(); ok {
+			detail = fmt.Sprintf("watermark=%d late=%d", wm, st.Late)
+		}
+		if st.JoinState > 0 || st.JoinEvictions > 0 {
+			if detail != "" {
+				detail += " "
+			}
+			detail += fmt.Sprintf("join_state=%d evictions=%d", st.JoinState, st.JoinEvictions)
+		}
+		row("factory", f.Name(), shard, detail,
+			n(st.TuplesIn), n(st.TuplesOut), n(st.Firings), nullInt)
+		if i == 0 || !q.Partitioned() {
+			// The compiled plan is identical across shard pipelines;
+			// render it once under the first factory.
+			for _, line := range strings.Split(strings.TrimRight(plan.Explain(f.Plan()), "\n"), "\n") {
+				row("plan", strings.TrimLeft(line, " "), shard,
+					line, nullInt, nullInt, nullInt, nullInt)
+			}
+		}
+	}
+
+	// Recombination: the merge transition and the SPSC tails feeding it.
+	if q.merge != nil {
+		detail := fmt.Sprintf("lag=%d", q.merge.Lag())
+		var merged vector.Value = nullInt
+		if m, ok := q.merge.(interface{ Merged() int64 }); ok {
+			merged = n(m.Merged())
+		}
+		row("merge", q.merge.Name(), nullInt, detail, merged, merged, nullInt, n(int64(q.merge.Lag())))
+		for i, t := range q.tails {
+			row("tail", t.Name(), n(int64(i)), "",
+				nullInt, n(t.Drained()), nullInt, n(int64(t.Pending())))
+		}
+		for i, so := range q.shardOuts {
+			_, resident, dropped, _ := so.Stats()
+			row("tail", so.Name(), n(int64(i)), "basket",
+				nullInt, n(dropped), nullInt, n(int64(resident)))
+		}
+	}
+
+	// Delivery: output basket and (when subscribed) the emitter.
+	_, resident, dropped, _ := q.out.Stats()
+	row("output", q.out.Name(), nullInt, "", nullInt, n(dropped), nullInt, n(int64(resident)))
+	if q.sub != nil {
+		em := q.sub.em
+		row("deliver", em.Name(), nullInt,
+			fmt.Sprintf("policy=%s dropped_batches=%d", em.Policy(), em.Dropped()),
+			nullInt, n(em.Delivered()), nullInt, nullInt)
+	}
+	return rel, nil
+}
+
+// hasWindow reports whether any factory runs a window runner.
+func hasWindow(q *Query) bool {
+	for _, f := range q.facts {
+		if _, ok := f.WindowWatermark(); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// showTrace renders a query's bounded firing-trace ring (last-K
+// pipeline firings with stage timings) as a relation, oldest first.
+func (e *Engine) showTrace(name string) (*storage.Relation, error) {
+	q, err := e.Query(name)
+	if err != nil {
+		return nil, err
+	}
+	rel := storage.NewRelation(catalog.NewSchema(
+		catalog.Column{Name: "seq", Type: vector.Int64},
+		catalog.Column{Name: "stage", Type: vector.String},
+		catalog.Column{Name: "transition", Type: vector.String},
+		catalog.Column{Name: "start", Type: vector.Timestamp},
+		catalog.Column{Name: "queue_ns", Type: vector.Int64},
+		catalog.Column{Name: "fire_ns", Type: vector.Int64},
+		catalog.Column{Name: "tuples_in", Type: vector.Int64},
+		catalog.Column{Name: "tuples_out", Type: vector.Int64},
+		catalog.Column{Name: "error", Type: vector.String},
+	))
+	if q.trace == nil {
+		// Metrics disabled: the trace ring was never armed.
+		return rel, nil
+	}
+	for _, ev := range q.trace.Snapshot() {
+		rel.AppendRow([]vector.Value{
+			vector.NewInt(ev.Seq),
+			vector.NewString(ev.Stage),
+			vector.NewString(ev.Transition),
+			vector.NewTimestamp(ev.Start),
+			vector.NewInt(ev.QueueNS),
+			vector.NewInt(ev.FireNS),
+			vector.NewInt(ev.TuplesIn),
+			vector.NewInt(ev.TuplesOut),
+			vector.NewString(ev.Err),
+		})
+	}
+	return rel, nil
+}

@@ -26,7 +26,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/factory"
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -283,7 +283,7 @@ func (e *Engine) registerPartitionedJoin(name, text string, p plan.Node, an part
 
 	n := an.Shards
 	lClock, rClock := window.NewWatermarkGroup(), window.NewWatermarkGroup()
-	latency := metrics.NewHistogram()
+	latency := obs.NewHistogram()
 	facts := make([]*factory.Factory, 0, n)
 	tails := make([]*partition.Tail, 0, n)
 	fail := func(i int, err error) (*Query, error) {

@@ -1,0 +1,411 @@
+package datacell
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/basket"
+	"repro/internal/catalog"
+	"repro/internal/factory"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+)
+
+// traceRingDepth is K in "last-K firings per query" (SHOW TRACE).
+const traceRingDepth = 32
+
+// e2eSampleEvery is N in "stamp ~1/N result batches" for the end-to-end
+// tuple-latency histogram: every Nth non-empty result batch of a
+// subscribed query carries a latency stamp from ingest to delivery.
+const e2eSampleEvery = 64
+
+// engineObs is the engine's metrics surface: the registry behind
+// /metrics, the direct hot-path instruments, and the scrape-time
+// collectors that walk live engine state. Nil when Config.DisableMetrics
+// is set — every hot-path site guards with `if e.obs != nil`.
+type engineObs struct {
+	reg *obs.Registry
+
+	// Hot-path instruments (direct atomic updates).
+	ingestBatches *obs.Counter
+	ingestTuples  *obs.Counter
+	walCommitNS   *obs.Histogram
+	walFsyncNS    *obs.Histogram
+	walFsyncs     *obs.Counter
+	checkpoints   *obs.Counter
+	checkpointNS  *obs.Histogram
+
+	// Per-stage pipeline latency: firing duration and wake→run queue
+	// delay, labeled by stage (fire = shard factory, merge = merge
+	// transition, deliver = subscription emitter).
+	fireNS  map[string]*obs.Histogram
+	queueNS map[string]*obs.Histogram
+
+	// Sampled subscriber-delivery and end-to-end tuple latency.
+	deliveryNS *obs.Histogram
+	e2eNS      *obs.Histogram
+}
+
+const (
+	stageFire    = "fire"
+	stageMerge   = "merge"
+	stageDeliver = "deliver"
+)
+
+// newEngineObs builds the registry, the direct instruments, and the
+// collectors closing over e. The collectors read live engine state
+// (scheduler counters, basket depths, query stats, WAL posture) only
+// when /metrics is scraped.
+func newEngineObs(e *Engine) *engineObs {
+	reg := obs.NewRegistry()
+	o := &engineObs{
+		reg:           reg,
+		ingestBatches: reg.Counter("dc_ingest_batches_total", "Ingest batches accepted across all streams.", nil),
+		ingestTuples:  reg.Counter("dc_ingest_tuples_total", "Tuples accepted across all streams.", nil),
+		walCommitNS:   reg.Histogram("dc_wal_commit_ns", "Ingest group-commit wait (WAL append to durable ack), ns.", nil),
+		walFsyncNS:    reg.Histogram("dc_wal_fsync_ns", "Physical WAL fsync duration, ns.", nil),
+		walFsyncs:     reg.Counter("dc_wal_fsync_rounds_total", "Physical fsync rounds (group commits).", nil),
+		checkpoints:   reg.Counter("dc_checkpoint_total", "Completed operator-state checkpoints.", nil),
+		checkpointNS:  reg.Histogram("dc_checkpoint_ns", "Checkpoint capture-to-install duration, ns.", nil),
+		deliveryNS:    reg.Histogram("dc_delivery_latency_ns", "Subscriber delivery latency (result emission to channel handoff), sampled, ns.", nil),
+		e2eNS:         reg.Histogram("dc_e2e_latency_ns", "End-to-end tuple latency (ingest to subscriber delivery), sampled, ns.", nil),
+		fireNS:        map[string]*obs.Histogram{},
+		queueNS:       map[string]*obs.Histogram{},
+	}
+	for _, st := range []string{stageFire, stageMerge, stageDeliver} {
+		o.fireNS[st] = reg.Histogram("dc_stage_fire_ns", "Transition firing duration by pipeline stage, ns.", obs.Labels{"stage": st})
+		o.queueNS[st] = reg.Histogram("dc_stage_queue_ns", "Wake-to-execution queue delay by pipeline stage, ns.", obs.Labels{"stage": st})
+	}
+
+	reg.CollectCounter("dc_scheduler_fired_total", "Total transition firings.", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.sched.Fired())}}
+	})
+	reg.CollectCounter("dc_scheduler_claim_misses_total", "Transitions dequeued while not ready.", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.sched.Stats().ClaimMisses)}}
+	})
+	reg.CollectCounter("dc_scheduler_coalesced_wakes_total", "Wakes absorbed by queued/running transitions.", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.sched.Stats().CoalescedWakes)}}
+	})
+	reg.CollectCounter("dc_worker_busy_ns_total", "Per-worker time spent firing transitions, ns.", func() []obs.Sample {
+		var out []obs.Sample
+		for i, w := range e.sched.Stats().Workers {
+			out = append(out, obs.Sample{Labels: obs.Labels{"worker": fmt.Sprint(i)}, Value: float64(w.BusyNS)})
+		}
+		return out
+	})
+	reg.CollectCounter("dc_worker_idle_ns_total", "Per-worker time spent parked, ns.", func() []obs.Sample {
+		var out []obs.Sample
+		for i, w := range e.sched.Stats().Workers {
+			out = append(out, obs.Sample{Labels: obs.Labels{"worker": fmt.Sprint(i)}, Value: float64(w.IdleNS)})
+		}
+		return out
+	})
+
+	reg.CollectCounter("dc_stream_ingested_total", "Tuples routed into each stream.", func() []obs.Sample {
+		var out []obs.Sample
+		e.mu.Lock()
+		for _, s := range e.streams {
+			out = append(out, obs.Sample{Labels: obs.Labels{"stream": s.name}, Value: float64(s.ingested)})
+		}
+		e.mu.Unlock()
+		return out
+	})
+	reg.CollectGauge("dc_stream_backlog", "Unconsumed tuples in each stream's primary basket.", func() []obs.Sample {
+		type pair struct {
+			name string
+			b    *basket.Basket
+		}
+		e.mu.Lock()
+		pairs := make([]pair, 0, len(e.streams))
+		for _, s := range e.streams {
+			pairs = append(pairs, pair{s.name, s.primary})
+		}
+		e.mu.Unlock()
+		out := make([]obs.Sample, 0, len(pairs))
+		for _, p := range pairs {
+			out = append(out, obs.Sample{Labels: obs.Labels{"stream": p.name}, Value: float64(p.b.Len())})
+		}
+		return out
+	})
+
+	// Basket physical depths, the metric twin of SHOW BASKETS: shard
+	// baskets and pipeline tails appear with their shard index.
+	reg.CollectGauge("dc_basket_tuples", "Resident tuples per basket (shard baskets and tails included).", func() []obs.Sample {
+		return basketSamples(e, func(resident int, dropped, shed int64, pending int) float64 {
+			return float64(resident + pending)
+		})
+	})
+	reg.CollectCounter("dc_basket_dropped_total", "Tuples consumed or dropped per basket.", func() []obs.Sample {
+		return basketSamples(e, func(resident int, dropped, shed int64, pending int) float64 {
+			return float64(dropped)
+		})
+	})
+	reg.CollectCounter("dc_basket_shed_total", "Tuples shed under overload per basket.", func() []obs.Sample {
+		return basketSamples(e, func(resident int, dropped, shed int64, pending int) float64 {
+			return float64(shed)
+		})
+	})
+
+	queryGauge := func(name, help string, fn func(q *Query) float64) {
+		reg.CollectGauge(name, help, func() []obs.Sample {
+			var out []obs.Sample
+			for _, q := range e.Queries() {
+				out = append(out, obs.Sample{Labels: obs.Labels{"query": q.Name}, Value: fn(q)})
+			}
+			return out
+		})
+	}
+	queryCounter := func(name, help string, fn func(q *Query) float64) {
+		reg.CollectCounter(name, help, func() []obs.Sample {
+			var out []obs.Sample
+			for _, q := range e.Queries() {
+				out = append(out, obs.Sample{Labels: obs.Labels{"query": q.Name}, Value: fn(q)})
+			}
+			return out
+		})
+	}
+	queryCounter("dc_query_firings_total", "Factory firings per query (summed across shard pipelines).", func(q *Query) float64 {
+		return float64(q.Stats().Firings)
+	})
+	queryCounter("dc_query_tuples_in_total", "Tuples consumed per query.", func(q *Query) float64 {
+		return float64(q.Stats().TuplesIn)
+	})
+	queryCounter("dc_query_tuples_out_total", "Result tuples produced per query.", func(q *Query) float64 {
+		return float64(q.Stats().TuplesOut)
+	})
+	queryCounter("dc_query_late_tuples_total", "Tuples dropped as too late per query.", func(q *Query) float64 {
+		return float64(q.Stats().Late)
+	})
+	queryCounter("dc_query_delivered_total", "Result tuples delivered to the query's subscriber.", func(q *Query) float64 {
+		if q.sub == nil {
+			return 0
+		}
+		return float64(q.sub.em.Delivered())
+	})
+	queryGauge("dc_query_merge_lag", "Shard emissions not yet merged into the output basket.", func(q *Query) float64 {
+		return float64(q.MergeLag())
+	})
+	queryGauge("dc_query_join_state", "Rows retained by the query's streaming join state.", func(q *Query) float64 {
+		return float64(q.Stats().JoinState)
+	})
+	queryGauge("dc_query_watermark_lag_ns", "Engine-clock distance behind the query's event-time watermark, ns (-1 when unwindowed).", func(q *Query) float64 {
+		wm, ok := q.Watermark()
+		if !ok {
+			return -1
+		}
+		return float64(e.clock.Now() - wm)
+	})
+	queryGauge("dc_query_backlog", "Unconsumed tuples in the query's output basket.", func(q *Query) float64 {
+		return float64(q.out.Len())
+	})
+
+	reg.CollectGauge("dc_wal_segments", "Live WAL segments (0 when not durable).", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.dur.snapshot().wal.Segments)}}
+	})
+	reg.CollectGauge("dc_wal_bytes", "Total bytes across WAL segments.", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.dur.snapshot().wal.Bytes)}}
+	})
+	reg.CollectGauge("dc_wal_last_seq", "Last appended WAL sequence number.", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.dur.snapshot().wal.LastSeq)}}
+	})
+	reg.CollectGauge("dc_wal_synced_seq", "Last WAL sequence known durable.", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.dur.snapshot().wal.SyncedSeq)}}
+	})
+	reg.CollectGauge("dc_replay_lag", "WAL records a crash right now would replay.", func() []obs.Sample {
+		return []obs.Sample{{Value: float64(e.dur.snapshot().replayLag())}}
+	})
+	reg.CollectGauge("dc_last_checkpoint_unix_ns", "Wall-clock time of the newest checkpoint (0 when none).", func() []obs.Sample {
+		t := e.dur.snapshot().ckptTime
+		if t.IsZero() {
+			return []obs.Sample{{Value: 0}}
+		}
+		return []obs.Sample{{Value: float64(t.UnixNano())}}
+	})
+	return o
+}
+
+// basketSamples walks the catalog like SHOW BASKETS and projects one
+// value per basket/tail via pick(resident, dropped, shed, pending).
+func basketSamples(e *Engine, pick func(resident int, dropped, shed int64, pending int) float64) []obs.Sample {
+	var out []obs.Sample
+	for _, name := range e.cat.Names() {
+		entry, err := e.cat.Lookup(name)
+		if err != nil || entry.Kind != catalog.KindBasket {
+			continue
+		}
+		labels := obs.Labels{"basket": entry.Name}
+		if entry.Shard >= 0 {
+			labels["shard"] = fmt.Sprint(entry.Shard)
+		}
+		switch src := entry.Source.(type) {
+		case *basket.Basket:
+			_, resident, dropped, shed := src.Stats()
+			out = append(out, obs.Sample{Labels: labels, Value: pick(resident, dropped, shed, 0)})
+		case *partition.Tail:
+			out = append(out, obs.Sample{Labels: labels, Value: pick(0, src.Drained(), 0, src.Pending())})
+		}
+	}
+	return out
+}
+
+// observeStage arms the scheduler observer of one pipeline-stage handle:
+// every firing lands in the per-stage duration/queue-delay histograms
+// and (via tuples, which reports the in/out moved by the firing) in the
+// query's bounded trace ring.
+func (e *Engine) observeStage(q *Query, h *scheduler.Handle, stage, name string, tuples func() (int64, int64)) {
+	o := e.obs
+	if o == nil {
+		return
+	}
+	fireH, queueH := o.fireNS[stage], o.queueNS[stage]
+	clock := e.clock
+	ring := q.trace
+	h.Observe(func(queueNS, fireNS int64, err error) {
+		fireH.Observe(fireNS)
+		if queueNS > 0 {
+			queueH.Observe(queueNS)
+		}
+		var in, out int64
+		if tuples != nil {
+			in, out = tuples()
+		}
+		ev := obs.TraceEvent{
+			Stage:      stage,
+			Transition: name,
+			Start:      clock.Now() - fireNS,
+			QueueNS:    queueNS,
+			FireNS:     fireNS,
+			TuplesIn:   in,
+			TuplesOut:  out,
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		ring.Add(ev)
+	})
+}
+
+// factoryDelta returns a closure reporting the tuples a firing moved:
+// the difference of the factory's cumulative counters since the last
+// call. A transition fires on one worker at a time (the claim state
+// machine guarantees it), so the closure state needs no lock.
+func factoryDelta(f *factory.Factory) func() (int64, int64) {
+	var lastIn, lastOut int64
+	return func() (int64, int64) {
+		st := f.Stats()
+		in, out := st.TuplesIn-lastIn, st.TuplesOut-lastOut
+		lastIn, lastOut = st.TuplesIn, st.TuplesOut
+		return in, out
+	}
+}
+
+// counterDelta adapts a single cumulative counter (merged rows,
+// delivered rows) the same way; the count appears as both in and out.
+func counterDelta(read func() int64) func() (int64, int64) {
+	var last int64
+	return func() (int64, int64) {
+		v := read()
+		d := v - last
+		last = v
+		return d, d
+	}
+}
+
+// armQueryObservers instruments one query's pipeline at install time:
+// per-stage scheduler observers feeding the histograms and the trace
+// ring, plus — when the query has a subscription — delivery/e2e latency
+// sampling via the factory result hook and the emitter.
+func (e *Engine) armQueryObservers(q *Query) {
+	if e.obs == nil {
+		return
+	}
+	q.trace = obs.NewTraceRing(traceRingDepth)
+	if q.sub != nil {
+		em := q.sub.em
+		em.SetLatencyObserver(e.clock.Now, func(deliveryNS, e2eNS int64, rows int) {
+			e.obs.deliveryNS.Observe(deliveryNS)
+			if e2eNS >= 0 {
+				e.obs.e2eNS.Observe(e2eNS)
+			}
+		})
+		var sampleCounter atomic.Int64
+		stamp := func(rel *storage.Relation, maxInputTS int64) {
+			if sampleCounter.Add(1)%e2eSampleEvery == 1 {
+				em.StampE2E(maxInputTS)
+			}
+		}
+		for _, f := range q.facts {
+			f.SetResultHook(stamp)
+		}
+	}
+}
+
+// metricsHealth is the /healthz probe: healthy unless the engine
+// stopped or a transition reported an unrecovered error.
+func (e *Engine) metricsHealth() error {
+	e.mu.Lock()
+	stopped := e.state == stateStopped
+	e.mu.Unlock()
+	if stopped {
+		return ErrEngineStopped
+	}
+	return nil
+}
+
+// MetricsHandler returns the engine's observability HTTP handler
+// (/metrics, /healthz, /debug/pprof/), or nil when metrics are disabled.
+// Server front ends mount it on their own listeners.
+func (e *Engine) MetricsHandler() http.Handler {
+	if e.obs == nil {
+		return nil
+	}
+	return obs.Handler(e.obs.reg, e.metricsHealth)
+}
+
+// MetricsAddr returns the bound address of the metrics endpoint, or ""
+// when Config.MetricsAddr was empty. Useful with a ":0" listen address.
+func (e *Engine) MetricsAddr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.metricsLn == nil {
+		return ""
+	}
+	return e.metricsLn.Addr().String()
+}
+
+// startMetricsServer binds Config.MetricsAddr and serves the handler
+// until Stop. Called by Open.
+func (e *Engine) startMetricsServer(addr string) error {
+	h := e.MetricsHandler()
+	if h == nil {
+		return fmt.Errorf("datacell: MetricsAddr set but metrics are disabled")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("datacell: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	e.mu.Lock()
+	e.metricsLn = ln
+	e.metricsSrv = srv
+	e.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// stopMetricsServer closes the metrics endpoint; idempotent.
+func (e *Engine) stopMetricsServer() {
+	e.mu.Lock()
+	srv := e.metricsSrv
+	e.metricsSrv = nil
+	e.metricsLn = nil
+	e.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/factory"
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/plan"
 	"repro/internal/scheduler"
@@ -53,6 +53,10 @@ type Query struct {
 	replicas  []*basket.Basket  // separate strategy only (one per joined stream)
 	engine    *Engine
 	durable   bool // state captured by checkpoints (durable engines only)
+
+	// trace is the bounded ring of the query's last-K pipeline firings
+	// (SHOW TRACE). Nil when the engine's metrics are disabled.
+	trace *obs.TraceRing
 }
 
 // Subscription returns the query's result subscription, or nil when the
@@ -122,7 +126,7 @@ func (q *Query) Watermark() (int64, bool) {
 // Latency returns the per-batch latency histogram. Shard pipelines of a
 // partitioned query share one histogram, so this is always the whole
 // query's distribution.
-func (q *Query) Latency() *metrics.Histogram { return q.facts[0].Latency }
+func (q *Query) Latency() *obs.Histogram { return q.facts[0].Latency }
 
 // Shards returns the number of parallel shard pipelines executing the
 // query (1 for an unpartitioned query).
@@ -704,14 +708,23 @@ func (e *Engine) installQuery(q *Query, cfg queryConfig) {
 		}
 		e.dur.tighten(time.Duration(cfg.ckptEvery))
 	}
+	// Observability arming must precede scheduling: hooks are not
+	// synchronized with firings once a transition is registered.
+	e.armQueryObservers(q)
 	for _, f := range q.facts {
 		h := e.addTransition(f, cfg.priority)
+		e.observeStage(q, h, stageFire, f.Name(), factoryDelta(f))
 		for _, in := range f.InputBaskets() {
 			q.subscribe(in, h)
 		}
 	}
 	if q.merge != nil {
 		h := e.addTransition(q.merge, cfg.priority)
+		var delta func() (int64, int64)
+		if m, ok := q.merge.(interface{ Merged() int64 }); ok {
+			delta = counterDelta(m.Merged)
+		}
+		e.observeStage(q, h, stageMerge, q.merge.Name(), delta)
 		if m, ok := q.merge.(*partition.Merge); ok {
 			// Plain/aligned merges consume SPSC tails: the producer-side
 			// push invokes the wake hook directly, no basket listener.
@@ -723,6 +736,7 @@ func (e *Engine) installQuery(q *Query, cfg queryConfig) {
 	}
 	if q.sub != nil {
 		h := e.addTransition(q.sub.em, cfg.priority)
+		e.observeStage(q, h, stageDeliver, q.sub.em.Name(), counterDelta(q.sub.em.Delivered))
 		q.subscribe(q.out, h)
 	}
 }
@@ -754,10 +768,11 @@ type CheckpointInfo struct {
 // is checkpointed, when the last checkpoint ran, the replay lag a crash
 // would incur, and the delivery frontier.
 func (q *Query) Checkpoint() CheckpointInfo {
+	snap := q.engine.dur.snapshot()
 	info := CheckpointInfo{
 		Durable:        q.durable,
-		LastCheckpoint: q.engine.lastCheckpointTime(),
-		ReplayLag:      q.engine.replayLag(),
+		LastCheckpoint: snap.ckptTime,
+		ReplayLag:      snap.replayLag(),
 	}
 	if q.sub != nil {
 		info.Delivered = q.sub.em.Delivered()
@@ -789,7 +804,7 @@ func (e *Engine) registerPartitioned(name, text, streamName string, s *stream, p
 	}
 
 	n := len(s.shards)
-	latency := metrics.NewHistogram()
+	latency := obs.NewHistogram()
 	facts := make([]*factory.Factory, 0, n)
 	tails := make([]*partition.Tail, 0, n)
 	for i := 0; i < n; i++ {
@@ -885,7 +900,7 @@ func (e *Engine) registerPartitionedWindowed(name, text, streamName string, s *s
 
 	group := window.NewWatermarkGroup()
 	n := len(s.shards)
-	latency := metrics.NewHistogram()
+	latency := obs.NewHistogram()
 	facts := make([]*factory.Factory, 0, n)
 	// Aligned shard windows emit final results and hand them to the merge
 	// over SPSC tails; non-aligned shards emit window-tagged partials into

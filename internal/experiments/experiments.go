@@ -12,7 +12,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/datacell"
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/vector"
 )
 
@@ -275,7 +275,7 @@ func mustSQL(eng *datacell.Engine, stmt string) error {
 }
 
 // ParseLatency summarizes a histogram as (p50, p99, max) strings.
-func ParseLatency(h *metrics.Histogram) (string, string, string) {
+func ParseLatency(h *obs.Histogram) (string, string, string) {
 	return time.Duration(h.Quantile(0.5)).String(),
 		time.Duration(h.Quantile(0.99)).String(),
 		time.Duration(h.Max()).String()

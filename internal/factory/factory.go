@@ -21,6 +21,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -133,7 +134,7 @@ type Factory struct {
 
 	// Latency is per-batch processing latency (emit time − newest input
 	// timestamp); populated when the inputs carry a ts column.
-	Latency *metrics.Histogram
+	Latency *obs.Histogram
 
 	mu    sync.Mutex
 	stats Stats
@@ -154,6 +155,25 @@ func WithMinTuples(n int) Option {
 // WithOnResult registers a result callback.
 func WithOnResult(fn func(*storage.Relation, int64)) Option {
 	return func(f *Factory) { f.onResult = fn }
+}
+
+// SetResultHook chains fn onto the factory's result callback: fn runs
+// after any previously installed callback, for every non-empty result
+// batch, outside all basket locks. It must be called before the factory
+// is scheduled (it is not synchronized with firings).
+func (f *Factory) SetResultHook(fn func(rel *storage.Relation, maxInputTS int64)) {
+	if fn == nil {
+		return
+	}
+	prev := f.onResult
+	if prev == nil {
+		f.onResult = fn
+		return
+	}
+	f.onResult = func(rel *storage.Relation, maxInputTS int64) {
+		prev(rel, maxInputTS)
+		fn(rel, maxInputTS)
+	}
 }
 
 // WithWindow attaches a window runner; the factory then buffers input
@@ -190,7 +210,7 @@ func WithClock(c metrics.Clock) Option {
 // WithLatency shares a latency histogram across factories — the shard
 // pipelines of one partitioned query observe into a single histogram so
 // the query's latency profile stays one distribution.
-func WithLatency(h *metrics.Histogram) Option {
+func WithLatency(h *obs.Histogram) Option {
 	return func(f *Factory) {
 		if h != nil {
 			f.Latency = h
@@ -211,7 +231,7 @@ func New(name string, p plan.Node, cat *catalog.Catalog, inputs []Input, outputs
 		inputs:    inputs,
 		outputs:   outputs,
 		minTuples: 1,
-		Latency:   metrics.NewHistogram(),
+		Latency:   obs.NewHistogram(),
 		frontier:  math.MinInt64,
 	}
 	f.seen = make([]bat.OID, len(f.inputs))

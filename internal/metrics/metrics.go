@@ -54,9 +54,11 @@ func (c *ManualClock) Set(ns int64) {
 }
 
 // Histogram records int64 observations (typically latencies in
-// nanoseconds) and reports order statistics. It keeps every observation;
-// the workloads here are bounded, and exact quantiles make experiment
-// tables reproducible.
+// nanoseconds) and reports order statistics. It keeps every observation,
+// so it is exact-mode only: use it in bounded bench harnesses (Linear
+// Road, experiment tables) where exact quantiles make results
+// reproducible. Long-running engine hot paths must use obs.Histogram,
+// whose footprint is fixed.
 type Histogram struct {
 	mu   sync.Mutex
 	vals []int64

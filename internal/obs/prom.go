@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp escapes a # HELP line per the Prometheus text format:
+// backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// escapeLabel escapes a label value: backslash, double-quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// formatLabels renders {k="v",...} with keys sorted, plus optional
+// extra pairs appended last (used for le). Empty input renders "".
+func formatLabels(labels Labels, extra ...[2]string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for _, k := range keys {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[k]))
+		sb.WriteByte('"')
+	}
+	for _, kv := range extra {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(kv[0])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f *family) error {
+	// Snapshot series under the registry lock's absence: the slices
+	// only grow, and instruments are atomic, so reading without the
+	// lock is safe for exposition purposes. Collectors run here.
+	var samples []Sample
+	if f.collect != nil {
+		samples = f.collect()
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	if f.collect != nil {
+		// Sort collector output for stable scrapes.
+		sort.Slice(samples, func(i, j int) bool {
+			return labelKey(samples[i].Labels) < labelKey(samples[j].Labels)
+		})
+		for _, s := range samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.Labels), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ordered := make([]*series, len(f.series))
+	copy(ordered, f.series)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+	for _, s := range ordered {
+		if err := writeSeries(w, f, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels), s.ctr.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels), s.gauge.Value())
+		return err
+	case KindHistogram:
+		counts, count, sum := s.hist.snapshot()
+		var cum int64
+		for b := 0; b <= numBuckets; b++ {
+			cum += counts[b]
+			le := "+Inf"
+			if b < numBuckets {
+				le = strconv.FormatInt(bucketUpper(b), 10)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, formatLabels(s.labels, [2]string{"le", le}), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, formatLabels(s.labels), sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels), count)
+		return err
+	}
+	return nil
+}

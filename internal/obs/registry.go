@@ -1,0 +1,239 @@
+// Package obs is the engine's observability layer: a low-overhead
+// metrics registry (atomic counters, gauges, and fixed-bucket log-scale
+// histograms), a Prometheus text encoder, bounded firing-trace rings,
+// and the HTTP handler that serves /metrics, /healthz, and pprof.
+//
+// Hot paths hold *Counter / *Histogram pointers directly — recording is
+// a few atomic adds with no map lookups or locks. Values that are cheap
+// to read but expensive to push (queue depths, state sizes) register
+// scrape-time collectors instead, evaluated only when /metrics is hit.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels name one series within a metric family.
+type Labels map[string]string
+
+// Sample is one collector-produced series value.
+type Sample struct {
+	Labels Labels
+	Value  float64
+}
+
+// Kind classifies a metric family for the # TYPE line.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels Labels
+	key    string
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family is one named metric with help, type, and its series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	series  []*series          // registration order; sorted at exposition
+	index   map[string]*series // label key -> series
+	collect func() []Sample    // scrape-time collector (counter/gauge only)
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use. Registration is idempotent:
+// asking for the same (name, labels) twice returns the same instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey serializes labels deterministically for series identity.
+func labelKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\x00')
+		sb.WriteString(labels[k])
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+func copyLabels(labels Labels) Labels {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(Labels, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// getFamily finds or creates a family, enforcing kind consistency.
+func (r *Registry) getFamily(name, help string, kind Kind) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, index: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (r *Registry) getSeries(name, help string, kind Kind, labels Labels) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kind)
+	if f.collect != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as a collector", name))
+	}
+	key := labelKey(labels)
+	if s, ok := f.index[key]; ok {
+		return s
+	}
+	s := &series{labels: copyLabels(labels), key: key}
+	f.index[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter finds or creates the counter (name, labels).
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.getSeries(name, help, KindCounter, labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge finds or creates the gauge (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.getSeries(name, help, KindGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram finds or creates the histogram (name, labels). The exposed
+// buckets are the fixed log-scale bounds of obs.Histogram.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	s := r.getSeries(name, help, KindHistogram, labels)
+	if s.hist == nil {
+		s.hist = &Histogram{}
+	}
+	return s.hist
+}
+
+// registerCollector installs a scrape-time multi-series collector.
+func (r *Registry) registerCollector(name, help string, kind Kind, fn func() []Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kind)
+	if len(f.series) > 0 {
+		panic(fmt.Sprintf("obs: metric %q already has direct series", name))
+	}
+	f.collect = fn
+}
+
+// CollectCounter registers fn to produce the series of counter family
+// name at scrape time. Use for cheap-to-read cumulative values owned by
+// other subsystems (scheduler fired counts, per-stream ingested).
+func (r *Registry) CollectCounter(name, help string, fn func() []Sample) {
+	r.registerCollector(name, help, KindCounter, fn)
+}
+
+// CollectGauge registers fn to produce the series of gauge family name
+// at scrape time. Use for instantaneous values (queue depths, state
+// sizes) that would be wasteful to push on every change.
+func (r *Registry) CollectGauge(name, help string, fn func() []Sample) {
+	r.registerCollector(name, help, KindGauge, fn)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// TraceEvent is one recorded pipeline firing: a transition (shard
+// factory, merge stage, or emitter) ran once, with its queue delay and
+// execution time and the tuple counts it moved.
+type TraceEvent struct {
+	Seq        int64  // per-ring sequence number, increasing
+	Stage      string // "fire", "merge", "deliver"
+	Transition string // transition name (shard factories carry :sN)
+	Start      int64  // engine-clock ns at which execution began
+	QueueNS    int64  // wake -> execution delay (0 when not pool-driven)
+	FireNS     int64  // execution duration
+	TuplesIn   int64  // input tuples consumed by this firing
+	TuplesOut  int64  // output tuples produced by this firing
+	Err        string // non-empty if the firing failed
+}
+
+// TraceRing is a bounded ring of the last K firings of one query's
+// pipeline. Writers pay one short mutex hold per firing; Snapshot
+// copies out events oldest-first.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int   // index of the slot to overwrite
+	seq  int64 // total events ever added
+}
+
+// NewTraceRing returns a ring retaining the last k events (k >= 1).
+func NewTraceRing(k int) *TraceRing {
+	if k < 1 {
+		k = 1
+	}
+	return &TraceRing{buf: make([]TraceEvent, k)}
+}
+
+// Add records one event, assigning its sequence number.
+func (r *TraceRing) Add(ev TraceEvent) {
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq < int64(len(r.buf)) {
+		return int(r.seq)
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *TraceRing) Snapshot() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if r.seq < int64(n) {
+		out := make([]TraceEvent, r.seq)
+		copy(out, r.buf[:r.seq])
+		return out
+	}
+	out := make([]TraceEvent, 0, n)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -73,6 +73,25 @@ type Handle struct {
 	fired     atomic.Int64 // completed firings
 	misses    atomic.Int64 // dequeued while not ready (claim misses)
 	coalesced atomic.Int64 // wakes absorbed by queued/running states
+
+	// obsFn, when armed via Observe, receives (queueNS, fireNS, err)
+	// after every firing. wakeNS holds the wall-clock stamp of the wake
+	// that enqueued the handle; 0 when idle or unobserved.
+	obsFn  atomic.Pointer[func(queueNS, fireNS int64, err error)]
+	wakeNS atomic.Int64
+}
+
+// Observe arms a per-firing observer: after each firing of this
+// transition, fn receives the queue delay (wake to execution start; 0 in
+// deterministic Step mode), the firing duration, and the firing error if
+// any. fn runs on the worker goroutine and must be fast and non-blocking.
+// Passing nil disarms. Unobserved handles pay one atomic load per firing.
+func (h *Handle) Observe(fn func(queueNS, fireNS int64, err error)) {
+	if fn == nil {
+		h.obsFn.Store(nil)
+		return
+	}
+	h.obsFn.Store(&fn)
 }
 
 // Name returns the underlying transition's name.
@@ -100,6 +119,9 @@ func (h *Handle) Wake() {
 				return // deterministic mode: Step scans everything
 			}
 			if h.state.CompareAndSwap(stateIdle, stateQueued) {
+				if h.obsFn.Load() != nil {
+					h.wakeNS.Store(time.Now().UnixNano())
+				}
 				p.enqueue(h, -1)
 				return
 			}
@@ -384,7 +406,23 @@ func (s *Scheduler) Drain(maxRounds int) int {
 func (s *Scheduler) fire(h *Handle) {
 	atomic.AddInt64(&s.fired, 1)
 	h.fired.Add(1)
-	if err := h.t.Fire(); err != nil {
+	fn := h.obsFn.Load()
+	var t0 time.Time
+	if fn != nil {
+		t0 = time.Now()
+	}
+	err := h.t.Fire()
+	if fn != nil {
+		fireNS := int64(time.Since(t0))
+		var queueNS int64
+		if w := h.wakeNS.Swap(0); w != 0 {
+			if queueNS = t0.UnixNano() - w; queueNS < 0 {
+				queueNS = 0
+			}
+		}
+		(*fn)(queueNS, fireNS, err)
+	}
+	if err != nil {
 		s.errMu.Lock()
 		s.lastErr = err
 		s.errMu.Unlock()

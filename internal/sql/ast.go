@@ -77,6 +77,7 @@ const (
 	ShowTables
 	ShowStreams
 	ShowScheduler
+	ShowTrace
 )
 
 // String names the target.
@@ -90,18 +91,29 @@ func (k ShowKind) String() string {
 		return "STREAMS"
 	case ShowScheduler:
 		return "SCHEDULER"
+	case ShowTrace:
+		return "TRACE"
 	default:
 		return "QUERIES"
 	}
 }
 
 // ShowStmt is SHOW QUERIES / SHOW BASKETS / SHOW TABLES / SHOW STREAMS /
-// SHOW SCHEDULER.
+// SHOW SCHEDULER / SHOW TRACE <query>.
 type ShowStmt struct {
 	What ShowKind
+	Name string // continuous-query name for SHOW TRACE
 }
 
 func (*ShowStmt) stmt() {}
+
+// ExplainStmt is EXPLAIN ANALYZE <query>: render the named continuous
+// query's live pipeline topology annotated with cumulative counters.
+type ExplainStmt struct {
+	Target string
+}
+
+func (*ExplainStmt) stmt() {}
 
 // InsertStmt is INSERT INTO t VALUES (...), (...).
 type InsertStmt struct {
@@ -320,7 +332,12 @@ func StmtString(s Statement) string {
 	case *DropContinuousStmt:
 		return fmt.Sprintf("DROP CONTINUOUS QUERY %s", x.Name)
 	case *ShowStmt:
+		if x.What == ShowTrace {
+			return fmt.Sprintf("SHOW TRACE %s", x.Name)
+		}
 		return fmt.Sprintf("SHOW %s", x.What)
+	case *ExplainStmt:
+		return fmt.Sprintf("EXPLAIN ANALYZE %s", x.Target)
 	default:
 		return "?"
 	}

@@ -45,6 +45,7 @@ var keywords = map[string]bool{
 	"RANGE": true, "ROWS": true, "EVERY": true, "CONTINUOUS": true,
 	"QUERY": true, "WITH": true, "SHOW": true, "QUERIES": true,
 	"BASKETS": true, "TABLES": true, "STREAMS": true, "SCHEDULER": true,
+	"EXPLAIN": true, "ANALYZE": true, "TRACE": true,
 }
 
 // Lex tokenizes the input. It returns an error for unterminated strings or

@@ -100,6 +100,8 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDrop()
 	case t.Kind == TKeyword && t.Text == "SHOW":
 		return p.parseShow()
+	case t.Kind == TKeyword && t.Text == "EXPLAIN":
+		return p.parseExplain()
 	default:
 		return nil, p.errorf("expected statement, found %q", t.Text)
 	}
@@ -120,9 +122,29 @@ func (p *parser) parseShow() (Statement, error) {
 		return &ShowStmt{What: ShowStreams}, nil
 	case p.acceptKeyword("SCHEDULER"):
 		return &ShowStmt{What: ShowScheduler}, nil
+	case p.acceptKeyword("TRACE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStmt{What: ShowTrace, Name: name}, nil
 	default:
-		return nil, p.errorf("expected QUERIES, BASKETS, TABLES, STREAMS, or SCHEDULER after SHOW")
+		return nil, p.errorf("expected QUERIES, BASKETS, TABLES, STREAMS, SCHEDULER, or TRACE after SHOW")
 	}
+}
+
+func (p *parser) parseExplain() (Statement, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ANALYZE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Target: name}, nil
 }
 
 func (p *parser) parseCreate() (Statement, error) {

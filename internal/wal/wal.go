@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 var (
@@ -48,6 +49,10 @@ type Options struct {
 	// SegmentBytes is the rotation threshold (default 64 MiB). Small
 	// values are useful in tests to exercise multi-segment recovery.
 	SegmentBytes int64
+
+	// OnSync, if set, is called after every physical fsync round with
+	// its duration. It runs on the sync goroutine and must not block.
+	OnSync func(d time.Duration)
 }
 
 // Stats is a point-in-time summary of the log's physical state.
@@ -397,13 +402,18 @@ func (w *WAL) syncOnce() error {
 	}
 	err := w.bw.Flush()
 	f := w.f
+	onSync := w.opts.OnSync
 	w.mu.Unlock()
 	if err == nil {
 		// Outside the lock: appends proceed while the disk flushes — the
 		// next round picks them up (group commit). A rotation in between
 		// is safe: it fsyncs the sealed file itself and sealed files stay
 		// open, so this handle is never stale-closed.
+		start := time.Now()
 		err = datasync(f)
+		if onSync != nil {
+			onSync(time.Since(start))
+		}
 	}
 	w.mu.Lock()
 	if err != nil && w.err == nil {
