@@ -1,0 +1,102 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/types, and go/token. This repository's toolchain is hermetic
+// (no module proxy), so the x/tools dependency cannot be vendored; the
+// API below is a compatible subset — an Analyzer's Run receives a *Pass
+// with the type-checked package and reports Diagnostics — so the custom
+// vet passes under internal/analysis/... can be ported to the real
+// go/analysis driver unchanged if the dependency ever becomes available.
+//
+// Supported beyond the minimal core:
+//
+//   - Object facts (ExportObjectFact / ImportObjectFact / AllObjectFacts):
+//     packages are analyzed in dependency order by the driver, so a fact
+//     exported on an object in one package is visible to every pass that
+//     analyzes a package importing it. Facts are in-process only (one
+//     shared token.FileSet), never serialized.
+//   - Suppression: a diagnostic is dropped when the source line it is
+//     reported on, or the line above it, carries a comment of the form
+//     `//lint:ignore <analyzer> <reason>` (or `//lint:ignore all ...`).
+//     See suppress.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// suppressions. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: one summary line, then prose.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Fact is a marker interface for analyzer facts attached to objects.
+// Implementations are plain structs; AFact is a no-op tag.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one fact recorded on it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	// facts is the analyzer's whole-run fact store, shared across all
+	// packages the driver analyzes (keyed by canonical types.Object).
+	facts *FactStore
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// ExportObjectFact records a fact on obj, visible to later passes of the
+// same analyzer (packages are analyzed in dependency order).
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || f == nil {
+		return
+	}
+	p.facts.add(obj, f)
+}
+
+// ImportObjectFact reports whether a fact of ptr's concrete type was
+// recorded on obj, copying it into ptr when found. ptr must be a pointer
+// to a Fact implementation, as in x/tools.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if obj == nil {
+		return false
+	}
+	return p.facts.get(obj, ptr)
+}
+
+// AllObjectFacts returns every object fact this analyzer has exported so
+// far in the whole run, in export order.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	return p.facts.all()
+}

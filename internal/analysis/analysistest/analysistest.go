@@ -1,0 +1,170 @@
+// Package analysistest runs analyzers over golden packages and checks
+// their diagnostics against expectations written in the source, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A golden package lives in testdata/src/<name>/ next to the test. Lines
+// that should be flagged carry a trailing comment:
+//
+//	mu.Lock() // want `runnerMu acquired while holding`
+//
+// The argument is a regular expression (backquoted or double-quoted Go
+// string) that must match one diagnostic reported on that line; several
+// arguments mean several diagnostics. Lines without a want comment must
+// produce no diagnostics.
+package analysistest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the named golden packages from dir/src (in the order given —
+// list dependencies first, as the driver requires) and applies the
+// analyzers, failing t for every mismatch between reported diagnostics
+// and // want expectations. It returns the surviving diagnostics so
+// callers can make extra assertions.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgNames ...string) []analysis.Diagnostic {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	build.Default.CgoEnabled = false
+	srcImp := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	cache := map[string]*types.Package{}
+	imp := importerFunc(func(path, fromDir string) (*types.Package, error) {
+		if p, ok := cache[path]; ok {
+			return p, nil
+		}
+		return srcImp.ImportFrom(path, fromDir, 0)
+	})
+
+	var pkgs []*analysis.Package
+	want := map[string]map[int][]*regexp.Regexp{} // file → line → pending expectations
+	for _, name := range pkgNames {
+		pkgDir := filepath.Join(dir, "src", name)
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			files = append(files, f)
+			collectWants(t, fset, f, want)
+		}
+		if len(files) == 0 {
+			t.Fatalf("analysistest: no Go files in %s", pkgDir)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(name, fset, files, info)
+		if err != nil {
+			t.Fatalf("analysistest: type-checking %s: %v", name, err)
+		}
+		cache[name] = tpkg
+		pkgs = append(pkgs, &analysis.Package{
+			Path: name, Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+		})
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers, nil)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		exps := want[pos.Filename][pos.Line]
+		matched := -1
+		for i, re := range exps {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Analyzer.Name, d.Message)
+			continue
+		}
+		want[pos.Filename][pos.Line] = append(exps[:matched], exps[matched+1:]...)
+	}
+	for file, lines := range want {
+		for line, exps := range lines {
+			for _, re := range exps {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, re)
+			}
+		}
+	}
+	return diags
+}
+
+// wantRe matches one argument of a want comment: a double-quoted or
+// backquoted Go string literal.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants records the // want expectations of one file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, into map[string]map[int][]*regexp.Regexp) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") && text != "want" {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "want")
+			pos := fset.Position(c.Pos())
+			args := wantRe.FindAllString(rest, -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment with no pattern", pos.Filename, pos.Line)
+			}
+			for _, a := range args {
+				pat, err := strconv.Unquote(a)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, a, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				m := into[pos.Filename]
+				if m == nil {
+					m = map[int][]*regexp.Regexp{}
+					into[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], re)
+			}
+		}
+	}
+}
+
+// importerFunc adapts a function to types.ImporterFrom.
+type importerFunc func(path, dir string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path, "") }
+func (f importerFunc) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	return f(path, dir)
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one type-checked package handed to the driver. The driver
+// requires the slice it receives to be in dependency order (every
+// package after all packages it imports) and all packages to share one
+// FileSet — the loader under internal/analysis/load guarantees both.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies every analyzer to every package, in order. Facts exported
+// by a pass are visible to the same analyzer's later passes, which is
+// why dependency order matters. Diagnostics are only kept for packages
+// where keep(pkg.Path) is true (keep == nil keeps everything), are
+// filtered through //lint:ignore suppressions, and come back sorted by
+// position. The error aggregates analyzer failures, not findings.
+func Run(pkgs []*Package, analyzers []*Analyzer, keep func(pkgPath string) bool) ([]Diagnostic, error) {
+	stores := make(map[*Analyzer]*FactStore, len(analyzers))
+	for _, a := range analyzers {
+		stores[a] = NewFactStore()
+	}
+	sup := suppressions{}
+	var diags []Diagnostic
+	var errs []error
+	for _, pkg := range pkgs {
+		collectSuppressions(pkg.Fset, pkg.Files, sup)
+		wanted := keep == nil || keep(pkg.Path)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				facts:     stores[a],
+			}
+			pass.Report = func(d Diagnostic) {
+				if d.Analyzer == nil {
+					d.Analyzer = a
+				}
+				// A fact-driven analyzer may anchor a diagnostic in an
+				// already-analyzed dependency; keep those too.
+				if wanted || keep(posPkgPath(pkgs, pkg.Fset, d.Pos)) {
+					diags = append(diags, d)
+				}
+			}
+			if _, err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err))
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(pkgs[0].Fset, d) {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := pkgs[0].Fset.Position(out[i].Pos), pkgs[0].Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	if len(errs) > 0 {
+		msg := ""
+		for i, e := range errs {
+			if i > 0 {
+				msg += "; "
+			}
+			msg += e.Error()
+		}
+		return out, fmt.Errorf("%s", msg)
+	}
+	return out, nil
+}
+
+// posPkgPath finds the package whose files contain pos.
+func posPkgPath(pkgs []*Package, fset *token.FileSet, pos token.Pos) string {
+	if !pos.IsValid() {
+		return ""
+	}
+	name := fset.Position(pos).Filename
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if fset.Position(f.Pos()).Filename == name {
+				return p.Path
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// FactStore holds one analyzer's object facts for a whole driver run.
+// Objects are canonical because the driver type-checks every module
+// package exactly once against one shared importer, so a types.Object
+// seen from an importing package is pointer-identical to the one the
+// defining package's pass saw.
+type FactStore struct {
+	byObj map[types.Object][]Fact
+	order []ObjectFact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byObj: map[types.Object][]Fact{}}
+}
+
+func (s *FactStore) add(obj types.Object, f Fact) {
+	// At most one fact per (object, concrete type), like x/tools.
+	t := reflect.TypeOf(f)
+	for i, old := range s.byObj[obj] {
+		if reflect.TypeOf(old) == t {
+			s.byObj[obj][i] = f
+			for j := range s.order {
+				if s.order[j].Object == obj && reflect.TypeOf(s.order[j].Fact) == t {
+					s.order[j].Fact = f
+				}
+			}
+			return
+		}
+	}
+	s.byObj[obj] = append(s.byObj[obj], f)
+	s.order = append(s.order, ObjectFact{Object: obj, Fact: f})
+}
+
+func (s *FactStore) get(obj types.Object, ptr Fact) bool {
+	pv := reflect.ValueOf(ptr)
+	if pv.Kind() != reflect.Pointer {
+		panic("analysis: ImportObjectFact requires a pointer to a Fact")
+	}
+	want := pv.Type().Elem()
+	for _, f := range s.byObj[obj] {
+		fv := reflect.ValueOf(f)
+		if fv.Kind() == reflect.Pointer {
+			fv = fv.Elem()
+		}
+		if fv.Type() == want {
+			pv.Elem().Set(fv)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *FactStore) all() []ObjectFact {
+	out := make([]ObjectFact, len(s.order))
+	copy(out, s.order)
+	return out
+}

@@ -1,0 +1,189 @@
+// Package load type-checks the packages of the enclosing Go module for
+// static analysis, using only the standard library.
+//
+// It shells out to `go list -json -deps` for the package graph (which the
+// go command prints in dependency order), parses and type-checks every
+// in-module package itself, and delegates standard-library imports to the
+// stock source importer. Doing the module packages by hand — rather than
+// using go/importer's "source" mode for everything — is what makes object
+// identity canonical across packages: each module package is checked
+// exactly once, so a types.Object reached through an import is
+// pointer-identical to the one seen when its defining package was
+// analyzed. Analyzer facts rely on that.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Result is a loaded, type-checked module subgraph.
+type Result struct {
+	Fset *token.FileSet
+	// Pkgs holds every in-module package reached from the patterns, in
+	// dependency order (imports before importers) — the order the
+	// analysis driver requires.
+	Pkgs []*analysis.Package
+	// Targets is the set of package paths the patterns named directly
+	// (dependencies pulled in transitively are excluded).
+	Targets map[string]bool
+	// ModuleDir is the root directory of the main module.
+	ModuleDir string
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the module packages matched by
+// patterns (plus their in-module dependencies). Test files are not
+// loaded — the invariants the analyzers enforce live in shipping code.
+func Load(dir string, patterns []string) (*Result, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := &listedPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	res := &Result{Fset: token.NewFileSet(), Targets: map[string]bool{}}
+	// The source importer handles standard-library imports by
+	// type-checking them from GOROOT source; with cgo off, packages like
+	// net use their pure-Go paths, so no cgo preprocessing is needed.
+	build.Default.CgoEnabled = false
+	srcImp := importer.ForCompiler(res.Fset, "source", nil).(types.ImporterFrom)
+	chain := &chainedImporter{module: map[string]*types.Package{}, std: srcImp}
+
+	for _, lp := range listed {
+		if lp.Standard {
+			continue // resolved lazily by the source importer
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if res.ModuleDir == "" && lp.Dir != "" {
+			if root, err := moduleRoot(lp.Dir); err == nil {
+				res.ModuleDir = root
+			}
+		}
+		pkg, err := check(res.Fset, chain, lp)
+		if err != nil {
+			return nil, err
+		}
+		chain.module[lp.ImportPath] = pkg.Types
+		res.Pkgs = append(res.Pkgs, pkg)
+		if !lp.DepOnly {
+			res.Targets[lp.ImportPath] = true
+		}
+	}
+	if len(res.Pkgs) == 0 {
+		return nil, fmt.Errorf("no module packages matched %v", patterns)
+	}
+	return res, nil
+}
+
+// check parses and type-checks one module package.
+func check(fset *token.FileSet, imp types.ImporterFrom, lp *listedPackage) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, typeErrs[0])
+	}
+	return &analysis.Package{
+		Path:      lp.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// chainedImporter resolves in-module imports from the already-checked
+// cache and everything else (the standard library) via the source
+// importer. Module packages appear in dependency order, so a cache miss
+// for a module path is a loader bug, not a race.
+type chainedImporter struct {
+	module map[string]*types.Package
+	std    types.ImporterFrom
+}
+
+func (c *chainedImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.module[path]; ok {
+		return p, nil
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}

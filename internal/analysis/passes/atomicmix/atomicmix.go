@@ -1,0 +1,167 @@
+// Package atomicmix flags mixed atomic and plain access to struct
+// fields.
+//
+// A field whose address is ever passed to a sync/atomic function
+// (atomic.AddInt64(&s.f, 1), atomic.LoadPointer(&s.p), ...) is an
+// atomic field: every other access must also go through sync/atomic,
+// because a plain read or write racing an atomic one is undefined under
+// the Go memory model even when it "usually works". The analyzer
+// records such fields as facts in a first sweep (so uses in importing
+// packages are caught too) and then reports every plain read or write.
+// Fields of the atomic.Int64-style wrapper types are compiler-enforced
+// and ignored. Struct-literal initialization before the value escapes
+// is exempt; anything else deliberate needs
+// `//lint:ignore atomicmix <reason>`.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// atomicField marks a struct field as accessed via sync/atomic.
+type atomicField struct{}
+
+func (*atomicField) AFact() {}
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain reads/writes of struct fields that are accessed with sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Sweep 1: find fields used atomically in this package, remember the
+	// selector expressions that are part of the atomic calls themselves.
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldObject(pass, sel); f != nil {
+					pass.ExportObjectFact(f, &atomicField{})
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Sweep 2: any other selector resolving to an atomic field is a
+	// plain access. Composite-literal keys (Foo{f: 0}) are construction
+	// before the value is shared and are allowed.
+	for _, file := range pass.Files {
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				for _, elt := range cl.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						// The key identifier is exempt; the value is not.
+						ast.Inspect(kv.Value, visit)
+						continue
+					}
+					ast.Inspect(elt, visit)
+				}
+				if cl.Type != nil {
+					ast.Inspect(cl.Type, visit)
+				}
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if atomicUses[sel] {
+				return true
+			}
+			f := fieldObject(pass, sel)
+			if f == nil {
+				return true
+			}
+			var fact atomicField
+			if !pass.ImportObjectFact(f, &fact) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access of atomic field %s.%s: all reads and writes must use sync/atomic (see docs/INVARIANTS.md)",
+				fieldOwner(f), f.Name())
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call is a direct call of a sync/atomic
+// package function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package functions only; methods on atomic.Int64 etc. carry their
+	// own type safety.
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldObject resolves sel to the struct-field *types.Var it selects, or
+// nil if sel is not a field selection.
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// fieldOwner renders the declaring struct's name for diagnostics, best
+// effort (falls back to the package path).
+func fieldOwner(f *types.Var) string {
+	if f.Pkg() == nil {
+		return "?"
+	}
+	scope := f.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return tn.Name()
+			}
+		}
+	}
+	return f.Pkg().Path()
+}

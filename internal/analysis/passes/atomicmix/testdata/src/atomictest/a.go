@@ -1,0 +1,44 @@
+// Package atomictest is the golden package for the atomicmix analyzer.
+package atomictest
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64        // atomic: every access must go through sync/atomic
+	safe  atomic.Int64 // wrapper type: compiler-enforced, analyzer ignores it
+	plain int64        // never touched atomically: plain access is fine
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *Counter) BadRead() int64 {
+	return c.hits // want `plain access of atomic field Counter\.hits`
+}
+
+func (c *Counter) BadWrite() {
+	c.hits = 0 // want `plain access of atomic field Counter\.hits`
+}
+
+func (c *Counter) Fine() int64 {
+	return c.plain
+}
+
+func (c *Counter) Wrapper() int64 {
+	return c.safe.Load()
+}
+
+// Struct-literal keys are construction before the value escapes.
+func New() *Counter {
+	return &Counter{hits: 0}
+}
+
+func (c *Counter) Suppressed() int64 {
+	//lint:ignore atomicmix single-threaded teardown path
+	return c.hits
+}

@@ -1,0 +1,188 @@
+// Package capturerestore enforces the checkpoint-state contract.
+//
+// Operator state in this engine is checkpointed through paired hooks:
+// a type that exposes CaptureState must expose RestoreState, and a type
+// whose Snapshot returns a *XxxState must expose Restore — otherwise
+// its state is written into checkpoint images that recovery can never
+// apply. The analyzer also tracks reachability: every hook-bearing type
+// must actually be capture-called somewhere in the packages that feed
+// the checkpoint image walk (captureImage in the root package), or its
+// state silently never reaches the WAL. Hook calls anywhere in the
+// module are recorded as facts; the root package's pass performs the
+// reachability audit.
+package capturerestore
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// hasHooks marks a type that exposes checkpoint hooks; Capture names the
+// capturing hook for diagnostics.
+type hasHooks struct {
+	Capture string
+}
+
+func (*hasHooks) AFact() {}
+
+// captureCalled marks a hook-bearing type whose capture hook is invoked
+// somewhere in the module.
+type captureCalled struct{}
+
+func (*captureCalled) AFact() {}
+
+// NewAnalyzer builds the capturerestore analyzer. rootPkg is the package
+// containing the checkpoint image walk; its pass (which the driver runs
+// after all the packages it imports) performs the reachability audit.
+func NewAnalyzer(rootPkg string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "capturerestore",
+		Doc:  "check that checkpoint Capture hooks have Restore counterparts and are reachable from the image walk",
+	}
+	a.Run = func(pass *analysis.Pass) (any, error) {
+		run(pass, rootPkg)
+		return nil, nil
+	}
+	return a
+}
+
+func run(pass *analysis.Pass, rootPkg string) {
+	// Pairing: every named type in this package with a capture hook must
+	// have the matching restore hook.
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		capture := ""
+		switch {
+		case lookupMethod(ms, "CaptureState") != nil:
+			capture = "CaptureState"
+			if lookupMethod(ms, "RestoreState") == nil {
+				pass.Reportf(tn.Pos(),
+					"%s has CaptureState but no RestoreState: its checkpoint state can never be recovered (see docs/INVARIANTS.md)",
+					tn.Name())
+			}
+		case snapshotReturnsState(lookupMethod(ms, "Snapshot")):
+			capture = "Snapshot"
+			if lookupMethod(ms, "Restore") == nil {
+				pass.Reportf(tn.Pos(),
+					"%s has a state-returning Snapshot but no Restore: its checkpoint state can never be recovered (see docs/INVARIANTS.md)",
+					tn.Name())
+			}
+		}
+		if capture != "" {
+			pass.ExportObjectFact(tn, &hasHooks{Capture: capture})
+		}
+	}
+
+	// Reachability inputs: record every capture-hook method call against
+	// the receiver's type.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "CaptureState" && name != "Snapshot" {
+				return true
+			}
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if fn == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			if tn := receiverTypeName(sig); tn != nil {
+				pass.ExportObjectFact(tn, &captureCalled{})
+			}
+			return true
+		})
+	}
+
+	// The root package closes the audit: every hook-bearing type seen so
+	// far must have been capture-called by now, or checkpoints silently
+	// omit its state.
+	if pass.Pkg.Path() != rootPkg {
+		return
+	}
+	for _, of := range pass.AllObjectFacts() {
+		hooks, ok := of.Fact.(*hasHooks)
+		if !ok {
+			continue
+		}
+		var called captureCalled
+		if pass.ImportObjectFact(of.Object, &called) {
+			continue
+		}
+		pass.Reportf(of.Object.Pos(),
+			"%s has checkpoint hook %s but is never capture-called: its state is unreachable from the checkpoint image walk (see docs/INVARIANTS.md)",
+			of.Object.Name(), hooks.Capture)
+	}
+}
+
+// lookupMethod finds a method by name in a method set.
+func lookupMethod(ms *types.MethodSet, name string) *types.Func {
+	for i := 0; i < ms.Len(); i++ {
+		if fn, ok := ms.At(i).Obj().(*types.Func); ok && fn.Name() == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// snapshotReturnsState reports whether fn is a Snapshot method returning
+// a single *XxxState — the shape the checkpoint image walk consumes.
+// Snapshot methods returning views, traces, or plain values are
+// observational and carry no restore obligation.
+func snapshotReturnsState(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Name(), "State")
+}
+
+// receiverTypeName resolves a method signature's receiver to its
+// defining TypeName.
+func receiverTypeName(sig *types.Signature) *types.TypeName {
+	t := sig.Recv().Type()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package capturerestore_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/capturerestore"
+)
+
+func TestCaptureRestore(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{capturerestore.NewAnalyzer("root")},
+		"state", "root")
+}

@@ -1,0 +1,12 @@
+// Package root is the checkpoint-image-walk package of the
+// capturerestore golden test: the reachability audit runs here.
+package root
+
+import "state"
+
+func captureImage(g *state.Good, m *state.Missing, s *state.Snapper, p *state.Paired) {
+	_ = g.CaptureState()
+	_ = m.CaptureState()
+	_ = s.Snapshot()
+	_ = p.Snapshot()
+}

@@ -1,0 +1,57 @@
+// Package state declares the hook-bearing types for the capturerestore
+// golden test; package root performs the capture calls.
+package state
+
+// Good has paired hooks and is capture-called from root.
+type Good struct{ n int }
+
+func (g *Good) CaptureState() int  { return g.n }
+func (g *Good) RestoreState(n int) { g.n = n }
+
+// Missing captures but cannot restore.
+type Missing struct{ n int } // want `Missing has CaptureState but no RestoreState`
+
+func (m *Missing) CaptureState() int { return m.n }
+
+// SnapState is a checkpoint-state payload by naming convention.
+type SnapState struct{ N int }
+
+// Snapper snapshots state but cannot restore it.
+type Snapper struct{ n int } // want `Snapper has a state-returning Snapshot but no Restore`
+
+func (s *Snapper) Snapshot() *SnapState { return &SnapState{N: s.n} }
+
+// Paired snapshots state and can restore it.
+type Paired struct{ n int }
+
+func (p *Paired) Snapshot() *SnapState  { return &SnapState{N: p.n} }
+func (p *Paired) Restore(st *SnapState) { p.n = st.N }
+
+// View is observational: Snapshot not returning *XxxState carries no
+// restore obligation.
+type View struct{ Rows int }
+
+type Viewer struct{ rows int }
+
+func (v *Viewer) Snapshot() *View { return &View{Rows: v.rows} }
+
+// Orphan is correctly paired but never capture-called anywhere, so its
+// state never reaches a checkpoint image.
+type Orphan struct{ n int } // want `Orphan has checkpoint hook CaptureState but is never capture-called`
+
+func (o *Orphan) CaptureState() int  { return o.n }
+func (o *Orphan) RestoreState(n int) { o.n = n }
+
+// Suppressed documents a deliberately capture-only type.
+//
+//lint:ignore capturerestore exercised by the suppression test
+type Suppressed struct{ n int }
+
+func (s *Suppressed) CaptureState() int { return s.n }
+
+func init() {
+	// Keep Suppressed reachable so only the pairing diagnostic (the
+	// suppressed one) would fire.
+	var s Suppressed
+	_ = s.CaptureState()
+}

@@ -1,0 +1,123 @@
+// Package errcmp flags == / != comparisons against the module's typed
+// sentinel errors.
+//
+// Sentinels like datacell.ErrNotDurable or wal.ErrCorruptWAL travel
+// through fmt.Errorf("...: %w", err) wrapping on their way out of the
+// engine, so an identity comparison that works today silently breaks
+// the moment a call site adds context. Comparisons must use errors.Is.
+// The analyzer flags binary ==/!= expressions and switch cases where one
+// side is error-typed and the other names a package-level Err* variable
+// declared in a module package. Comparisons with nil are fine, as are
+// sentinels from outside the module (io.EOF follows its own
+// documented conventions).
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// NewAnalyzer builds the errcmp analyzer. modulePrefix is the import
+// path prefix identifying this module's packages (e.g. "repro/").
+func NewAnalyzer(modulePrefix string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "errcmp",
+		Doc:  "flag ==/!= comparisons against module sentinel errors; use errors.Is",
+	}
+	a.Run = func(pass *analysis.Pass) (any, error) {
+		run(pass, modulePrefix)
+		return nil, nil
+	}
+	return a
+}
+
+func run(pass *analysis.Pass, modulePrefix string) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				sentinel := sentinelVar(pass, modulePrefix, e.X)
+				other := e.Y
+				if sentinel == nil {
+					sentinel = sentinelVar(pass, modulePrefix, e.Y)
+					other = e.X
+				}
+				if sentinel == nil || !isErrorExpr(pass, other) {
+					return true
+				}
+				pass.Reportf(e.OpPos,
+					"error compared with %s using %s: sentinel %s may be wrapped; use errors.Is (see docs/INVARIANTS.md)",
+					sentinel.Name(), e.Op, sentinel.Name())
+			case *ast.SwitchStmt:
+				if e.Tag == nil || !isErrorExpr(pass, e.Tag) {
+					return true
+				}
+				for _, clause := range e.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, val := range cc.List {
+						if sentinel := sentinelVar(pass, modulePrefix, val); sentinel != nil {
+							pass.Reportf(val.Pos(),
+								"switch on error compares against sentinel %s by identity: sentinel may be wrapped; use errors.Is (see docs/INVARIANTS.md)",
+								sentinel.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelVar resolves e to a package-level Err* error variable declared
+// inside the module, or nil.
+func sentinelVar(pass *analysis.Pass, modulePrefix string, e ast.Expr) *types.Var {
+	var ident *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		ident = x
+	case *ast.SelectorExpr:
+		ident = x.Sel
+	default:
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[ident].(*types.Var)
+	if v == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !strings.HasPrefix(v.Pkg().Path()+"/", modulePrefix) &&
+		!strings.HasPrefix(v.Pkg().Path(), modulePrefix) {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether e's static type is (or implements) error.
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType)
+}

@@ -1,0 +1,15 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{errcmp.NewAnalyzer("errs")},
+		"errs", "uses")
+}

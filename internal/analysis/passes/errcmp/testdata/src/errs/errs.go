@@ -1,0 +1,15 @@
+// Package errs declares module sentinel errors for the errcmp golden
+// test.
+package errs
+
+import "errors"
+
+var (
+	ErrNotFound = errors.New("not found")
+	ErrCorrupt  = errors.New("corrupt")
+)
+
+// Same-package identity comparison is flagged too.
+func IsNotFound(err error) bool {
+	return err == ErrNotFound // want `error compared with ErrNotFound using ==`
+}

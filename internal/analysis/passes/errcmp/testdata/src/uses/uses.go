@@ -1,0 +1,50 @@
+// Package uses compares errors against the errs sentinels in both the
+// flagged and the allowed ways.
+package uses
+
+import (
+	"errors"
+	"io"
+
+	"errs"
+)
+
+func Bad(err error) bool {
+	return err == errs.ErrNotFound // want `error compared with ErrNotFound using ==`
+}
+
+func BadNeq(err error) bool {
+	return err != errs.ErrCorrupt // want `error compared with ErrCorrupt using !=`
+}
+
+func BadReversed(err error) bool {
+	return errs.ErrNotFound == err // want `error compared with ErrNotFound using ==`
+}
+
+func Good(err error) bool {
+	return errors.Is(err, errs.ErrNotFound)
+}
+
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// Sentinels from outside the module follow their own conventions.
+func Foreign(err error) bool {
+	return err == io.EOF
+}
+
+func Switch(err error) int {
+	switch err {
+	case errs.ErrNotFound: // want `switch on error compares against sentinel ErrNotFound by identity`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func Suppressed(err error) bool {
+	//lint:ignore errcmp unwrapped by construction on this path
+	return err == errs.ErrNotFound
+}

@@ -1,0 +1,684 @@
+// Package lockorder flags mutex acquisitions that invert the documented
+// lock hierarchy (docs/INVARIANTS.md, lockorder.conf).
+//
+// Every mutex the engine owns is classified in a checked-in config file
+// with an integer level; outer locks have lower levels. Within a function
+// body the analyzer tracks the multiset of held lock classes and reports
+// any acquisition whose level is strictly below one already held. The
+// check extends one level through direct calls: each function's own
+// acquisitions are summarized as a fact, and a call made while holding a
+// lock is checked against the callee's summary. Deliberate inversions are
+// declared in the config as `allow` edges (optionally scoped to the
+// function that performs the acquisition); one-off suppressions use
+// `//lint:ignore lockorder <reason>`. Packages marked `strict` in the
+// config additionally flag acquisitions of unclassified sync.Mutex /
+// sync.RWMutex values, so new locks must be placed in the hierarchy.
+package lockorder
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the parsed lock-hierarchy configuration.
+type Config struct {
+	// Levels maps a lock class key to its hierarchy level (lower =
+	// acquired first). Keys are "pkgpath.Type.field" for struct-field
+	// locks and "pkgpath.var" for package-level locks.
+	Levels map[string]int
+	// Allows lists blessed inversions.
+	Allows []AllowEdge
+	// Strict packages flag unclassified mutex acquisitions.
+	Strict map[string]bool
+}
+
+// AllowEdge blesses acquiring To while holding From even though To's
+// level is below From's. If In is non-empty the edge only applies when
+// the acquisition happens inside that function ("pkgpath.Type.method" or
+// "pkgpath.func").
+type AllowEdge struct {
+	From, To, In string
+}
+
+// LoadConfig reads a config file (see ParseConfig for the grammar).
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg, err := ParseConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ParseConfig parses the lockorder config grammar:
+//
+//	# comment
+//	lock <class> <level>
+//	allow <classA> -> <classB> [in <func>]
+//	strict <pkgpath>
+func ParseConfig(r io.Reader) (*Config, error) {
+	cfg := &Config{Levels: map[string]int{}, Strict: map[string]bool{}}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "lock":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: want `lock <class> <level>`", lineno)
+			}
+			lvl, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad level %q", lineno, fields[2])
+			}
+			if _, dup := cfg.Levels[fields[1]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate lock class %s", lineno, fields[1])
+			}
+			cfg.Levels[fields[1]] = lvl
+		case "allow":
+			// allow A -> B [in F]
+			ok := (len(fields) == 4 || len(fields) == 6) && fields[2] == "->"
+			if ok && len(fields) == 6 && fields[4] != "in" {
+				ok = false
+			}
+			if !ok {
+				return nil, fmt.Errorf("line %d: want `allow <classA> -> <classB> [in <func>]`", lineno)
+			}
+			e := AllowEdge{From: fields[1], To: fields[3]}
+			if len(fields) == 6 {
+				e.In = fields[5]
+			}
+			cfg.Allows = append(cfg.Allows, e)
+		case "strict":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: want `strict <pkgpath>`", lineno)
+			}
+			cfg.Strict[fields[1]] = true
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, e := range cfg.Allows {
+		if _, ok := cfg.Levels[e.From]; !ok {
+			return nil, fmt.Errorf("allow edge references unclassified lock %s", e.From)
+		}
+		if _, ok := cfg.Levels[e.To]; !ok {
+			return nil, fmt.Errorf("allow edge references unclassified lock %s", e.To)
+		}
+	}
+	return cfg, nil
+}
+
+func (c *Config) allowed(held, acquired, acqFn string) bool {
+	for _, e := range c.Allows {
+		if e.From == held && e.To == acquired && (e.In == "" || e.In == acqFn) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockSummary records a function's direct locking behavior (function
+// literals excluded — they run on their own goroutine or at defer time,
+// with their own held-set):
+//
+//   - Acquires: every class acquired anywhere in the body, even if
+//     released again — a call made while holding a higher lock is
+//     checked against these.
+//   - NetHeld: classes still held when the unconditional path returns —
+//     lock-wrapper methods (e.g. Basket.Lock) report their lock here,
+//     so callers' held-sets track wrapper-acquired locks.
+//   - NetFreed: classes released without a matching acquisition —
+//     unlock wrappers (e.g. Basket.Unlock) report theirs here.
+type lockSummary struct {
+	Acquires []string
+	NetHeld  []string
+	NetFreed []string
+}
+
+func (*lockSummary) AFact() {}
+
+// NewAnalyzer builds the lockorder analyzer for one hierarchy config.
+func NewAnalyzer(cfg *Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "lockorder",
+		Doc:  "flag mutex acquisitions that invert the documented lock hierarchy",
+	}
+	a.Run = func(pass *analysis.Pass) (any, error) {
+		c := &checker{pass: pass, cfg: cfg}
+		// Sweep 1: summarize every function's direct acquisitions, so
+		// same-package calls (in any declaration order) and importing
+		// packages can check one level deep.
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				var acquires []string
+				c.forEachCall(fd.Body, func(call *ast.CallExpr) {
+					if class, kind, ok := c.lockOp(call); ok && (kind == opLock || kind == opRLock) && class != "" {
+						acquires = append(acquires, class)
+					}
+				})
+				netHeld, netFreed := c.netEffect(fd.Body)
+				if len(acquires) > 0 || len(netHeld) > 0 || len(netFreed) > 0 {
+					pass.ExportObjectFact(fn, &lockSummary{
+						Acquires: acquires, NetHeld: netHeld, NetFreed: netFreed,
+					})
+				}
+			}
+		}
+		// Sweep 2: simulate held-sets and report.
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				fnKey := ""
+				if fn != nil {
+					fnKey = funcKey(fn)
+				}
+				c.simulate(fd.Body, fnKey)
+				// Function literals get a fresh, empty held-set: they run
+				// later (go/defer) or as callbacks, not inline under the
+				// enclosing function's locks in any way we can prove.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						c.simulate(fl.Body, fnKey+".func")
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return nil, nil
+	}
+	return a
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+type checker struct {
+	pass *analysis.Pass
+	cfg  *Config
+}
+
+// lockOp reports whether call is Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, and if so the lock's class key ("" when
+// the lock value is unclassified, e.g. a local variable).
+func (c *checker) lockOp(call *ast.CallExpr) (class string, kind lockOpKind, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", opNone, false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		kind = opLock
+	case "RLock":
+		kind = opRLock
+	case "Unlock":
+		kind = opUnlock
+	case "RUnlock":
+		kind = opRUnlock
+	default:
+		return "", opNone, false
+	}
+	return c.classify(sel.X), kind, true
+}
+
+// classify maps the receiver expression of a Lock call to its class key,
+// or "" if it is not a classified-shape lock (local variable, parameter).
+func (c *checker) classify(expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	if s, ok := expr.(*ast.StarExpr); ok {
+		expr = ast.Unparen(s.X)
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if selInfo, ok := c.pass.TypesInfo.Selections[e]; ok && selInfo.Kind() == types.FieldVal {
+			recv := selInfo.Recv()
+			for {
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+			return ""
+		}
+		// Qualified identifier: pkg.Var
+		if v, ok := c.pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[e].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// callee resolves the statically-called function of a CallExpr, if any.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcKey names a function the way the config's `in` clause does.
+func funcKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		for {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// held tracks the multiset of lock classes currently held, with the
+// position each acquisition happened at (for diagnostics).
+type held map[string][]token.Pos
+
+func (h held) clone() held {
+	out := make(held, len(h))
+	for k, v := range h {
+		out[k] = append([]token.Pos(nil), v...)
+	}
+	return out
+}
+
+// simulate walks a function body in statement order, maintaining the
+// held-set and reporting inversions.
+func (c *checker) simulate(body *ast.BlockStmt, fnKey string) {
+	c.stmts(body.List, held{}, fnKey)
+}
+
+func (c *checker) stmts(list []ast.Stmt, h held, fnKey string) {
+	for _, st := range list {
+		c.stmt(st, h, fnKey)
+	}
+}
+
+func (c *checker) stmt(st ast.Stmt, h held, fnKey string) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		c.stmts(s.List, h, fnKey)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h, fnKey)
+		}
+		c.calls(s.Cond, h, fnKey)
+		// Branches run on copies: a lock acquired inside one branch is
+		// assumed balanced there, so the straight-line suffix is checked
+		// against the pre-branch held-set (conservative, avoids merge
+		// explosion).
+		c.stmts(s.Body.List, h.clone(), fnKey)
+		if s.Else != nil {
+			c.stmt(s.Else, h.clone(), fnKey)
+		}
+	case *ast.ForStmt:
+		// Loop bodies run on the shared held-set (one symbolic
+		// iteration): the lock-all-inputs-in-a-loop pattern must leave
+		// its acquisitions visible to the code after the loop.
+		if s.Init != nil {
+			c.stmt(s.Init, h, fnKey)
+		}
+		if s.Cond != nil {
+			c.calls(s.Cond, h, fnKey)
+		}
+		c.stmts(s.Body.List, h, fnKey)
+		if s.Post != nil {
+			c.stmt(s.Post, h, fnKey)
+		}
+	case *ast.RangeStmt:
+		c.calls(s.X, h, fnKey)
+		c.stmts(s.Body.List, h, fnKey)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h, fnKey)
+		}
+		if s.Tag != nil {
+			c.calls(s.Tag, h, fnKey)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, h.clone(), fnKey)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h, fnKey)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, h.clone(), fnKey)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, h.clone(), fnKey)
+				}
+				c.stmts(cc.Body, h.clone(), fnKey)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, h, fnKey)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function, which sequential tracking models by ignoring it. A
+		// deferred Lock (rare) is also ignored. Other deferred calls are
+		// checked against the held-set at defer time — an approximation,
+		// but deferred cleanup running under more locks than at
+		// registration is itself suspect.
+		if _, _, isLockOp := c.lockOp(s.Call); !isLockOp {
+			c.checkCall(s.Call, h, fnKey)
+			for _, arg := range s.Call.Args {
+				c.calls(arg, h, fnKey)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body starts with an empty held-set (function
+		// literals are simulated separately); its arguments are
+		// evaluated here.
+		for _, arg := range s.Call.Args {
+			c.calls(arg, h, fnKey)
+		}
+	case *ast.ExprStmt:
+		c.calls(s.X, h, fnKey)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.calls(e, h, fnKey)
+		}
+		for _, e := range s.Lhs {
+			c.calls(e, h, fnKey)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.calls(e, h, fnKey)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.calls(e, h, fnKey)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		c.calls(s.Chan, h, fnKey)
+		c.calls(s.Value, h, fnKey)
+	case *ast.IncDecStmt:
+		c.calls(s.X, h, fnKey)
+	}
+}
+
+// calls processes every call expression under e (in source order,
+// skipping function literal bodies) against the current held-set.
+func (c *checker) calls(e ast.Expr, h held, fnKey string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.checkCall(call, h, fnKey)
+		}
+		return true
+	})
+}
+
+// forEachCall visits every call expression in body outside function
+// literals.
+func (c *checker) forEachCall(body *ast.BlockStmt, fn func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// checkCall updates the held-set for lock operations and checks other
+// calls one level deep via their summaries.
+func (c *checker) checkCall(call *ast.CallExpr, h held, fnKey string) {
+	if class, kind, ok := c.lockOp(call); ok {
+		switch kind {
+		case opLock, opRLock:
+			if class == "" {
+				if c.cfg.Strict[c.pass.Pkg.Path()] {
+					c.pass.Reportf(call.Pos(),
+						"acquisition of unclassified lock %s in strict package %s; add a `lock` entry to lockorder.conf (see docs/INVARIANTS.md)",
+						types.ExprString(ast.Unparen(call.Fun).(*ast.SelectorExpr).X), c.pass.Pkg.Path())
+				}
+				return
+			}
+			c.checkAcquire(call.Pos(), class, fnKey, h, "")
+			h[class] = append(h[class], call.Pos())
+		case opUnlock, opRUnlock:
+			if class == "" {
+				return
+			}
+			if stack := h[class]; len(stack) > 0 {
+				h[class] = stack[:len(stack)-1]
+				if len(h[class]) == 0 {
+					delete(h, class)
+				}
+			}
+		}
+		return
+	}
+	// Not a lock operation: check the callee's summarized acquisitions
+	// against the held-set, then apply its net effect.
+	fn := c.callee(call)
+	if fn == nil {
+		return
+	}
+	var sum lockSummary
+	if !c.pass.ImportObjectFact(fn, &sum) {
+		return
+	}
+	calleeKey := funcKey(fn)
+	if len(h) > 0 {
+		for _, class := range sum.Acquires {
+			c.checkAcquire(call.Pos(), class, calleeKey, h, fn.Name())
+		}
+	}
+	// Apply the callee's net effect so lock-wrapper methods move locks in
+	// and out of the caller's held-set.
+	for _, class := range sum.NetFreed {
+		if stack := h[class]; len(stack) > 0 {
+			h[class] = stack[:len(stack)-1]
+			if len(h[class]) == 0 {
+				delete(h, class)
+			}
+		}
+	}
+	for _, class := range sum.NetHeld {
+		h[class] = append(h[class], call.Pos())
+	}
+}
+
+// netEffect computes the locks a body leaves held or newly released on
+// its unconditional path: direct sync Lock/Unlock calls at the top
+// level (conditional branches and function literals excluded), with
+// deferred unlocks applied at exit.
+func (c *checker) netEffect(body *ast.BlockStmt) (netHeld, netFreed []string) {
+	held := map[string]int{}
+	freed := map[string]int{}
+	var order []string // first-acquisition order, for stable output
+	var deferred []string
+	var walk func(list []ast.Stmt)
+	apply := func(class string, kind lockOpKind) {
+		switch kind {
+		case opLock, opRLock:
+			if held[class] == 0 {
+				order = append(order, class)
+			}
+			held[class]++
+		case opUnlock, opRUnlock:
+			if held[class] > 0 {
+				held[class]--
+			} else {
+				if freed[class] == 0 {
+					order = append(order, class)
+				}
+				freed[class]++
+			}
+		}
+	}
+	flat := func(st ast.Stmt) {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if class, kind, ok := c.lockOp(call); ok && class != "" {
+					apply(class, kind)
+				}
+			}
+			return true
+		})
+	}
+	walk = func(list []ast.Stmt) {
+		for _, st := range list {
+			switch s := st.(type) {
+			case *ast.BlockStmt:
+				walk(s.List)
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt})
+			case *ast.DeferStmt:
+				if class, kind, ok := c.lockOp(s.Call); ok && class != "" &&
+					(kind == opUnlock || kind == opRUnlock) {
+					deferred = append(deferred, class)
+				}
+			case *ast.ForStmt:
+				// One symbolic iteration, matching the simulator.
+				walk(s.Body.List)
+			case *ast.RangeStmt:
+				walk(s.Body.List)
+			case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+				*ast.SelectStmt, *ast.GoStmt:
+				// Conditional or concurrent: contributes no net effect.
+			default:
+				flat(st)
+			}
+		}
+	}
+	walk(body.List)
+	for _, class := range deferred {
+		apply(class, opUnlock)
+	}
+	for _, class := range order {
+		for i := 0; i < held[class]; i++ {
+			netHeld = append(netHeld, class)
+		}
+		for i := 0; i < freed[class]; i++ {
+			netFreed = append(netFreed, class)
+		}
+	}
+	return netHeld, netFreed
+}
+
+// checkAcquire reports an inversion if acquiring class at pos while h is
+// held violates the hierarchy. acqFn is the function performing the
+// acquisition (for allow-edge scoping); via names the called function
+// when the acquisition is one level away.
+func (c *checker) checkAcquire(pos token.Pos, class, acqFn string, h held, via string) {
+	lvl, ok := c.cfg.Levels[class]
+	if !ok {
+		return
+	}
+	for heldClass, stack := range h {
+		if len(stack) == 0 {
+			continue
+		}
+		heldLvl, ok := c.cfg.Levels[heldClass]
+		if !ok || heldLvl <= lvl {
+			continue
+		}
+		if c.cfg.allowed(heldClass, class, acqFn) {
+			continue
+		}
+		if via != "" {
+			c.pass.Reportf(pos,
+				"call to %s acquires %s (level %d) while holding %s (level %d): inverts the lock hierarchy (see docs/INVARIANTS.md)",
+				via, class, lvl, heldClass, heldLvl)
+		} else {
+			c.pass.Reportf(pos,
+				"%s (level %d) acquired while holding %s (level %d): inverts the lock hierarchy (see docs/INVARIANTS.md)",
+				class, lvl, heldClass, heldLvl)
+		}
+	}
+}

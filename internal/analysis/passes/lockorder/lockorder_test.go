@@ -1,0 +1,71 @@
+package lockorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockorder"
+)
+
+func testConfig() *lockorder.Config {
+	return &lockorder.Config{
+		Levels: map[string]int{
+			"a.DB.gate":         10,
+			"a.DB.mu":           20,
+			"a.Runner.runnerMu": 30,
+			"a.Basket.mu":       40,
+			"a.globalMu":        50,
+			"b.bigMu":           60,
+		},
+		Allows: []lockorder.AllowEdge{
+			{From: "a.Basket.mu", To: "a.Runner.runnerMu", In: "a.handoff"},
+		},
+		Strict: map[string]bool{"b": true},
+	}
+}
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{lockorder.NewAnalyzer(testConfig())},
+		"a", "b")
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := lockorder.ParseConfig(strings.NewReader(`
+# comment
+lock p.T.mu 10
+lock p.other 20
+
+allow p.other -> p.T.mu in p.T.swap
+strict p
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Levels["p.T.mu"] != 10 || cfg.Levels["p.other"] != 20 {
+		t.Errorf("levels = %v", cfg.Levels)
+	}
+	if len(cfg.Allows) != 1 || cfg.Allows[0].In != "p.T.swap" {
+		t.Errorf("allows = %v", cfg.Allows)
+	}
+	if !cfg.Strict["p"] {
+		t.Errorf("strict = %v", cfg.Strict)
+	}
+
+	for _, bad := range []string{
+		"lock p.T.mu",                  // missing level
+		"lock p.T.mu ten",              // bad level
+		"lock p.T.mu 1\nlock p.T.mu 2", // duplicate
+		"allow p.a p.b",                // missing arrow
+		"allow p.a -> p.b somewhere",   // bad `in`
+		"allow p.a -> p.b",             // unclassified classes
+		"strict",                       // missing package
+		"frobnicate p",                 // unknown directive
+	} {
+		if _, err := lockorder.ParseConfig(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseConfig(%q): expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package a mirrors the engine's lock shapes for the lockorder golden
+// test. Hierarchy (see the test's config): DB.gate 10 < DB.mu 20 <
+// Runner.runnerMu 30 < Basket.mu 40 < globalMu 50.
+package a
+
+import "sync"
+
+type DB struct {
+	gate sync.RWMutex
+	mu   sync.Mutex
+}
+
+type Runner struct {
+	runnerMu sync.Mutex
+}
+
+type Basket struct {
+	mu sync.Mutex
+}
+
+var globalMu sync.Mutex
+
+// Descending the hierarchy is fine.
+func fine(d *DB, r *Runner) {
+	d.gate.RLock()
+	d.mu.Lock()
+	r.runnerMu.Lock()
+	r.runnerMu.Unlock()
+	d.mu.Unlock()
+	d.gate.RUnlock()
+}
+
+// Ascending is an inversion.
+func inverted(d *DB, r *Runner) {
+	r.runnerMu.Lock()
+	d.gate.RLock() // want `a\.DB\.gate \(level 10\) acquired while holding a\.Runner\.runnerMu \(level 30\)`
+	d.gate.RUnlock()
+	r.runnerMu.Unlock()
+}
+
+// Releasing clears the held-set: gate is gone by the time mu is taken.
+func released(d *DB) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.gate.RLock()
+	d.gate.RUnlock()
+}
+
+// Deferred unlock keeps the lock held for the rest of the function.
+func deferredInversion(d *DB) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.RLock() // want `a\.DB\.gate \(level 10\) acquired while holding a\.DB\.mu \(level 20\)`
+	d.gate.RUnlock()
+}
+
+// Same-level locks are peers: nesting among them is allowed.
+func peers(b1, b2 *Basket) {
+	b1.mu.Lock()
+	b2.mu.Lock()
+	b2.mu.Unlock()
+	b1.mu.Unlock()
+}
+
+// LockGate is a helper whose acquisition is visible one call level away.
+func LockGate(d *DB) {
+	d.gate.RLock()
+	d.gate.RUnlock()
+}
+
+// LockGlobal is called cross-package from b.
+func LockGlobal() {
+	globalMu.Lock()
+	globalMu.Unlock()
+}
+
+func oneLevelDeep(d *DB, r *Runner) {
+	r.runnerMu.Lock()
+	LockGate(d) // want `call to LockGate acquires a\.DB\.gate \(level 10\) while holding a\.Runner\.runnerMu \(level 30\)`
+	r.runnerMu.Unlock()
+}
+
+// handoff pins the basket across the runner handoff — blessed by an
+// `allow ... in a.handoff` edge in the test config.
+func handoff(r *Runner, b *Basket) {
+	b.mu.Lock()
+	r.runnerMu.Lock()
+	b.mu.Unlock()
+	r.runnerMu.Unlock()
+}
+
+// The same inversion outside the blessed function is flagged.
+func notHandoff(r *Runner, b *Basket) {
+	b.mu.Lock()
+	r.runnerMu.Lock() // want `a\.Runner\.runnerMu \(level 30\) acquired while holding a\.Basket\.mu \(level 40\)`
+	b.mu.Unlock()
+	r.runnerMu.Unlock()
+}
+
+// A lock balanced inside a branch does not leak into the suffix.
+func branches(d *DB, cond bool) {
+	if cond {
+		d.mu.Lock()
+		d.mu.Unlock()
+	}
+	d.gate.RLock()
+	d.gate.RUnlock()
+}
+
+// Function literals run with their own empty held-set (go/defer).
+func literals(d *DB, r *Runner) {
+	r.runnerMu.Lock()
+	go func() {
+		d.gate.RLock()
+		d.gate.RUnlock()
+	}()
+	r.runnerMu.Unlock()
+}
+
+// Suppression: the inversion below is deliberate and documented.
+func suppressed(d *DB, r *Runner) {
+	r.runnerMu.Lock()
+	//lint:ignore lockorder exercised by the suppression test
+	d.gate.RLock()
+	d.gate.RUnlock()
+	r.runnerMu.Unlock()
+}
+
+// Acquire and Release are lock wrappers: callers' held-sets track their
+// net effect through the call summary.
+func (b *Basket) Acquire() { b.mu.Lock() }
+func (b *Basket) Release() { b.mu.Unlock() }
+
+func wrapperHeld(r *Runner, b *Basket) {
+	b.Acquire()
+	r.runnerMu.Lock() // want `a\.Runner\.runnerMu \(level 30\) acquired while holding a\.Basket\.mu \(level 40\)`
+	r.runnerMu.Unlock()
+	b.Release()
+}
+
+func wrapperReleased(r *Runner, b *Basket) {
+	b.Acquire()
+	b.Release()
+	r.runnerMu.Lock()
+	r.runnerMu.Unlock()
+}
+
+// Locks taken in a loop stay held after it (lock-all-inputs pattern).
+func loopHeld(r *Runner, bs []*Basket) {
+	for _, b := range bs {
+		b.mu.Lock()
+	}
+	r.runnerMu.Lock() // want `a\.Runner\.runnerMu \(level 30\) acquired while holding a\.Basket\.mu \(level 40\)`
+	r.runnerMu.Unlock()
+	for _, b := range bs {
+		b.mu.Unlock()
+	}
+}
+
+// Locals are unclassified; package a is not strict, so this is fine.
+func localLock() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package b exercises the strict mode and cross-package call summaries
+// of the lockorder golden test. It is marked strict in the test config.
+package b
+
+import (
+	"sync"
+
+	"a"
+)
+
+var bigMu sync.Mutex // classified at level 60
+
+func crossPackage() {
+	bigMu.Lock()
+	a.LockGlobal() // want `call to LockGlobal acquires a\.globalMu \(level 50\) while holding b\.bigMu \(level 60\)`
+	bigMu.Unlock()
+}
+
+func unclassified() {
+	var mu sync.Mutex
+	mu.Lock() // want `acquisition of unclassified lock mu in strict package b`
+	mu.Unlock()
+}

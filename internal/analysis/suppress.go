@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses a diagnostic:
+//
+//	//lint:ignore <analyzer> <reason>   suppress one analyzer
+//	//lint:ignore all <reason>          suppress every analyzer
+//
+// The directive applies to diagnostics reported on its own source line or
+// on the line directly below it (so it can ride at the end of the flagged
+// line or stand alone above it). A reason is required — a bare directive
+// suppresses nothing.
+const ignoreDirective = "//lint:ignore"
+
+// suppressions maps file name → line → analyzer names suppressed there
+// ("all" matches every analyzer).
+type suppressions map[string]map[int][]string
+
+// collectSuppressions scans a file's comments for ignore directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, into suppressions) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // analyzer name and reason are both required
+				}
+				pos := fset.Position(c.Pos())
+				m := into[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					into[pos.Filename] = m
+				}
+				// Cover the directive's own line and the next one.
+				m[pos.Line] = append(m[pos.Line], fields[0])
+				m[pos.Line+1] = append(m[pos.Line+1], fields[0])
+			}
+		}
+	}
+}
+
+// suppressed reports whether d is covered by an ignore directive.
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, name := range s[pos.Filename][pos.Line] {
+		if name == "all" || name == d.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}

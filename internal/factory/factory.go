@@ -657,14 +657,23 @@ func (f *Factory) RestoreState(st *State) error {
 	if len(st.SeenRel) != len(f.inputs) {
 		return fmt.Errorf("factory %s: restore image has %d inputs, want %d", f.name, len(st.SeenRel), len(f.inputs))
 	}
+	// Read basket heads before taking f.mu: Bounds takes Basket.mu, which
+	// sits above Factory.mu in the lock hierarchy (basket locks are
+	// acquired first on the firing path).
+	heads := make([]bat.OID, len(f.inputs))
+	for i, in := range f.inputs {
+		if in.Mode != Owned {
+			continue
+		}
+		heads[i], _ = in.Basket.Bounds()
+	}
 	f.mu.Lock()
 	f.stats = st.Stats
 	for i, in := range f.inputs {
 		if in.Mode != Owned {
 			continue
 		}
-		hseq, _ := in.Basket.Bounds()
-		f.seen[i] = hseq + bat.OID(st.SeenRel[i])
+		f.seen[i] = heads[i] + bat.OID(st.SeenRel[i])
 	}
 	f.mu.Unlock()
 	atomic.StoreInt64(&f.frontier, st.Frontier)
