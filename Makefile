@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-tool lint fmt bench bench-go bench-profile bench-sched bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke bench-durability bench-durability-smoke bench-obs bench-obs-smoke check
+.PHONY: build test race vet vet-tool lint fmt bench bench-go bench-profile bench-sched bench-partitioned bench-partitioned-smoke bench-windowed bench-windowed-smoke bench-join bench-join-smoke bench-durability bench-durability-smoke bench-obs bench-obs-smoke bench-multiquery bench-multiquery-smoke check
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,18 @@ bench-obs:
 # overhead gate since scheduler noise dominates short runs.
 bench-obs-smoke:
 	$(GO) run ./cmd/hotpathbench -scenario obs -smoke -o -
+
+# bench-multiquery runs the shared-scan multi-query scenario: N
+# continuous filters over one stream at N = 1, 100, 10k — the routed
+# shared scan (predicate-indexed routing, common-subplan sharing)
+# against the naive per-query replica arrangement.
+bench-multiquery:
+	$(GO) run ./cmd/hotpathbench -scenario multiquery -o -
+
+# bench-multiquery-smoke is the CI sanity run: tiny workload, replica
+# arm capped at 100 queries; still registers 10k routed queries.
+bench-multiquery-smoke:
+	$(GO) run ./cmd/hotpathbench -scenario multiquery -smoke -o -
 
 # bench-go runs the paper-experiment testing.B benchmarks once each.
 bench-go:

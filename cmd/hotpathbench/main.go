@@ -36,6 +36,10 @@
 //   - durability: the WAL tax — the same continuous filter with the
 //     write-ahead log off vs on (group-committed ingest) — and
 //     dirty-crash recovery time (Open + tail replay) vs log size.
+//   - multiquery: queries-vs-throughput of N continuous filters over one
+//     stream — the shared routed scan (one scan per stream, predicate-
+//     indexed routing, common-subplan sharing) against the naive
+//     per-query replica-basket arrangement, at N = 1, 100, 10k.
 package main
 
 import (
@@ -148,6 +152,27 @@ type ObsResult struct {
 	OverheadPct  float64 `json:"overhead_pct,omitempty"`
 }
 
+// MultiResult is one arm of the shared-scan multi-query scenario:
+// Queries continuous filters registered over one stream, driven
+// batch-by-batch with a deterministic drain. Strategy "routed" shares
+// one scan per stream with predicate-indexed routing; "separate" is the
+// naive per-query replica-basket arrangement. NsPerBatch is the number
+// the routing layer must keep (near-)flat in Queries.
+type MultiResult struct {
+	Name         string  `json:"name"`
+	Strategy     string  `json:"strategy"` // routed | separate
+	Workload     string  `json:"workload"` // mixed | nonmatch
+	Queries      int     `json:"queries"`
+	BatchRows    int     `json:"batch_rows"`
+	Batches      int     `json:"batches"`
+	Tuples       int     `json:"tuples"`
+	RegisterMs   float64 `json:"register_ms"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	NsPerTuple   float64 `json:"ns_per_tuple"`
+	NsPerBatch   float64 `json:"ns_per_batch"`
+	RowsOut      int64   `json:"rows_out"`
+}
+
 // Report is the BENCH_results.json document: the numbers measured by
 // this run plus the recorded pre-refactor baseline for comparison.
 type Report struct {
@@ -163,6 +188,7 @@ type Report struct {
 	Join        []JoinResult       `json:"join,omitempty"`
 	Durability  []DurabilityResult `json:"durability,omitempty"`
 	Obs         []ObsResult        `json:"obs_overhead,omitempty"`
+	Multi       []MultiResult      `json:"multiquery,omitempty"`
 }
 
 // baseline holds the numbers measured on the flat (suffix-copying)
@@ -515,6 +541,107 @@ func benchObs(cpus, shards, tuples, rounds int, maxOverheadPct float64) []ObsRes
 		}
 	}
 	return []ObsResult{mk(off, "off", 0), mk(on, "on", overhead)}
+}
+
+// benchMultiquery measures the per-batch cost of running many continuous
+// queries over one stream: nQueries filters registered with the given
+// strategy, then tuples rows ingested in fixed batches with a
+// deterministic Drain after each ingest (no scheduler workers, so the
+// measurement is pure pipeline cost, not wake-up latency).
+//
+// Workloads:
+//   - "mixed": selective equality predicates (WHERE v = i) over a value
+//     domain sized so ~1% of them match every batch, plus ~1% always-
+//     match residual queries — the paper's many-subscribers shape.
+//   - "nonmatch": every query is a selective equality that no batch
+//     value ever hits — isolates routing overhead, since a routed scan
+//     should do one index probe per batch and evaluate nothing.
+func benchMultiquery(strategy datacell.Strategy, workload string, nQueries, tuples int) MultiResult {
+	ctx := context.Background()
+	eng := mustEngine("CREATE BASKET mq (v INT)")
+
+	alwaysN := nQueries / 100
+	selective := nQueries - alwaysN
+	matchDomain := selective / 100
+	if matchDomain < 1 {
+		matchDomain = 1
+	}
+	if workload == "nonmatch" {
+		alwaysN, selective, matchDomain = 0, nQueries, 0
+	}
+
+	regStart := time.Now()
+	queries := make([]*datacell.Query, 0, nQueries)
+	for i := 0; i < nQueries; i++ {
+		text := fmt.Sprintf("SELECT x.v FROM [SELECT * FROM mq] AS x WHERE x.v = %d", i)
+		if i >= selective {
+			text = "SELECT x.v FROM [SELECT * FROM mq] AS x"
+		}
+		q, err := eng.RegisterContinuous(fmt.Sprintf("mq%d", i), text,
+			datacell.WithStrategy(strategy), datacell.WithSQLPolling())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if q.Strategy != strategy {
+			log.Fatalf("mq%d fell back to strategy %s, want %s", i, q.Strategy, strategy)
+		}
+		queries = append(queries, q)
+	}
+	registerMs := float64(time.Since(regStart).Nanoseconds()) / 1e6
+
+	// Prebuild a few distinct ingest batches so the timed loop measures
+	// routing + evaluation, not row construction. Mixed batches cycle
+	// values through [0, matchDomain); nonmatch batches carry a value no
+	// registered predicate accepts.
+	const batchRows, distinct = 1024, 8
+	nBatches := tuples / batchRows
+	if nBatches < 1 {
+		nBatches = 1
+	}
+	prebuilt := make([][]*vector.Vector, distinct)
+	for b := range prebuilt {
+		v := vector.NewWithCap(vector.Int64, batchRows)
+		for i := 0; i < batchRows; i++ {
+			if matchDomain == 0 {
+				v.AppendInt(-1)
+			} else {
+				v.AppendInt(int64((b*batchRows + i) % matchDomain))
+			}
+		}
+		prebuilt[b] = []*vector.Vector{v}
+	}
+
+	start := time.Now()
+	for b := 0; b < nBatches; b++ {
+		if err := eng.IngestColumns(ctx, "mq", prebuilt[b%distinct]); err != nil {
+			log.Fatal(err)
+		}
+		eng.Drain()
+	}
+	elapsed := time.Since(start)
+
+	var rowsOut int64
+	for _, q := range queries {
+		rowsOut += q.Stats().TuplesOut
+	}
+	sent := nBatches * batchRows
+	r := MultiResult{
+		Name:         "multiquery",
+		Strategy:     strategy.String(),
+		Workload:     workload,
+		Queries:      nQueries,
+		BatchRows:    batchRows,
+		Batches:      nBatches,
+		Tuples:       sent,
+		RegisterMs:   registerMs,
+		TuplesPerSec: float64(sent) / elapsed.Seconds(),
+		NsPerTuple:   float64(elapsed.Nanoseconds()) / float64(sent),
+		NsPerBatch:   float64(elapsed.Nanoseconds()) / float64(nBatches),
+		RowsOut:      rowsOut,
+	}
+	fmt.Fprintf(os.Stderr, "%-22s strategy=%-8s workload=%-8s queries=%-6d %12.0f tuples/s %10.0f ns/batch rows_out=%d reg=%.0fms\n",
+		r.Name, r.Strategy, r.Workload, r.Queries, r.TuplesPerSec, r.NsPerBatch, r.RowsOut, r.RegisterMs)
+	return r
 }
 
 // benchWindowed measures ingest-to-merge throughput of an event-time
@@ -1111,7 +1238,7 @@ func startProfiles(cpu, mem, mutex, block string) func() {
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output file ('-' for stdout)")
-	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, join, durability, obs, or all")
+	scenario := flag.String("scenario", "all", "hotpath, partitioned, windowed, join, durability, obs, multiquery, or all")
 	cpusFlag := flag.String("cpus", "1,2,4", "GOMAXPROCS settings for the partitioned/windowed scenarios")
 	smoke := flag.Bool("smoke", false, "tiny partitioned/windowed workload (CI sanity run)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -1198,6 +1325,32 @@ func main() {
 		obsRes = benchObs(1, 1, tuples, rounds, limit)
 	}
 
+	var multi []MultiResult
+	if *scenario == "all" || *scenario == "multiquery" {
+		tuples := 1 << 17
+		if *smoke {
+			tuples = 1 << 14
+		}
+		for _, n := range []int{1, 100, 10_000} {
+			multi = append(multi, benchMultiquery(datacell.RoutedScan, "mixed", n, tuples))
+		}
+		for _, n := range []int{1, 100, 10_000} {
+			t := tuples
+			if n == 10_000 {
+				if *smoke {
+					// Registering 10k replica pipelines alone dwarfs a CI
+					// smoke run; the full run records the comparison.
+					continue
+				}
+				t = tuples / 8
+			}
+			multi = append(multi, benchMultiquery(datacell.SeparateBaskets, "mixed", n, t))
+		}
+		for _, n := range []int{1, 10_000} {
+			multi = append(multi, benchMultiquery(datacell.RoutedScan, "nonmatch", n, tuples))
+		}
+	}
+
 	rep := Report{
 		Note: "basket hot-path trajectory: 'before_chunked_storage' was measured on the flat " +
 			"suffix-copying storage layer (commit f207497); 'current' is this checkout. " +
@@ -1221,7 +1374,13 @@ func main() {
 			"a copied live data directory) against logs of growing size. " +
 			"'obs_overhead' is the partitioned workload with the observability layer on vs off " +
 			"(Config.DisableMetrics), interleaved best-of-N per arm; overhead_pct on the 'on' row " +
-			"is the instrumentation tax and the run fails above the stated budget.",
+			"is the instrumentation tax and the run fails above the stated budget. " +
+			"'multiquery' is the shared-scan scenario: N continuous filters over one stream " +
+			"(selective equality predicates sized so ~1% match each batch, plus ~1% always-match " +
+			"residuals; 'nonmatch' arms match nothing), driven batch-by-batch with a deterministic " +
+			"drain. strategy=routed shares one scan per stream with predicate-indexed routing and " +
+			"common-subplan sharing; strategy=separate is the naive per-query replica arrangement. " +
+			"ns_per_batch is the figure routing must keep near-flat as N grows.",
 		GoOS:        runtime.GOOS,
 		GoArch:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
@@ -1233,6 +1392,7 @@ func main() {
 		Join:        join,
 		Durability:  dur,
 		Obs:         obsRes,
+		Multi:       multi,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -122,6 +122,11 @@ const (
 	// SharedBaskets shares one basket among all queries; tuples are
 	// retained until every query has seen them.
 	SharedBaskets = idc.SharedBaskets
+	// RoutedScan runs one shared scan per stream and routes each batch
+	// through a predicate index to only the possibly-matching queries;
+	// identical plans are evaluated once and fanned out. Opt-in; shapes
+	// the shared scan cannot serve fall back to SharedBaskets.
+	RoutedScan = idc.RoutedScan
 )
 
 // PartitionSpec declares stream sharding — the Go equivalent of CREATE

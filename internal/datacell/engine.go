@@ -44,12 +44,24 @@ const (
 	// SharedBaskets lets all queries read one basket; a tuple is removed
 	// once every registered query has seen it. No replication.
 	SharedBaskets
+	// RoutedScan attaches eligible queries on the same stream to one
+	// shared scan transition: a single consumption frontier on the
+	// primary basket, a predicate index that routes each batch only to
+	// the queries whose filters can match it, and one evaluation per
+	// distinct subplan fanned out to the member queries. Opt-in via
+	// `strategy = routed`; queries whose shape is ineligible (windows,
+	// joins, shedding, filtered consuming scans) fall back to
+	// SharedBaskets.
+	RoutedScan
 )
 
 // String names the strategy.
 func (s Strategy) String() string {
-	if s == SharedBaskets {
+	switch s {
+	case SharedBaskets:
 		return "shared"
+	case RoutedScan:
+		return "routed"
 	}
 	return "separate"
 }
@@ -135,6 +147,11 @@ type stream struct {
 	primary  *basket.Basket
 	replicas []*basket.Basket
 	ingested int64
+
+	// scan is the stream's shared routed-scan transition; nil until the
+	// first routed-strategy query registers, nil again after the last one
+	// drops (a closed scan is replaced on the next registration).
+	scan *sharedScan
 
 	// Partitioned streams only. shardReaders counts the registered
 	// partitioned queries; routing is skipped while it is zero so shard

@@ -106,6 +106,23 @@ func (e *Engine) explainAnalyze(name string) (*storage.Relation, error) {
 		}
 	}
 
+	// Routed queries: the shared scan transition, the query's routing
+	// anchor in the predicate index, and the shared plan group it belongs
+	// to (evaluated once per matched batch, fanned out to all members).
+	if r := q.routed; r != nil {
+		sc, g := r.scan, r.group
+		row("scan", sc.name, nullInt,
+			fmt.Sprintf("shared members=%d groups=%d index=%d", sc.memberCount.Load(), sc.groupCount(), sc.idx.Len()),
+			n(sc.rows.Load()), nullInt, n(sc.batches.Load()), n(int64(sc.primary.Len())))
+		row("route", q.Name, nullInt,
+			fmt.Sprintf("anchor=%s group_members=%d group_evals=%d", g.pred.Describe(), len(*g.members.Load()), g.evals.Load()),
+			nullInt, nullInt, nullInt, nullInt)
+		for _, line := range strings.Split(strings.TrimRight(plan.Explain(g.node), "\n"), "\n") {
+			row("plan", strings.TrimLeft(line, " "), nullInt,
+				line, nullInt, nullInt, nullInt, nullInt)
+		}
+	}
+
 	// Recombination: the merge transition and the SPSC tails feeding it.
 	if q.merge != nil {
 		detail := fmt.Sprintf("lag=%d", q.merge.Lag())

@@ -49,6 +49,14 @@ type engineObs struct {
 	// Sampled subscriber-delivery and end-to-end tuple latency.
 	deliveryNS *obs.Histogram
 	e2eNS      *obs.Histogram
+
+	// Shared-scan routing (routed strategy): batches routed, member
+	// queries matched vs. skipped by the predicate index, and shared
+	// subplan evaluations (one per matched plan group per batch).
+	routeBatches *obs.Counter
+	routeMatched *obs.Counter
+	routeSkipped *obs.Counter
+	routeEvals   *obs.Counter
 }
 
 const (
@@ -76,6 +84,10 @@ func newEngineObs(e *Engine) *engineObs {
 		e2eNS:         reg.Histogram("dc_e2e_latency_ns", "End-to-end tuple latency (ingest to subscriber delivery), sampled, ns.", nil),
 		fireNS:        map[string]*obs.Histogram{},
 		queueNS:       map[string]*obs.Histogram{},
+		routeBatches:  reg.Counter("dc_route_batches_total", "Batches pushed through shared-scan predicate routing.", nil),
+		routeMatched:  reg.Counter("dc_route_matched_queries_total", "Per-batch routed-query matches (query received the batch).", nil),
+		routeSkipped:  reg.Counter("dc_route_skipped_queries_total", "Per-batch routed-query skips (predicate index proved no match).", nil),
+		routeEvals:    reg.Counter("dc_route_shared_evals_total", "Shared subplan evaluations (one per matched plan group per batch).", nil),
 	}
 	for _, st := range []string{stageFire, stageMerge, stageDeliver} {
 		o.fireNS[st] = reg.Histogram("dc_stage_fire_ns", "Transition firing duration by pipeline stage, ns.", obs.Labels{"stage": st})

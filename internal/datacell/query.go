@@ -51,6 +51,7 @@ type Query struct {
 	unsubs    []func()          // basket listener detach hooks, run at unregister
 	sub       *Subscription     // nil when the query polls via SQL
 	replicas  []*basket.Basket  // separate strategy only (one per joined stream)
+	routed    *routedQuery      // routed strategy only (shared-scan attachment)
 	engine    *Engine
 	durable   bool // state captured by checkpoints (durable engines only)
 
@@ -74,6 +75,14 @@ func (q *Query) Out() *basket.Basket { return q.out }
 // declared lateness). JoinState/JoinEvictions aggregate the streaming
 // join state of all pipelines (0 for join-free queries).
 func (q *Query) Stats() factory.Stats {
+	if q.routed != nil {
+		m := q.routed.member
+		return factory.Stats{
+			Firings:   m.firings.Load(),
+			TuplesIn:  m.tuplesIn.Load(),
+			TuplesOut: m.tuplesOut.Load(),
+		}
+	}
 	var total factory.Stats
 	for _, f := range q.facts {
 		st := f.Stats()
@@ -126,11 +135,21 @@ func (q *Query) Watermark() (int64, bool) {
 // Latency returns the per-batch latency histogram. Shard pipelines of a
 // partitioned query share one histogram, so this is always the whole
 // query's distribution.
-func (q *Query) Latency() *obs.Histogram { return q.facts[0].Latency }
+func (q *Query) Latency() *obs.Histogram {
+	if q.routed != nil {
+		return q.routed.member.latency
+	}
+	return q.facts[0].Latency
+}
 
 // Shards returns the number of parallel shard pipelines executing the
 // query (1 for an unpartitioned query).
-func (q *Query) Shards() int { return len(q.facts) }
+func (q *Query) Shards() int {
+	if q.routed != nil {
+		return 1
+	}
+	return len(q.facts)
+}
 
 // Partitioned reports whether the query runs as shard pipelines with a
 // merge transition.
@@ -307,8 +326,10 @@ func optionsFromSpecs(specs []sql.OptionSpec) ([]QueryOption, error) {
 				opts = append(opts, WithStrategy(SeparateBaskets))
 			case "shared":
 				opts = append(opts, WithStrategy(SharedBaskets))
+			case "routed":
+				opts = append(opts, WithStrategy(RoutedScan))
 			default:
-				return nil, fmt.Errorf("%w: strategy = %q (want separate or shared)", ErrInvalidOption, s.Val)
+				return nil, fmt.Errorf("%w: strategy = %q (want separate, shared, or routed)", ErrInvalidOption, s.Val)
 			}
 		case "min_tuples":
 			if err := intOpt(s, WithMinTuples); err != nil {
@@ -443,7 +464,7 @@ func continuousDDL(name, text string, cfg queryConfig) string {
 	var opts []string
 	add := func(k, v string) { opts = append(opts, k+" = "+v) }
 	if cfg.strategy != def.strategy {
-		add("strategy", "shared")
+		add("strategy", cfg.strategy.String())
 	}
 	if cfg.minTuples != def.minTuples {
 		add("min_tuples", strconv.Itoa(cfg.minTuples))
@@ -559,6 +580,21 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	// moves — instead of re-running a batch join per firing. Other join
 	// shapes (non-equi, multi-way, windowed) keep per-firing evaluation.
 	joinBuilder := e.streamTableJoinBuilder(p, sel, streamName, chained != nil)
+
+	// Routed path: eligible filter/project pipelines over a stream attach
+	// to the stream's shared scan — one consumption frontier, predicate-
+	// indexed routing, one evaluation per distinct subplan — instead of a
+	// private pipeline. Ineligible shapes (windows, joins, chained
+	// baskets, shedding, batching, filtered consuming scans) fall back to
+	// the shared-basket arrangement below.
+	if cfg.strategy == RoutedScan {
+		if info, ok := routedPlanInfo(p, streamName); ok &&
+			isStream && chained == nil && joinBuilder == nil &&
+			sel.Window == nil && cfg.shedAt == 0 && cfg.minTuples == 1 {
+			return e.registerRouted(name, text, streamName, s, info, cfg)
+		}
+		cfg.strategy = SharedBaskets
+	}
 
 	// Partitioned path: on a partitioned stream, a partitionable query is
 	// cloned into one pipeline per shard with a merge transition
@@ -1128,6 +1164,11 @@ func (e *Engine) unregisterContinuous(name string) error {
 		unsub()
 	}
 	q.unsubs = nil
+	if q.routed != nil {
+		// Detach from the shared scan (and tear the scan transition down
+		// when this was its last member) before dropping the out basket.
+		e.dropRouted(q)
+	}
 	for _, t := range q.tails {
 		t.SetWake(nil)
 	}

@@ -1,0 +1,454 @@
+package datacell
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adapters"
+	"repro/internal/basket"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/route"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+)
+
+// sharedScan is the shared routing layer of the routed-scan strategy:
+// one scheduler transition per stream that consumes the primary basket
+// exactly once per firing on behalf of every routed query registered on
+// the stream. Each firing takes one chunk-view snapshot of the unseen
+// suffix, advances the single shared reader frontier (so the basket
+// compacts at O(one reader) instead of O(queries)), pushes the batch
+// through the predicate index, and evaluates each matched plan group
+// once — fanning the group's result out to its member queries' output
+// baskets. Queries whose predicates cannot match the batch cost nothing.
+//
+// Concurrency: regMu serializes membership changes (attach/detach and
+// predicate-index writes); fireMu serializes firings and doubles as the
+// drop fence — detach cycles it after unpublishing a member, so no
+// in-flight firing can still reach a dropped query's output basket. The
+// firing path itself reads membership through atomics only (the
+// copy-on-write members slice and the index's snapshot pointer), so
+// registration never blocks routing.
+type sharedScan struct {
+	eng     *Engine
+	stream  string
+	source  string // lower-cased exec.Context override key
+	name    string // scheduler transition name + basket reader id
+	primary *basket.Basket
+	idx     *route.Index
+	h       *scheduler.Handle
+	subID   uint64
+
+	dirty  atomic.Bool
+	closed atomic.Bool
+
+	// fireMu (lock level 46) is held for the whole firing; see above.
+	fireMu  sync.Mutex
+	scratch []any // matched-group buffer, reused across firings (under fireMu)
+
+	// regMu (lock level 44) guards groups/nextID and all writes to
+	// memberCount and the members slices.
+	regMu  sync.Mutex
+	groups map[string]*scanGroup // by plan fingerprint
+
+	nextID      uint64
+	memberCount atomic.Int64
+	consumed    atomic.Int64 // OID one past the newest consumed batch
+	batches     atomic.Int64
+	rows        atomic.Int64
+}
+
+// scanGroup is one shared subplan: every routed query whose compiled
+// plan fingerprints identically shares one evaluation per firing.
+type scanGroup struct {
+	id          uint64
+	fingerprint string
+	node        plan.Node  // non-consuming clone of the shared plan
+	pred        route.Pred // routing anchor, for EXPLAIN
+	members     atomic.Pointer[[]*scanMember]
+	evals       atomic.Int64
+}
+
+// scanMember is one routed query's attachment point: its output basket
+// plus per-query counters so SHOW QUERIES / EXPLAIN ANALYZE / metrics
+// stay per-query under sharing.
+type scanMember struct {
+	name      string
+	out       *basket.Basket
+	joinSeq   bat.OID // deliver only batches starting at or after this OID
+	firings   atomic.Int64
+	tuplesIn  atomic.Int64
+	tuplesOut atomic.Int64
+	latency   *obs.Histogram
+}
+
+// routedQuery ties a Query to its shared-scan attachment.
+type routedQuery struct {
+	scan   *sharedScan
+	group  *scanGroup
+	member *scanMember
+}
+
+// scanGen disambiguates scan incarnations: a stream whose last routed
+// query is dropped and which then gains a new one must not reuse the
+// torn-down transition's scheduler name or reader id.
+var scanGen atomic.Uint64
+
+// routedInfo is the outcome of routedPlanInfo: the shareable plan and
+// the routing predicate in stream-schema column space.
+type routedInfo struct {
+	node plan.Node
+	pred expr.Expr
+}
+
+// routedPlanInfo decides routed-scan eligibility from the plan shape:
+// any chain of Project/Select nodes over exactly one consume-all scan of
+// the stream. A filtered scan (predicate-window retention keeps
+// non-matching tuples buffered) is incompatible with the shared frontier,
+// and stateful operators (windows, joins, aggregates) are per-query. The
+// returned plan is a clone with Consuming cleared — the shared frontier
+// already consumed the batch — and the returned predicate is the
+// conjunction of the Select filters remapped through the scan's column
+// projection into stream-schema space for the predicate index.
+func routedPlanInfo(p plan.Node, streamName string) (routedInfo, bool) {
+	var scan *plan.Scan
+	var preds []expr.Expr
+	ok := true
+	// clone additionally reports whether the subtree contains a Project:
+	// a Select with no Project below it reads the scan's output frame, so
+	// its predicate is routable; above a Project the column indexes are in
+	// the projected frame and the predicate (conservatively) stays
+	// plan-only.
+	var clone func(n plan.Node) (plan.Node, bool)
+	clone = func(n plan.Node) (plan.Node, bool) {
+		switch t := n.(type) {
+		case *plan.Project:
+			c := *t
+			c.Child, _ = clone(t.Child)
+			return &c, true
+		case *plan.Select:
+			c := *t
+			var projected bool
+			c.Child, projected = clone(t.Child)
+			if !projected {
+				preds = append(preds, t.Pred)
+			}
+			return &c, projected
+		case *plan.Scan:
+			if scan != nil {
+				ok = false
+				return t, false
+			}
+			scan = t
+			c := *t
+			c.Consuming = false
+			return &c, false
+		default:
+			ok = false
+			return n, false
+		}
+	}
+	node, _ := clone(p)
+	if !ok || scan == nil || !scan.Consuming || scan.Filter != nil ||
+		!strings.EqualFold(scan.Source, streamName) {
+		return routedInfo{}, false
+	}
+	pred := expr.JoinConjuncts(preds)
+	if pred != nil {
+		mapping := make(map[int]int, len(scan.Cols))
+		for i, src := range scan.Cols {
+			mapping[i] = src
+		}
+		pred = expr.Remap(pred, mapping)
+	}
+	return routedInfo{node: node, pred: pred}, true
+}
+
+// registerRouted installs a continuous query on the stream's shared
+// scan: no private replica, no per-query factory — just a membership in
+// a plan group (created on first use) plus the usual output basket and
+// subscription emitter.
+func (e *Engine) registerRouted(name, text, streamName string, s *stream, info routedInfo, cfg queryConfig) (*Query, error) {
+	key := strings.ToLower(name)
+	out := basket.New(name+"_out", info.node.Schema(), e.clock)
+	if err := e.cat.Register(name+"_out", catalog.KindBasket, out); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name+"_out")
+	}
+	sc, g, m := e.attachRouted(s, name, info, out, cfg.priority)
+	q := &Query{
+		Name:     name,
+		SQL:      text,
+		Strategy: RoutedScan,
+		streams:  []string{streamName},
+		out:      out,
+		engine:   e,
+		routed:   &routedQuery{scan: sc, group: g, member: m},
+	}
+	if cfg.subDepth > 0 {
+		emitter := adapters.NewChannelEmitter(name+"_emit", out, cfg.subDepth, cfg.policy)
+		q.sub = newSubscription(e, emitter)
+	}
+	e.mu.Lock()
+	e.queries[key] = q
+	e.mu.Unlock()
+	e.installQuery(q, cfg)
+	return q, nil
+}
+
+// attachRouted joins the stream's shared scan (creating it on first
+// use), retrying when it loses the race against a concurrent teardown of
+// the scan's last member.
+func (e *Engine) attachRouted(s *stream, name string, info routedInfo, out *basket.Basket, priority int) (*sharedScan, *scanGroup, *scanMember) {
+	for {
+		sc := e.ensureScan(s, priority)
+		if g, m, ok := sc.addMember(name, info, out); ok {
+			return sc, g, m
+		}
+	}
+}
+
+// ensureScan returns the stream's live shared scan, creating (or
+// replacing a closed) one under e.mu.
+func (e *Engine) ensureScan(s *stream, priority int) *sharedScan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.scan != nil && !s.scan.closed.Load() {
+		return s.scan
+	}
+	sc := &sharedScan{
+		eng:     e,
+		stream:  s.name,
+		source:  strings.ToLower(s.name),
+		name:    fmt.Sprintf("~scan:%s#%d", s.name, scanGen.Add(1)),
+		primary: s.primary,
+		idx:     route.NewIndex(),
+		groups:  map[string]*scanGroup{},
+	}
+	sc.consumed.Store(int64(s.primary.Hseq()))
+	s.primary.RegisterReader(sc.name)
+	sc.h = e.addTransition(sc, priority)
+	e.observeScan(sc)
+	sc.subID = s.primary.Subscribe(func() {
+		sc.dirty.Store(true)
+		sc.h.Wake()
+	})
+	// Catch any backlog already buffered for other shared readers.
+	sc.dirty.Store(true)
+	sc.h.Wake()
+	s.scan = sc
+	return sc
+}
+
+// addMember attaches a query to its plan group, creating the group (and
+// its predicate-index entry) when this fingerprint is new. Returns
+// ok=false when the scan was concurrently closed.
+func (sc *sharedScan) addMember(name string, info routedInfo, out *basket.Basket) (*scanGroup, *scanMember, bool) {
+	fp := plan.Explain(info.node)
+	sc.regMu.Lock()
+	defer sc.regMu.Unlock()
+	if sc.closed.Load() {
+		return nil, nil, false
+	}
+	g := sc.groups[fp]
+	if g == nil {
+		g = &scanGroup{
+			id:          sc.nextID,
+			fingerprint: fp,
+			node:        info.node,
+			pred:        route.Analyze(info.pred),
+		}
+		sc.nextID++
+		none := []*scanMember{}
+		g.members.Store(&none)
+		sc.groups[fp] = g
+		sc.idx.Add(g.id, g.pred, g)
+	}
+	m := &scanMember{
+		name:    name,
+		out:     out,
+		joinSeq: bat.OID(sc.consumed.Load()),
+		latency: obs.NewHistogram(),
+	}
+	cur := *g.members.Load()
+	next := make([]*scanMember, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = m
+	g.members.Store(&next)
+	sc.memberCount.Add(1)
+	return g, m, true
+}
+
+// dropRouted detaches a routed query: unpublish the member (and its
+// group, when it was the last member) under regMu, cycle the fire mutex
+// as the drop fence, and — when the scan lost its last member — close
+// and tear the scan transition down.
+func (e *Engine) dropRouted(q *Query) {
+	r := q.routed
+	sc := r.scan
+	sc.regMu.Lock()
+	cur := *r.group.members.Load()
+	next := make([]*scanMember, 0, len(cur))
+	for _, m := range cur {
+		if m != r.member {
+			next = append(next, m)
+		}
+	}
+	r.group.members.Store(&next)
+	if len(next) == 0 {
+		sc.idx.Remove(r.group.id)
+		delete(sc.groups, r.group.fingerprint)
+	}
+	last := sc.memberCount.Add(-1) == 0
+	if last {
+		// No member can attach past this point: addMember checks closed
+		// under regMu.
+		sc.closed.Store(true)
+	}
+	sc.regMu.Unlock()
+	sc.fireMu.Lock()
+	//lint:ignore SA2001 drop fence: cycling the firing mutex guarantees any in-flight firing that captured the old membership snapshot has finished before the caller tears the query's baskets down.
+	sc.fireMu.Unlock()
+	if !last {
+		return
+	}
+	e.mu.Lock()
+	if s := e.streams[sc.source]; s != nil && s.scan == sc {
+		s.scan = nil
+	}
+	e.mu.Unlock()
+	e.sched.Remove(sc.name)
+	sc.primary.Unsubscribe(sc.subID)
+	sc.primary.UnregisterReader(sc.name)
+}
+
+// Name implements scheduler.Transition.
+func (sc *sharedScan) Name() string { return sc.name }
+
+// Ready implements scheduler.Transition.
+func (sc *sharedScan) Ready() bool { return sc.dirty.Load() }
+
+// Fire implements scheduler.Transition: consume the unseen suffix of
+// the primary basket once, route it, and fan shared evaluation results
+// out to the matched members.
+func (sc *sharedScan) Fire() error {
+	sc.fireMu.Lock()
+	defer sc.fireMu.Unlock()
+	sc.dirty.Store(false)
+	sc.idx.FlushIfDirty()
+
+	b := sc.primary
+	b.Lock()
+	off, n := b.UnseenLocked(sc.name)
+	if n == 0 {
+		b.Unlock()
+		return nil
+	}
+	view, _ := b.LockedSnapshot()
+	base := b.LockedHseq() + bat.OID(off)
+	batch := view.Slice(off, off+n)
+	// Advance the shared frontier before evaluation: chunk snapshots are
+	// immutable, so the views stay valid after the prefix compacts.
+	b.LockedSetMark(sc.name, base+bat.OID(n))
+	b.Unlock()
+	sc.consumed.Store(int64(base) + int64(n))
+	sc.batches.Add(1)
+	sc.rows.Add(int64(n))
+
+	matched := sc.idx.Match(batch, sc.scratch[:0])
+	sc.scratch = matched[:0]
+
+	e := sc.eng
+	var delivered int64
+	var groupEvals int64
+	var firstErr error
+	for _, p := range matched {
+		g := p.(*scanGroup)
+		members := *g.members.Load()
+		active := 0
+		for _, m := range members {
+			if m.joinSeq <= base {
+				active++
+			}
+		}
+		if active == 0 {
+			continue
+		}
+		t0 := e.clock.Now()
+		rel, err := sc.evalGroup(g, batch)
+		g.evals.Add(1)
+		groupEvals++
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("routed scan %s: %w", sc.stream, err)
+		}
+		outRows := 0
+		if err == nil && len(rel.Cols) > 0 {
+			outRows = rel.Cols[0].Len()
+		}
+		for _, m := range members {
+			if m.joinSeq > base {
+				continue // registered after this batch was consumed
+			}
+			delivered++
+			m.firings.Add(1)
+			m.tuplesIn.Add(int64(n))
+			if err != nil {
+				continue
+			}
+			if outRows > 0 {
+				// Fresh Relation header per member: the basket append
+				// copies values, so the column vectors are shared safely.
+				if aerr := m.out.AppendRelation(&storage.Relation{Schema: rel.Schema, Cols: rel.Cols}); aerr != nil && firstErr == nil {
+					firstErr = aerr
+				}
+				m.tuplesOut.Add(int64(outRows))
+			}
+			m.latency.Observe(e.clock.Now() - t0)
+		}
+	}
+	if o := e.obs; o != nil {
+		o.routeBatches.Inc()
+		o.routeMatched.Add(delivered)
+		if skipped := sc.memberCount.Load() - delivered; skipped > 0 {
+			o.routeSkipped.Add(skipped)
+		}
+		o.routeEvals.Add(groupEvals)
+	}
+	return firstErr
+}
+
+// evalGroup runs the group's shared plan over the batch view.
+func (sc *sharedScan) evalGroup(g *scanGroup, batch bat.View) (*storage.Relation, error) {
+	ctx := exec.NewContext(sc.eng.cat)
+	ctx.Overrides[sc.source] = batch
+	return exec.Run(g.node, ctx)
+}
+
+// observeScan feeds the scan transition's firings into the fire-stage
+// latency histograms (per-query trace rings get their deliver stage from
+// the members' own emitters).
+func (e *Engine) observeScan(sc *sharedScan) {
+	if e.obs == nil {
+		return
+	}
+	fireH, queueH := e.obs.fireNS[stageFire], e.obs.queueNS[stageFire]
+	sc.h.Observe(func(queueNS, fireNS int64, err error) {
+		fireH.Observe(fireNS)
+		if queueNS > 0 {
+			queueH.Observe(queueNS)
+		}
+	})
+}
+
+// groupCount returns the number of live plan groups (diagnostics).
+func (sc *sharedScan) groupCount() int {
+	sc.regMu.Lock()
+	defer sc.regMu.Unlock()
+	return len(sc.groups)
+}

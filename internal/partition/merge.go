@@ -330,24 +330,33 @@ func (m *Merge) Fire() error {
 	if total == 0 {
 		return nil
 	}
-	// The union in shard order: order-preserving per shard for concat,
-	// the partial-aggregate input for a merge plan.
-	union := bat.View{Chunks: chunks}
-
-	var rel *storage.Relation
 	if m.plan == nil {
-		rel = &storage.Relation{Schema: m.out.Schema(), Cols: union.Columns()}
+		// Plain concat: hand each ring batch to the output basket
+		// chunk-wise under one lock — the basket's tail chunk absorbs
+		// them without the per-firing union materialization a single
+		// concatenated relation would cost.
+		m.out.Lock()
+		for _, ch := range chunks {
+			if err := m.out.LockedAppendRelation(&storage.Relation{Schema: m.out.Schema(), Cols: ch.Cols}); err != nil {
+				m.out.Unlock()
+				return fmt.Errorf("merge %s: %w", m.name, err)
+			}
+		}
+		m.out.Unlock()
+		m.out.NotifyAppend()
 	} else {
+		// The union in shard order: the partial-aggregate input for a
+		// merge plan, evaluated over the chunks without copying them.
+		union := bat.View{Chunks: chunks}
 		ctx := exec.NewContext(m.cat)
 		ctx.Overrides[strings.ToLower(m.source)] = union
-		var err error
-		rel, err = exec.Run(m.plan, ctx)
+		rel, err := exec.Run(m.plan, ctx)
 		if err != nil {
 			return fmt.Errorf("merge %s: %w", m.name, err)
 		}
-	}
-	if err := m.out.AppendRelation(rel); err != nil {
-		return fmt.Errorf("merge %s: %w", m.name, err)
+		if err := m.out.AppendRelation(rel); err != nil {
+			return fmt.Errorf("merge %s: %w", m.name, err)
+		}
 	}
 	for i, t := range m.tails {
 		if counts[i] == 0 {

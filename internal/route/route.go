@@ -1,0 +1,684 @@
+// Package route implements the predicate index behind shared-scan
+// multi-query execution: a discrimination network over the selection
+// predicates of the continuous queries registered on one stream. Each
+// ingested batch is matched against the index once — equality predicates
+// through per-column hash buckets probed with the batch's distinct
+// values, range predicates through min/max interval overlap, everything
+// else through a residual always-visit list — so a batch reaches only
+// the query groups whose filters can possibly match it, and the other
+// groups cost nothing per firing.
+//
+// The index is copy-on-write: Match loads an immutable snapshot with one
+// atomic read, while Add/Remove build replacement state under a writer
+// mutex. Additions park in a pending overlay (matched conservatively as
+// always-match) until the owner calls FlushIfDirty, which folds them
+// into a fresh snapshot — this keeps registering N queries O(N) instead
+// of O(N²) full rebuilds.
+//
+// Matching is conservative by construction: an anchor atom is one
+// conjunct of the query's predicate, so "anchor cannot match" implies
+// "predicate cannot match", and anything the index cannot normalize
+// falls back to the residual list. The index never proves a match — the
+// routed group still evaluates its full plan — it only proves misses.
+package route
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bat"
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// Kind classifies the anchor atom a predicate was indexed under.
+type Kind uint8
+
+// Anchor kinds.
+const (
+	// Residual predicates are visited on every batch (no indexable atom).
+	Residual Kind = iota
+	// Eq predicates anchor on one column = constant conjunct.
+	Eq
+	// Range predicates anchor on an interval over one numeric column.
+	Range
+	// Never predicates can never match (e.g. x = NULL, or an empty
+	// interval); their entries are not routed at all.
+	Never
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Eq:
+		return "eq"
+	case Range:
+		return "range"
+	case Never:
+		return "never"
+	default:
+		return "residual"
+	}
+}
+
+// vkey is a normalized equality-bucket key: the column's value domain
+// collapsed to one comparable struct. Keys are normalized from the
+// column side's declared type, so a registered constant and a batch
+// value for the same column always normalize identically.
+type vkey struct {
+	kind uint8 // 0 int (Int64/Timestamp), 1 float, 2 string, 3 bool
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+const (
+	keyInt uint8 = iota
+	keyFloat
+	keyString
+	keyBool
+)
+
+// interval is a closed/open bound pair over one numeric column, kept in
+// the column's native domain (int64 for Int64/Timestamp, float64 for
+// Float64) so routing never loses precision to a cross-domain cast.
+// Integer bounds fold strictness in (x > 5 becomes lo=6); float bounds
+// carry open flags.
+type interval struct {
+	isFloat        bool
+	hasLo, hasHi   bool
+	loI, hiI       int64
+	loF, hiF       float64
+	loOpen, hiOpen bool // float bounds only
+}
+
+func (iv *interval) empty() bool {
+	if !iv.hasLo || !iv.hasHi {
+		return false
+	}
+	if iv.isFloat {
+		if iv.loF > iv.hiF {
+			return true
+		}
+		return iv.loF == iv.hiF && (iv.loOpen || iv.hiOpen)
+	}
+	return iv.loI > iv.hiI
+}
+
+// Pred is a predicate's routing classification: the anchor atom the
+// index discriminates on. Build one with Analyze.
+type Pred struct {
+	kind Kind
+	col  int    // anchor column (Eq/Range)
+	name string // anchor column name, for diagnostics
+	key  vkey   // Eq anchor
+	iv   interval
+}
+
+// Kind returns the anchor classification.
+func (p Pred) Kind() Kind { return p.kind }
+
+// Describe renders the anchor for EXPLAIN output.
+func (p Pred) Describe() string {
+	switch p.kind {
+	case Eq:
+		return fmt.Sprintf("eq(%s)", p.name)
+	case Range:
+		return fmt.Sprintf("range(%s)", p.name)
+	case Never:
+		return "never"
+	default:
+		return "residual"
+	}
+}
+
+// Analyze classifies a predicate (nil means "no filter") by extracting
+// the most selective indexable anchor atom from its top-level conjuncts:
+// an equality with a constant if one exists, else the intersected
+// constant range over one column, else residual. A conjunct that can
+// never hold (x = NULL, an empty range) makes the whole predicate Never.
+func Analyze(e expr.Expr) Pred {
+	if e == nil {
+		return Pred{kind: Residual}
+	}
+	var eqAnchor *Pred
+	type colRange struct {
+		name string
+		iv   interval
+	}
+	ranges := map[int]*colRange{}
+	order := []int{}
+	for _, c := range expr.SplitConjuncts(e) {
+		b, ok := c.(*expr.Binary)
+		if !ok || !b.Op.IsComparison() {
+			continue
+		}
+		col, cst, op, ok := comparisonAtom(b)
+		if !ok {
+			continue
+		}
+		if cst.Val.Null {
+			// A comparison with NULL is never true; the conjunct — and so
+			// the whole predicate — cannot match.
+			return Pred{kind: Never}
+		}
+		if op == expr.CmpEq {
+			k, st := eqKey(col.Typ, cst.Val)
+			switch st {
+			case atomNever:
+				return Pred{kind: Never}
+			case atomOK:
+				if eqAnchor == nil {
+					eqAnchor = &Pred{kind: Eq, col: col.Index, name: col.Name, key: k}
+				}
+			}
+			continue
+		}
+		if op == expr.CmpNe {
+			continue // excludes one value; useless as an anchor
+		}
+		iv, st := rangeBound(col.Typ, op, cst.Val)
+		switch st {
+		case atomNever:
+			return Pred{kind: Never}
+		case atomSkip:
+			continue
+		}
+		cr := ranges[col.Index]
+		if cr == nil {
+			cr = &colRange{name: col.Name, iv: iv}
+			ranges[col.Index] = cr
+			order = append(order, col.Index)
+		} else {
+			cr.iv = intersect(cr.iv, iv)
+		}
+		if cr.iv.empty() {
+			return Pred{kind: Never}
+		}
+	}
+	if eqAnchor != nil {
+		return *eqAnchor
+	}
+	// Prefer the most constrained column: two-sided bounds beat one-sided.
+	best := -1
+	bestScore := 0
+	for _, col := range order {
+		score := 0
+		if ranges[col].iv.hasLo {
+			score++
+		}
+		if ranges[col].iv.hasHi {
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = col, score
+		}
+	}
+	if best >= 0 {
+		return Pred{kind: Range, col: best, name: ranges[best].name, iv: ranges[best].iv}
+	}
+	return Pred{kind: Residual}
+}
+
+// comparisonAtom matches column-op-constant in either orientation,
+// flipping the operator when the constant is on the left.
+func comparisonAtom(b *expr.Binary) (*expr.ColRef, *expr.Const, expr.BinOp, bool) {
+	if col, ok := b.L.(*expr.ColRef); ok {
+		if cst, ok := b.R.(*expr.Const); ok {
+			return col, cst, b.Op, true
+		}
+		return nil, nil, 0, false
+	}
+	cst, ok := b.L.(*expr.Const)
+	if !ok {
+		return nil, nil, 0, false
+	}
+	col, ok := b.R.(*expr.ColRef)
+	if !ok {
+		return nil, nil, 0, false
+	}
+	return col, cst, flip(b.Op), true
+}
+
+func flip(op expr.BinOp) expr.BinOp {
+	switch op {
+	case expr.CmpLt:
+		return expr.CmpGt
+	case expr.CmpLe:
+		return expr.CmpGe
+	case expr.CmpGt:
+		return expr.CmpLt
+	case expr.CmpGe:
+		return expr.CmpLe
+	default:
+		return op // =, <> are symmetric
+	}
+}
+
+type atomStatus uint8
+
+const (
+	atomOK atomStatus = iota
+	atomSkip
+	atomNever
+)
+
+// eqKey normalizes an equality constant into the column's value domain.
+func eqKey(colType vector.Type, v vector.Value) (vkey, atomStatus) {
+	switch colType {
+	case vector.Int64, vector.Timestamp:
+		switch v.Typ {
+		case vector.Int64, vector.Timestamp:
+			return vkey{kind: keyInt, i: v.I}, atomOK
+		case vector.Float64:
+			if v.F != math.Trunc(v.F) || v.F < math.MinInt64 || v.F >= math.MaxInt64 {
+				return vkey{}, atomNever // 3.5 never equals an integer
+			}
+			return vkey{kind: keyInt, i: int64(v.F)}, atomOK
+		}
+	case vector.Float64:
+		switch v.Typ {
+		case vector.Int64, vector.Timestamp, vector.Float64:
+			f := v.AsFloat()
+			if math.IsNaN(f) {
+				return vkey{}, atomNever
+			}
+			return vkey{kind: keyFloat, f: f}, atomOK
+		}
+	case vector.String:
+		if v.Typ == vector.String {
+			return vkey{kind: keyString, s: v.S}, atomOK
+		}
+	case vector.Bool:
+		if v.Typ == vector.Bool {
+			return vkey{kind: keyBool, b: v.B}, atomOK
+		}
+	}
+	return vkey{}, atomSkip // cross-type compare the index cannot judge
+}
+
+// rangeBound turns one inequality conjunct into a native-domain interval.
+func rangeBound(colType vector.Type, op expr.BinOp, v vector.Value) (interval, atomStatus) {
+	switch colType {
+	case vector.Int64, vector.Timestamp:
+		var c int64
+		switch v.Typ {
+		case vector.Int64, vector.Timestamp:
+			c = v.I
+		case vector.Float64:
+			return floatBoundOnInt(op, v.F)
+		default:
+			return interval{}, atomSkip
+		}
+		switch op {
+		case expr.CmpLt:
+			if c == math.MinInt64 {
+				return interval{}, atomNever
+			}
+			return interval{hasHi: true, hiI: c - 1}, atomOK
+		case expr.CmpLe:
+			return interval{hasHi: true, hiI: c}, atomOK
+		case expr.CmpGt:
+			if c == math.MaxInt64 {
+				return interval{}, atomNever
+			}
+			return interval{hasLo: true, loI: c + 1}, atomOK
+		case expr.CmpGe:
+			return interval{hasLo: true, loI: c}, atomOK
+		}
+	case vector.Float64:
+		if v.Typ != vector.Int64 && v.Typ != vector.Timestamp && v.Typ != vector.Float64 {
+			return interval{}, atomSkip
+		}
+		c := v.AsFloat()
+		if math.IsNaN(c) {
+			return interval{}, atomNever
+		}
+		switch op {
+		case expr.CmpLt:
+			return interval{isFloat: true, hasHi: true, hiF: c, hiOpen: true}, atomOK
+		case expr.CmpLe:
+			return interval{isFloat: true, hasHi: true, hiF: c}, atomOK
+		case expr.CmpGt:
+			return interval{isFloat: true, hasLo: true, loF: c, loOpen: true}, atomOK
+		case expr.CmpGe:
+			return interval{isFloat: true, hasLo: true, loF: c}, atomOK
+		}
+	}
+	return interval{}, atomSkip
+}
+
+// floatBoundOnInt bounds an integer column by a float constant: the
+// tightest integer bound that keeps every satisfying integer inside.
+func floatBoundOnInt(op expr.BinOp, c float64) (interval, atomStatus) {
+	if math.IsNaN(c) {
+		return interval{}, atomNever
+	}
+	const lim = float64(math.MaxInt64 / 2) // stay far from int64 edges
+	if c > lim {
+		if op == expr.CmpLt || op == expr.CmpLe {
+			return interval{}, atomSkip // always true for in-range ints
+		}
+		return interval{}, atomNever
+	}
+	if c < -lim {
+		if op == expr.CmpGt || op == expr.CmpGe {
+			return interval{}, atomSkip
+		}
+		return interval{}, atomNever
+	}
+	switch op {
+	case expr.CmpLt: // largest int < c
+		return interval{hasHi: true, hiI: int64(math.Ceil(c)) - 1}, atomOK
+	case expr.CmpLe: // largest int <= c
+		return interval{hasHi: true, hiI: int64(math.Floor(c))}, atomOK
+	case expr.CmpGt: // smallest int > c
+		return interval{hasLo: true, loI: int64(math.Floor(c)) + 1}, atomOK
+	default: // CmpGe: smallest int >= c
+		return interval{hasLo: true, loI: int64(math.Ceil(c))}, atomOK
+	}
+}
+
+// intersect merges two intervals over the same column. Mixed domains
+// cannot arise: the domain is a function of the column type.
+func intersect(a, b interval) interval {
+	out := a
+	if b.hasLo {
+		switch {
+		case !out.hasLo:
+			out.hasLo, out.loI, out.loF, out.loOpen = true, b.loI, b.loF, b.loOpen
+		case out.isFloat && (b.loF > out.loF || (b.loF == out.loF && b.loOpen)):
+			out.loF, out.loOpen = b.loF, b.loOpen
+		case !out.isFloat && b.loI > out.loI:
+			out.loI = b.loI
+		}
+	}
+	if b.hasHi {
+		switch {
+		case !out.hasHi:
+			out.hasHi, out.hiI, out.hiF, out.hiOpen = true, b.hiI, b.hiF, b.hiOpen
+		case out.isFloat && (b.hiF < out.hiF || (b.hiF == out.hiF && b.hiOpen)):
+			out.hiF, out.hiOpen = b.hiF, b.hiOpen
+		case !out.isFloat && b.hiI < out.hiI:
+			out.hiI = b.hiI
+		}
+	}
+	return out
+}
+
+// entry is one indexed predicate with its opaque payload (the caller's
+// query group).
+type entry struct {
+	id      uint64
+	payload any
+	pred    Pred
+}
+
+// snapshot is the immutable matching structure Match reads lock-free.
+type snapshot struct {
+	eq       map[int]map[vkey][]*entry // column -> value -> entries
+	rngs     []*entry
+	residual []*entry
+}
+
+// pendList is the copy-on-write overlay of entries added since the last
+// snapshot rebuild; Match visits them unconditionally.
+type pendList struct {
+	entries []*entry
+}
+
+var emptySnapshot = &snapshot{}
+var emptyPend = &pendList{}
+
+// Index is the predicate-routing index for one stream.
+type Index struct {
+	// mu serializes writers (Add/Remove/FlushIfDirty); readers go through
+	// the atomic snapshot/pending pointers only.
+	mu     sync.Mutex
+	master map[uint64]*entry // all registered entries, by id (under mu)
+	size   atomic.Int64
+	snap   atomic.Pointer[snapshot]
+	pend   atomic.Pointer[pendList]
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	ix := &Index{master: map[uint64]*entry{}}
+	ix.snap.Store(emptySnapshot)
+	ix.pend.Store(emptyPend)
+	return ix
+}
+
+// Len returns the number of registered entries (Never entries included).
+func (ix *Index) Len() int { return int(ix.size.Load()) }
+
+// Add registers a predicate under id. The entry lands in the pending
+// overlay (matched as always-match) until the next FlushIfDirty folds it
+// into the snapshot, so registration cost stays flat in index size.
+func (ix *Index) Add(id uint64, p Pred, payload any) {
+	e := &entry{id: id, payload: payload, pred: p}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.master[id] = e
+	ix.size.Add(1)
+	if p.kind == Never {
+		return // never matches; no need to route it at all
+	}
+	old := ix.pend.Load().entries
+	next := make([]*entry, len(old)+1)
+	copy(next, old)
+	next[len(old)] = e
+	ix.pend.Store(&pendList{entries: next})
+}
+
+// Remove drops the entry registered under id and publishes a rebuilt
+// snapshot, so no later Match can return its payload.
+func (ix *Index) Remove(id uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.master[id]; !ok {
+		return
+	}
+	delete(ix.master, id)
+	ix.size.Add(-1)
+	ix.rebuildLocked()
+}
+
+// FlushIfDirty folds pending additions into the snapshot. The scan
+// transition calls it at the top of each firing, so steady-state
+// matching never pays the always-visit overlay for long.
+func (ix *Index) FlushIfDirty() {
+	if len(ix.pend.Load().entries) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.pend.Load().entries) == 0 {
+		return
+	}
+	ix.rebuildLocked()
+}
+
+// rebuildLocked publishes a fresh snapshot from master and clears the
+// pending overlay. Caller holds mu.
+func (ix *Index) rebuildLocked() {
+	snap := &snapshot{eq: map[int]map[vkey][]*entry{}}
+	for _, e := range ix.master {
+		switch e.pred.kind {
+		case Eq:
+			buckets := snap.eq[e.pred.col]
+			if buckets == nil {
+				buckets = map[vkey][]*entry{}
+				snap.eq[e.pred.col] = buckets
+			}
+			buckets[e.pred.key] = append(buckets[e.pred.key], e)
+		case Range:
+			snap.rngs = append(snap.rngs, e)
+		case Residual:
+			snap.residual = append(snap.residual, e)
+		}
+	}
+	ix.snap.Store(snap)
+	ix.pend.Store(emptyPend)
+}
+
+// colStats caches one column's batch min/max for interval overlap tests.
+type colStats struct {
+	any        bool
+	minI, maxI int64
+	minF, maxF float64
+}
+
+// Match appends to out the payloads of every entry whose predicate may
+// match the batch: residual and pending entries always, equality entries
+// whose bucket key occurs among the batch's distinct values, range
+// entries whose interval overlaps the batch column's min/max. Each
+// distinct predicate atom is evaluated once per batch, not once per
+// query. Safe for concurrent use with Add/Remove.
+func (ix *Index) Match(batch bat.View, out []any) []any {
+	snap := ix.snap.Load()
+	for _, e := range snap.residual {
+		out = append(out, e.payload)
+	}
+	for _, e := range ix.pend.Load().entries {
+		out = append(out, e.payload)
+	}
+	for col, buckets := range snap.eq {
+		out = probeColumn(batch, col, buckets, out)
+	}
+	if len(snap.rngs) > 0 {
+		stats := map[int]*colStats{}
+		for _, e := range snap.rngs {
+			st := stats[e.pred.col]
+			if st == nil {
+				st = columnStats(batch, e.pred.col)
+				stats[e.pred.col] = st
+			}
+			if overlaps(&e.pred.iv, st) {
+				out = append(out, e.payload)
+			}
+		}
+	}
+	return out
+}
+
+// probeColumn hashes the batch's distinct non-null values of one column
+// into the eq buckets — one pass over the rows regardless of how many
+// queries anchor on the column.
+func probeColumn(batch bat.View, col int, buckets map[vkey][]*entry, out []any) []any {
+	seen := map[vkey]struct{}{}
+	probe := func(k vkey) {
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		for _, e := range buckets[k] {
+			out = append(out, e.payload)
+		}
+	}
+	for _, ch := range batch.Chunks {
+		if col >= len(ch.Cols) {
+			continue
+		}
+		v := ch.Cols[col]
+		nulls := v.HasNulls()
+		switch v.Type() {
+		case vector.Int64, vector.Timestamp:
+			for i, x := range v.Ints() {
+				if nulls && v.IsNull(i) {
+					continue
+				}
+				probe(vkey{kind: keyInt, i: x})
+			}
+		case vector.Float64:
+			for i, x := range v.Floats() {
+				if nulls && v.IsNull(i) {
+					continue
+				}
+				probe(vkey{kind: keyFloat, f: x})
+			}
+		case vector.String:
+			for i, x := range v.Strings() {
+				if nulls && v.IsNull(i) {
+					continue
+				}
+				probe(vkey{kind: keyString, s: x})
+			}
+		case vector.Bool:
+			for i, x := range v.Bools() {
+				if nulls && v.IsNull(i) {
+					continue
+				}
+				probe(vkey{kind: keyBool, b: x})
+			}
+		}
+	}
+	return out
+}
+
+// columnStats computes the batch min/max of one column, skipping nulls.
+func columnStats(batch bat.View, col int) *colStats {
+	st := &colStats{}
+	for _, ch := range batch.Chunks {
+		if col >= len(ch.Cols) {
+			continue
+		}
+		v := ch.Cols[col]
+		nulls := v.HasNulls()
+		switch v.Type() {
+		case vector.Int64, vector.Timestamp:
+			for i, x := range v.Ints() {
+				if nulls && v.IsNull(i) {
+					continue
+				}
+				if !st.any {
+					st.any, st.minI, st.maxI = true, x, x
+				} else if x < st.minI {
+					st.minI = x
+				} else if x > st.maxI {
+					st.maxI = x
+				}
+			}
+		case vector.Float64:
+			for i, x := range v.Floats() {
+				if nulls && v.IsNull(i) {
+					continue
+				}
+				if !st.any {
+					st.any, st.minF, st.maxF = true, x, x
+				} else if x < st.minF {
+					st.minF = x
+				} else if x > st.maxF {
+					st.maxF = x
+				}
+			}
+		}
+	}
+	return st
+}
+
+// overlaps reports whether any value in [min, max] can fall inside iv.
+func overlaps(iv *interval, st *colStats) bool {
+	if !st.any {
+		return false
+	}
+	if iv.isFloat {
+		if iv.hasLo && (st.maxF < iv.loF || (st.maxF == iv.loF && iv.loOpen)) {
+			return false
+		}
+		if iv.hasHi && (st.minF > iv.hiF || (st.minF == iv.hiF && iv.hiOpen)) {
+			return false
+		}
+		return true
+	}
+	if iv.hasLo && st.maxI < iv.loI {
+		return false
+	}
+	if iv.hasHi && st.minI > iv.hiI {
+		return false
+	}
+	return true
+}
