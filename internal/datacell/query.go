@@ -585,11 +585,13 @@ func (e *Engine) registerParsed(name, text string, sel *sql.SelectStmt, opts ...
 	// to the stream's shared scan — one consumption frontier, predicate-
 	// indexed routing, one evaluation per distinct subplan — instead of a
 	// private pipeline. Ineligible shapes (windows, joins, chained
-	// baskets, shedding, batching, filtered consuming scans) fall back to
-	// the shared-basket arrangement below.
+	// baskets, shedding, batching, filtered consuming scans) and
+	// partitioned streams (ingest routes to shard baskets; a shared scan
+	// on the primary would retain and duplicate every tuple alongside the
+	// shard copies) fall back to the shared-basket arrangement below.
 	if cfg.strategy == RoutedScan {
 		if info, ok := routedPlanInfo(p, streamName); ok &&
-			isStream && chained == nil && joinBuilder == nil &&
+			isStream && s.router == nil && chained == nil && joinBuilder == nil &&
 			sel.Window == nil && cfg.shedAt == 0 && cfg.minTuples == 1 {
 			return e.registerRouted(name, text, streamName, s, info, cfg)
 		}

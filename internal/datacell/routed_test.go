@@ -177,6 +177,52 @@ func TestRoutedFallback(t *testing.T) {
 	}
 }
 
+// TestRoutedWithLaggingSharedReader: when another shared reader on the
+// primary basket retains a prefix the routed scan has already consumed
+// (here a SharedBaskets query whose firing threshold keeps it from
+// draining), UnseenLocked reports a non-zero offset and the scan must
+// deliver exactly the unseen suffix — not re-deliver the retained prefix
+// or overshoot the arrival watermark and silently drop later arrivals.
+func TestRoutedWithLaggingSharedReader(t *testing.T) {
+	e, _ := newEngine(t)
+	rq, err := e.RegisterContinuous("rq",
+		"SELECT S.a, S.b FROM [SELECT * FROM R] AS S", WithStrategy(RoutedScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Strategy != RoutedScan {
+		t.Fatalf("rq strategy = %s, want routed", rq.Strategy)
+	}
+	if _, err := e.RegisterContinuous("lag",
+		"SELECT S.a, S.b FROM [SELECT * FROM R] AS S",
+		WithStrategy(SharedBaskets), WithMinTuples(100)); err != nil {
+		t.Fatal(err)
+	}
+	// One tuple per drained batch: from the second batch on, the lagging
+	// reader's retained prefix makes the scan's offset grow every firing.
+	const n = 5
+	var want []string
+	for v := int64(0); v < n; v++ {
+		ingestPairs(t, e, "R", [][2]int64{{v, v * 10}})
+		e.Drain()
+		// Third field: the implicit arrival-ts column (manual clock, fixed).
+		want = append(want, fmt.Sprintf("%d|%d|1000000", v, v*10))
+	}
+	got := rowsOf(t, collect(rq))
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("routed query got %d rows %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+	if st := rq.Stats(); st.TuplesIn != n {
+		t.Errorf("TuplesIn = %d, want %d", st.TuplesIn, n)
+	}
+}
+
 // TestRoutedExplainAndShow: SHOW QUERIES and EXPLAIN ANALYZE must render
 // per-query stats under sharing.
 func TestRoutedExplainAndShow(t *testing.T) {

@@ -256,6 +256,16 @@ func (sc *sharedScan) addMember(name string, info routedInfo, out *basket.Basket
 	if sc.closed.Load() {
 		return nil, nil, false
 	}
+	// Publish under fireMu (regMu 44 < fireMu 46): with no firing in
+	// flight, the consumed frontier cannot advance between the joinSeq
+	// read and the member/group publication, so the first batch the
+	// member's joinSeq admits is one a later firing will actually deliver.
+	// Without the fence, an in-flight Fire could advance the frontier and
+	// load the membership after joinSeq was read but before the member was
+	// published — the member would permanently miss a batch its joinSeq
+	// says it covers, with no replay possible.
+	sc.fireMu.Lock()
+	defer sc.fireMu.Unlock()
 	g := sc.groups[fp]
 	if g == nil {
 		g = &scanGroup{
@@ -345,21 +355,27 @@ func (sc *sharedScan) Fire() error {
 
 	b := sc.primary
 	b.Lock()
+	// UnseenLocked returns (offset, total rows): off rows of the snapshot
+	// were already consumed by this reader (another shared reader on the
+	// primary can retain a prefix this scan has seen), the unseen suffix
+	// is rows [off, n).
 	off, n := b.UnseenLocked(sc.name)
-	if n == 0 {
+	unseen := n - off
+	if unseen == 0 {
 		b.Unlock()
 		return nil
 	}
 	view, _ := b.LockedSnapshot()
-	base := b.LockedHseq() + bat.OID(off)
-	batch := view.Slice(off, off+n)
+	hseq := b.LockedHseq()
+	base := hseq + bat.OID(off)
+	batch := view.Slice(off, n)
 	// Advance the shared frontier before evaluation: chunk snapshots are
 	// immutable, so the views stay valid after the prefix compacts.
-	b.LockedSetMark(sc.name, base+bat.OID(n))
+	b.LockedSetMark(sc.name, hseq+bat.OID(n))
 	b.Unlock()
-	sc.consumed.Store(int64(base) + int64(n))
+	sc.consumed.Store(int64(hseq) + int64(n))
 	sc.batches.Add(1)
-	sc.rows.Add(int64(n))
+	sc.rows.Add(int64(unseen))
 
 	matched := sc.idx.Match(batch, sc.scratch[:0])
 	sc.scratch = matched[:0]
@@ -397,7 +413,7 @@ func (sc *sharedScan) Fire() error {
 			}
 			delivered++
 			m.firings.Add(1)
-			m.tuplesIn.Add(int64(n))
+			m.tuplesIn.Add(int64(unseen))
 			if err != nil {
 				continue
 			}

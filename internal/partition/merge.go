@@ -336,14 +336,38 @@ func (m *Merge) Fire() error {
 		// them without the per-firing union materialization a single
 		// concatenated relation would cost.
 		m.out.Lock()
+		appended := 0
+		var appendErr error
 		for _, ch := range chunks {
 			if err := m.out.LockedAppendRelation(&storage.Relation{Schema: m.out.Schema(), Cols: ch.Cols}); err != nil {
-				m.out.Unlock()
-				return fmt.Errorf("merge %s: %w", m.name, err)
+				appendErr = fmt.Errorf("merge %s: %w", m.name, err)
+				break
 			}
+			appended++
 		}
 		m.out.Unlock()
-		m.out.NotifyAppend()
+		if appended > 0 {
+			m.out.NotifyAppend()
+		}
+		if appendErr != nil {
+			// Ack only the appended prefix: downstream listeners were
+			// already notified of it, so the retry must not re-append it;
+			// the failed chunk and everything after it stay buffered in
+			// the shard tails for the next firing.
+			total = 0
+			for _, ch := range chunks[:appended] {
+				total += ch.Cols[0].Len()
+			}
+			rem := appended
+			for i := range counts {
+				if counts[i] > rem {
+					counts[i] = rem
+				}
+				rem -= counts[i]
+			}
+			m.ack(counts, total)
+			return appendErr
+		}
 	} else {
 		// The union in shard order: the partial-aggregate input for a
 		// merge plan, evaluated over the chunks without copying them.
@@ -358,6 +382,13 @@ func (m *Merge) Fire() error {
 			return fmt.Errorf("merge %s: %w", m.name, err)
 		}
 	}
+	m.ack(counts, total)
+	return nil
+}
+
+// ack discards the consumed prefix from each shard tail and credits the
+// merged-row counter.
+func (m *Merge) ack(counts []int, total int) {
 	for i, t := range m.tails {
 		if counts[i] == 0 {
 			continue
@@ -367,5 +398,4 @@ func (m *Merge) Fire() error {
 		t.cmu.Unlock()
 	}
 	atomic.AddInt64(&m.merged, int64(total))
-	return nil
 }

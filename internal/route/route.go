@@ -417,38 +417,37 @@ type entry struct {
 	pred    Pred
 }
 
-// snapshot is the immutable matching structure Match reads lock-free.
-type snapshot struct {
+// state is the immutable matching structure Match reads with a single
+// atomic load: the discrimination network plus the pending overlay of
+// entries added since the last rebuild (visited unconditionally). The
+// network and the overlay are published together so a concurrent
+// rebuild — which moves entries from the overlay into the network, or
+// drops removed ones from both — can never leave Match seeing an entry
+// in both places (duplicate routing) or in neither (a silently missed
+// batch).
+type state struct {
 	eq       map[int]map[vkey][]*entry // column -> value -> entries
 	rngs     []*entry
 	residual []*entry
+	pending  []*entry
 }
 
-// pendList is the copy-on-write overlay of entries added since the last
-// snapshot rebuild; Match visits them unconditionally.
-type pendList struct {
-	entries []*entry
-}
-
-var emptySnapshot = &snapshot{}
-var emptyPend = &pendList{}
+var emptyState = &state{}
 
 // Index is the predicate-routing index for one stream.
 type Index struct {
 	// mu serializes writers (Add/Remove/FlushIfDirty); readers go through
-	// the atomic snapshot/pending pointers only.
+	// the atomic state pointer only.
 	mu     sync.Mutex
 	master map[uint64]*entry // all registered entries, by id (under mu)
 	size   atomic.Int64
-	snap   atomic.Pointer[snapshot]
-	pend   atomic.Pointer[pendList]
+	st     atomic.Pointer[state]
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	ix := &Index{master: map[uint64]*entry{}}
-	ix.snap.Store(emptySnapshot)
-	ix.pend.Store(emptyPend)
+	ix.st.Store(emptyState)
 	return ix
 }
 
@@ -467,11 +466,11 @@ func (ix *Index) Add(id uint64, p Pred, payload any) {
 	if p.kind == Never {
 		return // never matches; no need to route it at all
 	}
-	old := ix.pend.Load().entries
-	next := make([]*entry, len(old)+1)
-	copy(next, old)
-	next[len(old)] = e
-	ix.pend.Store(&pendList{entries: next})
+	old := ix.st.Load()
+	pending := make([]*entry, len(old.pending)+1)
+	copy(pending, old.pending)
+	pending[len(old.pending)] = e
+	ix.st.Store(&state{eq: old.eq, rngs: old.rngs, residual: old.residual, pending: pending})
 }
 
 // Remove drops the entry registered under id and publishes a rebuilt
@@ -487,42 +486,41 @@ func (ix *Index) Remove(id uint64) {
 	ix.rebuildLocked()
 }
 
-// FlushIfDirty folds pending additions into the snapshot. The scan
-// transition calls it at the top of each firing, so steady-state
-// matching never pays the always-visit overlay for long.
+// FlushIfDirty folds pending additions into the discrimination network.
+// The scan transition calls it at the top of each firing, so
+// steady-state matching never pays the always-visit overlay for long.
 func (ix *Index) FlushIfDirty() {
-	if len(ix.pend.Load().entries) == 0 {
+	if len(ix.st.Load().pending) == 0 {
 		return
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if len(ix.pend.Load().entries) == 0 {
+	if len(ix.st.Load().pending) == 0 {
 		return
 	}
 	ix.rebuildLocked()
 }
 
-// rebuildLocked publishes a fresh snapshot from master and clears the
+// rebuildLocked publishes a fresh state from master with an empty
 // pending overlay. Caller holds mu.
 func (ix *Index) rebuildLocked() {
-	snap := &snapshot{eq: map[int]map[vkey][]*entry{}}
+	next := &state{eq: map[int]map[vkey][]*entry{}}
 	for _, e := range ix.master {
 		switch e.pred.kind {
 		case Eq:
-			buckets := snap.eq[e.pred.col]
+			buckets := next.eq[e.pred.col]
 			if buckets == nil {
 				buckets = map[vkey][]*entry{}
-				snap.eq[e.pred.col] = buckets
+				next.eq[e.pred.col] = buckets
 			}
 			buckets[e.pred.key] = append(buckets[e.pred.key], e)
 		case Range:
-			snap.rngs = append(snap.rngs, e)
+			next.rngs = append(next.rngs, e)
 		case Residual:
-			snap.residual = append(snap.residual, e)
+			next.residual = append(next.residual, e)
 		}
 	}
-	ix.snap.Store(snap)
-	ix.pend.Store(emptyPend)
+	ix.st.Store(next)
 }
 
 // colStats caches one column's batch min/max for interval overlap tests.
@@ -539,19 +537,19 @@ type colStats struct {
 // distinct predicate atom is evaluated once per batch, not once per
 // query. Safe for concurrent use with Add/Remove.
 func (ix *Index) Match(batch bat.View, out []any) []any {
-	snap := ix.snap.Load()
-	for _, e := range snap.residual {
+	st := ix.st.Load()
+	for _, e := range st.residual {
 		out = append(out, e.payload)
 	}
-	for _, e := range ix.pend.Load().entries {
+	for _, e := range st.pending {
 		out = append(out, e.payload)
 	}
-	for col, buckets := range snap.eq {
+	for col, buckets := range st.eq {
 		out = probeColumn(batch, col, buckets, out)
 	}
-	if len(snap.rngs) > 0 {
+	if len(st.rngs) > 0 {
 		stats := map[int]*colStats{}
-		for _, e := range snap.rngs {
+		for _, e := range st.rngs {
 			st := stats[e.pred.col]
 			if st == nil {
 				st = columnStats(batch, e.pred.col)
